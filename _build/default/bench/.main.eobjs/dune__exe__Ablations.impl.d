@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bayes Bayesian_ignorance Constructions Extended Graphs List Minimax Ncs Num Printf Rat Report Sys

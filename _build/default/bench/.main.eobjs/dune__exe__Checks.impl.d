@@ -1,0 +1,1 @@
+bench/checks.ml: Bayes Bayesian_ignorance Corpus List Ncs Printf Report

@@ -1,0 +1,1 @@
+bench/corpus.ml: Array Bayesian_ignorance Graphs List Ncs Num Prob Random

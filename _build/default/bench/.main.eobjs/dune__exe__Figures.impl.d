@@ -1,0 +1,1 @@
+bench/figures.ml: Bayes Bayesian_ignorance Constructions Extended List Ncs Num Printf Rat Report

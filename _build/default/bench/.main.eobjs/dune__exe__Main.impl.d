@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Checks Figures List Micro Printf Sec4 String Sys Table1

@@ -1,0 +1,1 @@
+bench/sec4.ml: Bayesian_ignorance Graphs Minimax Ncs Num Printf Prob Rat Report

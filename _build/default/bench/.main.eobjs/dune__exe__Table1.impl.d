@@ -1,0 +1,1 @@
+bench/table1.ml: Array Bayes Bayesian_ignorance Constructions Corpus Embed Extended Float Graphs List Ncs Num Printf Prob Random Rat Report Stdlib Steiner String

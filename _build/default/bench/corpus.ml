@@ -1,0 +1,53 @@
+(* Random Bayesian NCS game corpora used by the universal-bound rows of
+   Table 1 and the Observation 2.2 / Lemma 3.1 / Lemma 3.8 checks. *)
+
+open Bayesian_ignorance
+module Graph = Graphs.Graph
+module Gen = Graphs.Gen
+module Dist = Prob.Dist
+module Bncs = Ncs.Bayesian_ncs
+module Rat = Num.Rat
+
+(* A small random Bayesian NCS game.  All sources coincide so that the
+   complete-information optimum can be cross-checked by the Steiner DP;
+   destinations and presence vary per type profile. *)
+let random_game ~directed seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int rng 3 in
+  let graph =
+    if directed then begin
+      (* A random DAG-ish directed graph plus a guaranteed out-tree from
+         vertex 0 so every destination is reachable. *)
+      let base =
+        Gen.random_graph rng ~kind:Graph.Directed ~n ~p:0.45 ~max_cost:5
+      in
+      let tree =
+        List.init (n - 1) (fun v ->
+            (Random.State.int rng (v + 1), v + 1, Rat.of_int (1 + Random.State.int rng 5)))
+      in
+      let existing =
+        List.map (fun e -> (e.Graph.src, e.Graph.dst, e.Graph.cost)) (Graph.edges base)
+      in
+      Graph.make Directed ~n (existing @ tree)
+    end
+    else Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:5
+  in
+  let k = 2 in
+  let profile () =
+    Array.init k (fun _ ->
+        let dst = if Random.State.int rng 4 = 0 then 0 else Random.State.int rng n in
+        (0, dst))
+  in
+  let support = List.init (1 + Random.State.int rng 2) (fun _ -> profile ()) in
+  let weighted =
+    List.map (fun t -> (t, Rat.of_int (1 + Random.State.int rng 3))) support
+  in
+  Bncs.make graph ~prior:(Dist.make weighted)
+
+let games ~directed ~count =
+  List.filter_map
+    (fun seed ->
+      match random_game ~directed (seed * 7919) with
+      | g -> Some g
+      | exception Invalid_argument _ -> None)
+    (List.init count (fun i -> i + 1))

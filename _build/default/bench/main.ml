@@ -1,0 +1,44 @@
+(* Full reproduction harness for "Bayesian ignorance" (Alon, Emek,
+   Feldman, Tennenholtz; PODC 2010 / TCS 2012).
+
+   Regenerates every evaluation artifact of the paper:
+   - Table 1 (the twelve ignorance bounds), row by row;
+   - the two figures' constructions as k-series (Fig. 1: G_k;
+     Fig. 2: G_worst);
+   - the universal laws (Observation 2.2, Lemmas 3.1 and 3.8) on random
+     corpora;
+   - Section 4 (Proposition 4.2 and Lemma 4.1) numerically;
+   plus bechamel micro-benchmarks of the computational kernels.
+
+   Usage: dune exec bench/main.exe [-- section ...]
+   where section is any of: table1 figures checks sec4 ablations micro.
+   With no arguments, everything runs. *)
+
+let sections =
+  [
+    ("table1", Table1.run);
+    ("figures", Figures.run);
+    ("checks", Checks.run);
+    ("sec4", Sec4.run);
+    ("ablations", Ablations.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  print_endline "Bayesian ignorance: reproduction benchmark suite";
+  print_endline "(paper values are asymptotic; verdicts check the shape)";
+  print_endline "";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    requested

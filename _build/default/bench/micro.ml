@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks of the core solvers: one entry per heavy
+   computational kernel used by the reproduction. *)
+
+open Bayesian_ignorance
+open Num
+open Bechamel
+open Toolkit
+
+let grid = Graphs.Gen.grid_graph 8 8 Rat.one
+
+let dijkstra_test =
+  Test.make ~name:"dijkstra 8x8 grid"
+    (Staged.stage (fun () -> ignore (Graphs.Graph.dijkstra grid 0)))
+
+let steiner_test =
+  Test.make ~name:"steiner DP, 5 terminals"
+    (Staged.stage (fun () ->
+         ignore
+           (Graphs.Steiner_dp.steiner_cost grid ~root:0
+              ~terminals:[ 7; 56; 63; 27; 36 ])))
+
+let equilibria_test =
+  let game = Constructions.Gworst_game.bliss_game 5 in
+  Test.make ~name:"bayesian equilibria, G_worst k=5"
+    (Staged.stage (fun () ->
+         ignore (Seq.length (Ncs.Bayesian_ncs.bayesian_equilibria game))))
+
+let fictitious_play_test =
+  let phi =
+    Minimax.Section4.make
+      (Array.init 6 (fun i ->
+           Array.init 6 (fun j -> Rat.of_int (1 + ((i * 7) + (j * 3)) mod 9))))
+  in
+  Test.make ~name:"fictitious play 6x6, 500 rounds"
+    (Staged.stage (fun () ->
+         ignore (Minimax.Section4.r_tilde ~iterations:500 phi)))
+
+let frt_test =
+  let g = Graphs.Gen.grid_graph 4 4 Rat.one in
+  let rng = Random.State.make [| 1 |] in
+  Test.make ~name:"FRT tree on 4x4 grid"
+    (Staged.stage (fun () -> ignore (Embed.Frt.sample rng g)))
+
+let bigint_test =
+  let a = Bigint.factorial 60 and b = Bigint.factorial 40 in
+  Test.make ~name:"bigint divmod 60!/40!"
+    (Staged.stage (fun () -> ignore (Bigint.divmod a b)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        bigint_test; dijkstra_test; steiner_test; equilibria_test;
+        fictitious_play_test; frt_test;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 256) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  (Analyze.merge ols instances [ results ], raw_results)
+
+let () =
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+let run () =
+  print_endline "=== Micro-benchmarks (bechamel) ===";
+  print_endline "";
+  let results, _ = benchmark () in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  img (window, results) |> Notty_unix.eol |> Notty_unix.output_image;
+  print_endline ""

@@ -1,0 +1,78 @@
+(* Section 4: public random bits replace the common prior.
+
+   For several 4-tuples phi we (a) solve the normalized zero-sum game to
+   get R~(phi) and the public-randomness mixture q, (b) independently
+   bracket R(phi) by binary search, and (c) verify numerically that the
+   two agree (Proposition 4.2) and that q's worst-prior guarantee
+   matches (Lemma 4.1). *)
+
+open Bayesian_ignorance
+open Num
+module S4 = Minimax.Section4
+module Mg = Minimax.Matrix_game
+module Bncs = Ncs.Bayesian_ncs
+
+let fl = Rat.to_float
+
+let row ~name phi =
+  let sol = S4.r_tilde ~iterations:3000 phi in
+  let q_guarantee = S4.randomized_guarantee phi sol.Mg.row_strategy in
+  let lo, hi = S4.r_star_bracket ~iterations:1500 ~steps:12 phi in
+  let overlap =
+    (* The R(phi) bracket and the R~(phi) bracket must intersect. *)
+    Rat.( <= ) lo sol.Mg.upper && Rat.( <= ) sol.Mg.lower hi
+  in
+  [
+    name;
+    Printf.sprintf "%dx%d" (S4.n_strategies phi) (S4.n_type_profiles phi);
+    Printf.sprintf "[%.4f, %.4f]" (fl sol.Mg.lower) (fl sol.Mg.upper);
+    Printf.sprintf "[%.4f, %.4f]" (fl lo) (fl hi);
+    Printf.sprintf "%.4f" (fl q_guarantee);
+    Report.verdict (overlap && Rat.( <= ) q_guarantee sol.Mg.upper);
+  ]
+
+let two_commuters () =
+  let graph =
+    Graphs.Graph.make Undirected ~n:2 [ (0, 1, Rat.one); (0, 1, Rat.of_ints 3 2) ]
+  in
+  S4.of_bayesian_ncs
+    (Bncs.make graph
+       ~prior:(Prob.Dist.uniform [ [| (0, 1); (0, 1) |]; [| (0, 1); (0, 0) |] ]))
+
+let guess_the_type () =
+  S4.make [| [| Rat.of_int 1; Rat.of_int 2 |]; [| Rat.of_int 2; Rat.of_int 1 |] |]
+
+let triangle_commuters () =
+  (* Three vertices, two agents with uncertain destinations. *)
+  let graph =
+    Graphs.Graph.make Undirected ~n:3
+      [ (0, 1, Rat.of_int 2); (1, 2, Rat.of_int 2); (0, 2, Rat.of_int 3) ]
+  in
+  S4.of_bayesian_ncs
+    (Bncs.make graph
+       ~prior:
+         (Prob.Dist.uniform
+            [ [| (0, 1); (0, 2) |]; [| (0, 2); (0, 2) |]; [| (0, 1); (0, 1) |] ]))
+
+let run () =
+  print_endline "=== Section 4: public random bits vs the common prior ===";
+  print_endline "";
+  let rows =
+    [
+      row ~name:"guess-the-type" (guess_the_type ());
+      row ~name:"two commuters" (two_commuters ());
+      row ~name:"triangle commuters" (triangle_commuters ());
+    ]
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "phi"; "|S|x|T|"; "R~ bracket"; "R* bracket"; "q guarantee"; "verdict" ]
+       rows);
+  print_endline "";
+  print_endline
+    "Proposition 4.2: the R* and R~ brackets intersect on every phi;";
+  print_endline
+    "Lemma 4.1: the mixture q (public coins only) meets the R~ bound";
+  print_endline "against every prior simultaneously.";
+  print_endline ""

@@ -1,0 +1,170 @@
+(* Command-line explorer for the Bayesian-ignorance reproduction.
+
+   $ bi construction anshelevich -k 5      # measures of a paper game
+   $ bi adversary -l 4 -s 100              # diamond online adversary
+   $ bi sec4 anshelevich -k 3              # public-randomness analysis
+   $ bi plane -p 5                         # affine-plane sanity check *)
+
+open Bayesian_ignorance
+open Num
+module Bncs = Ncs.Bayesian_ncs
+module Measures = Bayes.Measures
+
+let print_measures game =
+  let report = Bncs.measures_exhaustive game in
+  print_endline
+    (Report.table ~header:[ "quantity"; "value" ] (Report.measures_rows report));
+  let ratios = Measures.ratios_of_report report in
+  print_newline ();
+  print_endline
+    (Report.table
+       ~header:[ "ratio"; "value" ]
+       [
+         [ "optP/optC"; Report.ratio_cell ratios.Measures.r_opt ];
+         [ "best-eqP/best-eqC"; Report.ratio_cell ratios.Measures.r_best_eq ];
+         [ "worst-eqP/worst-eqC"; Report.ratio_cell ratios.Measures.r_worst_eq ];
+       ]);
+  print_newline ();
+  Printf.printf "observation 2.2 (optC <= optP <= best-eqP <= worst-eqP): %s\n"
+    (Report.verdict (Measures.observation_2_2_holds report))
+
+let build_construction name k =
+  match name with
+  | "anshelevich" -> Constructions.Anshelevich_game.game k
+  | "gworst-bliss" -> Constructions.Gworst_game.bliss_game k
+  | "gworst-curse" -> Constructions.Gworst_game.curse_game k
+  | "affine" -> Constructions.Affine_game.game k
+  | "diamond" -> snd (Constructions.Diamond_game.game k)
+  | _ ->
+    Printf.eprintf
+      "unknown construction %S (try: anshelevich, gworst-bliss, gworst-curse, affine, diamond)\n"
+      name;
+    exit 2
+
+let construction name k =
+  Printf.printf "construction %s, parameter %d\n\n" name k;
+  (try print_measures (build_construction name k) with
+   | Invalid_argument msg ->
+     Printf.eprintf "error: %s\n" msg;
+     exit 2);
+  0
+
+let adversary levels samples seed =
+  let d = Steiner.Diamond.build levels in
+  let g = Steiner.Diamond.graph d in
+  Printf.printf "diamond level %d: %d vertices, %d edges, OPT = 1 always\n\n"
+    levels
+    (Graphs.Graph.n_vertices g)
+    (Graphs.Graph.n_edges g);
+  let algorithms =
+    [ Steiner.Online.greedy; Steiner.Online.oblivious_shortest_path ]
+  in
+  List.iter
+    (fun alg ->
+      if levels <= 3 then
+        Printf.printf "%-25s E[ALG] = %s (exact)\n" alg.Steiner.Online.name
+          (Rat.to_string (Steiner.Diamond.expected_cost d alg))
+      else begin
+        let rng = Random.State.make [| seed |] in
+        Printf.printf "%-25s E[ALG] ~ %.4f (%d samples)\n" alg.Steiner.Online.name
+          (Steiner.Diamond.mean_cost rng ~samples d alg)
+          samples
+      end)
+    algorithms;
+  0
+
+let sec4 name k iterations =
+  let game = build_construction name k in
+  let phi =
+    try Minimax.Section4.of_bayesian_ncs game with
+    | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  Printf.printf "phi: %d strategy profiles x %d type profiles\n"
+    (Minimax.Section4.n_strategies phi)
+    (Minimax.Section4.n_type_profiles phi);
+  let sol = Minimax.Section4.r_tilde ~iterations phi in
+  Printf.printf "R~(phi) in [%s, %s]\n"
+    (Rat.to_string sol.Minimax.Matrix_game.lower)
+    (Rat.to_string sol.Minimax.Matrix_game.upper);
+  let q = sol.Minimax.Matrix_game.row_strategy in
+  Printf.printf "public-randomness guarantee: %s\n"
+    (Rat.to_string (Minimax.Section4.randomized_guarantee phi q));
+  let lo, hi = Minimax.Section4.r_star_bracket ~iterations:(iterations / 2) phi in
+  Printf.printf "independent R(phi) bracket: [%s, %s]\n" (Rat.to_string lo)
+    (Rat.to_string hi);
+  0
+
+let plane p =
+  match Constructions.Affine_plane.make p with
+  | plane ->
+    Printf.printf "AG(2, %d): %d points, %d lines; axioms: %s\n" p
+      (Constructions.Affine_plane.n_points plane)
+      (Constructions.Affine_plane.n_lines plane)
+      (Report.verdict (Constructions.Affine_plane.check_axioms plane));
+    0
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let k_arg default =
+  Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc:"Size parameter.")
+
+let construction_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Construction: anshelevich, gworst-bliss, gworst-curse, affine (K = prime order), diamond (K = level).")
+  in
+  Cmd.v
+    (Cmd.info "construction" ~doc:"Exact ignorance measures of a paper construction")
+    Term.(const construction $ name_arg $ k_arg 4)
+
+let adversary_cmd =
+  let levels =
+    Arg.(value & opt int 3 & info [ "l"; "levels" ] ~docv:"L" ~doc:"Diamond level.")
+  in
+  let samples =
+    Arg.(value & opt int 100 & info [ "s"; "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Online Steiner tree vs the diamond adversary")
+    Term.(const adversary $ levels $ samples $ seed)
+
+let sec4_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Construction name (as in $(b,construction)).")
+  in
+  let iterations =
+    Arg.(value & opt int 2000 & info [ "iterations" ] ~docv:"N" ~doc:"Fictitious-play rounds.")
+  in
+  Cmd.v
+    (Cmd.info "sec4" ~doc:"Public random bits vs the common prior (Section 4)")
+    Term.(const sec4 $ name_arg $ k_arg 3 $ iterations)
+
+let plane_cmd =
+  let p =
+    Arg.(value & opt int 5 & info [ "p" ] ~docv:"P" ~doc:"Prime order.")
+  in
+  Cmd.v
+    (Cmd.info "plane" ~doc:"Affine-plane incidence sanity check")
+    Term.(const plane $ p)
+
+let () =
+  let doc = "explorer for the Bayesian-ignorance reproduction" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "bi" ~doc)
+          [ construction_cmd; adversary_cmd; sec4_cmd; plane_cmd ]))

@@ -1,0 +1,1 @@
+examples/ignorance_is_bliss.ml: Bayes Bayesian_ignorance Constructions Extended Format List Ncs Num Rat Report

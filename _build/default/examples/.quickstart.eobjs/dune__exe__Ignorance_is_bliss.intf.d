@@ -1,0 +1,1 @@
+examples/ignorance_is_bliss.mli:

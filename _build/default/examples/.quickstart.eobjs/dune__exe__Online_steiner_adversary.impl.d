@@ -1,0 +1,1 @@
+examples/online_steiner_adversary.ml: Bayesian_ignorance Format Graphs List Printf Random Report Steiner

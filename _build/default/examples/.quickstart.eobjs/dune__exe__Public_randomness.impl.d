@@ -1,0 +1,1 @@
+examples/public_randomness.ml: Array Bayesian_ignorance Format Graphs List Minimax Ncs Num Printf Prob Rat String

@@ -1,0 +1,1 @@
+examples/public_randomness.mli:

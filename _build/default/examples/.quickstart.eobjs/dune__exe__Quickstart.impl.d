@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bayes Bayesian_ignorance Format Graphs Ncs Num Prob Rat Report

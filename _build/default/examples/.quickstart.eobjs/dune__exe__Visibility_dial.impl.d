@@ -1,0 +1,1 @@
+examples/visibility_dial.ml: Bayes Bayesian_ignorance Constructions Format Graphs List Ncs Num Prob Report

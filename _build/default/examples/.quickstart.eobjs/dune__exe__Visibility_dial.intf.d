@@ -1,0 +1,1 @@
+examples/visibility_dial.mli:

@@ -1,0 +1,59 @@
+(* The diamond-graph adversary behind Lemma 3.5: online Steiner tree
+   algorithms pay Omega(log n) against a request distribution whose
+   offline optimum is always exactly 1.
+
+   Each level doubles the graph resolution; the adversary reveals one
+   random midpoint per active edge, level by level.  Both the adaptive
+   greedy algorithm and the oblivious shortest-path algorithm (which is
+   what a Bayesian NCS strategy profile amounts to) see their expected
+   cost grow linearly in the level — i.e. logarithmically in the graph
+   size.
+
+   Run with: dune exec examples/online_steiner_adversary.exe *)
+
+open Bayesian_ignorance
+module Diamond = Steiner.Diamond
+module Online = Steiner.Online
+
+let () =
+  Format.printf "Diamond adversary: E[ALG] vs OPT = 1 per level@.@.";
+  let exact_rows =
+    List.map
+      (fun j ->
+        let d = Diamond.build j in
+        let n = Graphs.Graph.n_vertices (Diamond.graph d) in
+        [
+          string_of_int j;
+          string_of_int n;
+          Report.rat_cell (Diamond.expected_cost d Online.greedy);
+          Report.rat_cell (Diamond.expected_cost d Online.oblivious_shortest_path);
+          "exact";
+        ])
+      [ 0; 1; 2; 3 ]
+  in
+  let rng = Random.State.make [| 2024 |] in
+  let sampled_rows =
+    List.map
+      (fun j ->
+        let d = Diamond.build j in
+        let n = Graphs.Graph.n_vertices (Diamond.graph d) in
+        let samples = 40 in
+        [
+          string_of_int j;
+          string_of_int n;
+          Report.float_cell (Diamond.mean_cost rng ~samples d Online.greedy);
+          Report.float_cell
+            (Diamond.mean_cost rng ~samples d Online.oblivious_shortest_path);
+          Printf.sprintf "%d samples" samples;
+        ])
+      [ 4; 5 ]
+  in
+  print_endline
+    (Report.table
+       ~header:[ "level"; "vertices"; "greedy"; "oblivious"; "mode" ]
+       (exact_rows @ sampled_rows));
+  Format.printf
+    "@.E[ALG] grows by a constant per level (log n) while OPT = 1:@.";
+  Format.printf
+    "the reduction of Lemma 3.5 turns this into a Bayesian NCS game@.";
+  Format.printf "with optP/optC = Omega(log n) on undirected graphs.@."

@@ -1,0 +1,66 @@
+(* Public random bits replace the common prior (Section 4, Lemma 4.1).
+
+   Benevolent agents who cannot see the common prior can commit to a
+   randomized strategy profile q (shared random bits) and still match
+   the worst-prior optP/optC ratio R(phi).  This example computes q on
+   the two-commuter game and on a "guess the type" game, and verifies
+   the guarantee prior by prior.
+
+   Run with: dune exec examples/public_randomness.exe *)
+
+open Bayesian_ignorance
+open Num
+module S4 = Minimax.Section4
+module Mg = Minimax.Matrix_game
+
+let show_phi name phi =
+  Format.printf "== %s ==@." name;
+  Format.printf "strategy profiles: %d, type profiles: %d@." (S4.n_strategies phi)
+    (S4.n_type_profiles phi);
+  let sol = S4.r_tilde ~iterations:4000 phi in
+  Format.printf "R~(phi) bracket: [%s, %s]@."
+    (Rat.to_string sol.Mg.lower)
+    (Rat.to_string sol.Mg.upper);
+  let q = sol.Mg.row_strategy in
+  Format.printf "public-randomness mixture q: %s@."
+    (String.concat ", "
+       (List.filter_map
+          (fun (i, w) ->
+            if Rat.is_zero w then None
+            else Some (Printf.sprintf "s%d:%s" i (Rat.to_string w)))
+          (List.mapi (fun i w -> (i, w)) (Array.to_list q))));
+  Format.printf "worst-prior guarantee of q: %s  (<= upper bound: %s)@."
+    (Rat.to_string (S4.randomized_guarantee phi q))
+    (Rat.to_string sol.Mg.upper);
+  let lo, hi = S4.r_star_bracket ~iterations:2000 ~steps:10 phi in
+  Format.printf "independent R(phi) bracket (Prop 4.2 check): [%s, %s]@.@."
+    (Rat.to_string lo) (Rat.to_string hi)
+
+let () =
+  (* Guess-the-type: one agent must match an unseen binary type, paying
+     1 when right and 2 when wrong.  Rows are her two pure strategies,
+     columns the two types; v(t) = 1, so R(phi) = 3/2 via the uniform
+     mixture. *)
+  let guess =
+    S4.make
+      [|
+        [| Rat.of_int 1; Rat.of_int 2 |];
+        [| Rat.of_int 2; Rat.of_int 1 |];
+      |]
+  in
+  show_phi "guess the type" guess;
+  let graph =
+    Graphs.Graph.make Undirected ~n:2
+      [ (0, 1, Rat.one); (0, 1, Rat.of_ints 3 2) ]
+  in
+  let game =
+    Ncs.Bayesian_ncs.make graph
+      ~prior:
+        (Prob.Dist.uniform [ [| (0, 1); (0, 1) |]; [| (0, 1); (0, 0) |] ])
+  in
+  show_phi "two-commuter NCS game" (S4.of_bayesian_ncs game);
+  Format.printf
+    "In both cases a single mixture q achieves the optimal ratio against@.";
+  Format.printf
+    "every prior simultaneously: knowing p is unnecessary for benevolent@.";
+  Format.printf "agents once public coins are available (Lemma 4.1).@."

@@ -1,0 +1,1 @@
+lib/bayes/bayesian.ml: Array Bi_ds Bi_game Bi_num Bi_prob Extended Fun Hashtbl List Option Random Rat Seq

@@ -1,0 +1,1 @@
+lib/bayes/bayesian.mli: Bi_game Bi_num Bi_prob Extended Random Rat Seq

@@ -1,0 +1,1 @@
+lib/bayes/measures.ml: Bayesian Bi_ds Bi_game Bi_num Bi_prob Extended Format List Random Rat

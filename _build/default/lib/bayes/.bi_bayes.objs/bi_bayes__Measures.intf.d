@@ -1,0 +1,1 @@
+lib/bayes/measures.mli: Bayesian Bi_num Extended Format Rat

@@ -1,0 +1,1 @@
+lib/bayes/visibility.ml: Array Bayesian Bi_ds Bi_num Bi_prob Extended Fun List

@@ -1,0 +1,1 @@
+lib/bayes/visibility.mli: Bayesian Bi_num Extended

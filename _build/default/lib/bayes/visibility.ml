@@ -1,0 +1,58 @@
+open Bi_num
+module Dist = Bi_prob.Dist
+
+(* An informed agent's strategy maps support states (indices into the
+   prior's support list) to actions; an uninformed agent's maps her own
+   types to actions, exactly as in {!Bayesian}.  We enumerate both kinds
+   of maps and evaluate the expected social cost directly. *)
+
+let optimum g ~informed =
+  let players = Bayesian.players g in
+  if Array.length informed <> players then
+    invalid_arg "Visibility.optimum: informed array length mismatch";
+  let support = Array.of_list (Dist.support (Bayesian.prior g)) in
+  let n_states = Array.length support in
+  let domain i = if informed.(i) then n_states else Bayesian.n_types g i in
+  let per_player =
+    List.init players (fun i ->
+        List.of_seq
+          (Bi_ds.Combinat.functions ~dom:(domain i)
+             (Array.init (Bayesian.n_actions g i) Fun.id)))
+  in
+  let expected_cost profile =
+    let profile = Array.of_list profile in
+    let cost_at state t =
+      let a =
+        Array.mapi
+          (fun i strategy ->
+            if informed.(i) then strategy.(state) else strategy.(t.(i)))
+          profile
+      in
+      let acc = ref Extended.zero in
+      for i = 0 to players - 1 do
+        acc := Extended.add !acc (Bayesian.underlying_cost g t a i)
+      done;
+      !acc
+    in
+    (* Walk the support with explicit indices so informed strategies can
+       key on the state. *)
+    let total = ref Extended.zero in
+    Array.iteri
+      (fun state t ->
+        let p = Dist.mass (Bayesian.prior g) t in
+        total := Extended.add !total (Extended.mul_rat p (cost_at state t)))
+      support;
+    !total
+  in
+  match
+    Bi_ds.Combinat.argmin expected_cost ~cmp:Extended.compare
+      (Bi_ds.Combinat.product per_player)
+  with
+  | Some (_, c) -> c
+  | None -> assert false
+
+let gap_closure g =
+  let players = Bayesian.players g in
+  List.init (players + 1) (fun m ->
+      let informed = Array.init players (fun i -> i < m) in
+      (m, optimum g ~informed))

@@ -1,0 +1,27 @@
+(** Interpolating between local and global views.
+
+    The paper compares two extremes: every agent sees only her own type
+    ([optP]) or the full realized type profile ([optC]).  This module
+    fills in the middle for benevolent agents: an {e informed} agent's
+    strategy may depend on the whole type profile, an uninformed one's
+    only on her own type.  With no informed agents the optimum equals
+    [optP]; with all agents informed it equals [optC] (the minimization
+    decomposes per state) — both identities are exercised in tests.
+
+    This quantifies how much of the Bayesian-ignorance gap each
+    additional globally-informed agent closes, an ablation the paper's
+    framing suggests but does not run. *)
+
+open Bi_num
+
+val optimum : Bayesian.t -> informed:bool array -> Extended.t
+(** Minimum expected social cost over profiles where agent [i]'s action
+    may depend on the full type profile iff [informed.(i)].  Exhaustive
+    — the search space is exponential in the number of types (uninformed)
+    and support states (informed); intended for small games.
+    @raise Invalid_argument on length mismatch. *)
+
+val gap_closure : Bayesian.t -> (int * Extended.t) list
+(** [(m, opt_m)] for [m = 0 .. k]: the optimum when agents [0..m-1] are
+    informed and the rest are not.  [opt_0 = optP] and [opt_k = optC];
+    the sequence is non-increasing. *)

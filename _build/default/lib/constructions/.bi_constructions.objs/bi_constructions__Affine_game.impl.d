@@ -1,0 +1,1 @@
+lib/constructions/affine_game.ml: Affine_plane Array Bi_ds Bi_graph Bi_ncs Bi_num Bi_prob List Rat Seq

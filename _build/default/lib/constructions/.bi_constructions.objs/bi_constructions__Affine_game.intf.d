@@ -1,0 +1,1 @@
+lib/constructions/affine_game.mli: Affine_plane Bi_graph Bi_ncs Bi_num Rat

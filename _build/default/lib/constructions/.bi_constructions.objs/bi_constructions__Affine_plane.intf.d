@@ -1,0 +1,1 @@
+lib/constructions/affine_plane.mli:

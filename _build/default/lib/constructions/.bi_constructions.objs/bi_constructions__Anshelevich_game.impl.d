@@ -1,0 +1,1 @@
+lib/constructions/anshelevich_game.ml: Array Bi_graph Bi_ncs Bi_num Bi_prob List Rat

@@ -1,0 +1,1 @@
+lib/constructions/anshelevich_game.mli: Bi_graph Bi_ncs Bi_num Rat

@@ -1,0 +1,1 @@
+lib/constructions/diamond_game.ml: Array Bi_ncs Bi_num Bi_prob Bi_steiner List Rat

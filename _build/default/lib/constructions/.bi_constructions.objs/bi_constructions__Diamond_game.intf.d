@@ -1,0 +1,1 @@
+lib/constructions/diamond_game.mli: Bi_ncs Bi_num Bi_steiner Rat

@@ -1,0 +1,1 @@
+lib/constructions/gworst_game.mli: Bi_graph Bi_ncs Bi_num Rat

@@ -1,0 +1,53 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+module Dist = Bi_prob.Dist
+
+let source_vertex = 0
+let line_vertex _plane l = 1 + l
+let point_vertex plane p = 1 + Affine_plane.n_lines plane + p
+
+let graph plane =
+  let n = 1 + Affine_plane.n_lines plane + Affine_plane.n_points plane in
+  let line_edges =
+    List.init (Affine_plane.n_lines plane) (fun l ->
+        (source_vertex, line_vertex plane l, Rat.one))
+  in
+  let incidence_edges =
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun p -> (line_vertex plane l, point_vertex plane p, Rat.zero))
+          (Affine_plane.points_of_line plane l))
+      (Bi_ds.Combinat.range (Affine_plane.n_lines plane))
+  in
+  Graph.make Directed ~n (line_edges @ incidence_edges)
+
+let agents m = m + 1
+
+let game m =
+  if m > 3 then invalid_arg "Affine_game.game: order too large for exact measures";
+  let plane = Affine_plane.make m in
+  let g = graph plane in
+  let type_profiles =
+    (* One per (line, permutation of [m]). *)
+    List.concat_map
+      (fun l ->
+        let pts = Array.of_list (Affine_plane.points_of_line plane l) in
+        List.of_seq
+          (Seq.map
+             (fun perm ->
+               let perm = Array.of_list perm in
+               Array.init (m + 1) (fun i ->
+                   if i < m then (source_vertex, point_vertex plane pts.(perm.(i)))
+                   else (source_vertex, line_vertex plane l)))
+             (Bi_ds.Combinat.permutations (Bi_ds.Combinat.range m))))
+      (Bi_ds.Combinat.range (Affine_plane.n_lines plane))
+  in
+  Bi_ncs.Bayesian_ncs.make g ~prior:(Dist.uniform type_profiles)
+
+let predicted_social_cost m =
+  Rat.add Rat.one (Rat.of_ints (m * m) (m + 1))
+
+let predicted_opt_c = Rat.one
+
+let predicted_ratio m = predicted_social_cost m

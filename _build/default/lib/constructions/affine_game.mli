@@ -1,0 +1,44 @@
+(** The Lemma 3.2 construction: a [k]-agent Bayesian NCS game on a
+    directed [Theta(k^2)]-vertex graph with [optP / worst-eqC = Omega(k)].
+
+    Built from the affine plane of prime order [m] (so [k = m + 1]):
+    a source [u], a vertex [v_l] per line (edge [u -> v_l] of cost 1)
+    and a vertex [w_p] per point (free edges [v_l -> w_p] for [p] on
+    [l]).  Nature draws a line [l] and a permutation [pi] uniformly;
+    agent [i <= m] travels to the [pi(i)]-th point of [l], agent [k]
+    to [v_l].
+
+    The punchline (reproduced exactly by this module): conditioned on
+    her destination point, an agent sees the line as uniform among the
+    [m + 1] lines through it, so {e every} strategy profile has the same
+    social cost [1 + m^2/(m+1) = Theta(k)], while each underlying game
+    has a unique Nash equilibrium of cost 1 (everybody rides the right
+    line). *)
+
+open Bi_num
+
+val graph : Affine_plane.t -> Bi_graph.Graph.t
+(** The directed incidence graph described above. *)
+
+val source_vertex : int
+val line_vertex : Affine_plane.t -> int -> int
+val point_vertex : Affine_plane.t -> int -> int
+
+val game : int -> Bi_ncs.Bayesian_ncs.t
+(** [game m] for prime [m].  The prior support has size
+    [(m^2 + m) * m!]; guarded to [m <= 3] (at [m = 5] that is already
+    3600 type profiles).
+    @raise Invalid_argument on non-prime or too-large [m]. *)
+
+val agents : int -> int
+(** [k = m + 1]. *)
+
+val predicted_social_cost : int -> Rat.t
+(** [1 + m^2/(m+1)] — the social cost of {e every} strategy profile. *)
+
+val predicted_opt_c : Rat.t
+(** 1: every underlying game is optimized (and equilibrated) by routing
+    everyone through the realized line. *)
+
+val predicted_ratio : int -> Rat.t
+(** [predicted_social_cost m / 1 = Theta(k)]. *)

@@ -1,0 +1,76 @@
+type t = {
+  p : int;
+  line_points : int list array; (* line -> points *)
+  point_lines : int list array; (* point -> lines *)
+}
+
+let is_prime n =
+  n >= 2
+  && begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+(* Points are (x, y) in GF(p)^2, encoded as x*p + y.  Lines: for slope
+   a and intercept b, { (x, ax + b) : x }, encoded as a*p + b; vertical
+   lines { (c, y) : y } are encoded as p^2 + c. *)
+let make p =
+  if not (is_prime p) then invalid_arg "Affine_plane.make: order must be prime";
+  let n_lines = (p * p) + p in
+  let line_points = Array.make n_lines [] in
+  for a = 0 to p - 1 do
+    for b = 0 to p - 1 do
+      line_points.((a * p) + b) <-
+        List.init p (fun x -> (x * p) + (((a * x) + b) mod p))
+    done
+  done;
+  for c = 0 to p - 1 do
+    line_points.((p * p) + c) <- List.init p (fun y -> (c * p) + y)
+  done;
+  let point_lines = Array.make (p * p) [] in
+  Array.iteri
+    (fun line pts ->
+      List.iter (fun pt -> point_lines.(pt) <- line :: point_lines.(pt)) pts)
+    line_points;
+  Array.iteri (fun pt lines -> point_lines.(pt) <- List.rev lines) point_lines;
+  { p; line_points; point_lines }
+
+let order t = t.p
+let n_points t = t.p * t.p
+let n_lines t = (t.p * t.p) + t.p
+let points_of_line t l = t.line_points.(l)
+let lines_through t pt = t.point_lines.(pt)
+let on_line t ~point ~line = List.mem point t.line_points.(line)
+
+let common_line t p1 p2 =
+  if p1 = p2 then None
+  else
+    List.find_opt (fun l -> List.mem l t.point_lines.(p2)) t.point_lines.(p1)
+
+let check_axioms t =
+  let p = t.p in
+  let lines_ok =
+    Array.for_all (fun pts -> List.length pts = p) t.line_points
+  in
+  let points_ok =
+    Array.for_all (fun ls -> List.length ls = p + 1) t.point_lines
+  in
+  let unique_joins = ref true in
+  for p1 = 0 to n_points t - 1 do
+    for p2 = p1 + 1 to n_points t - 1 do
+      let shared =
+        List.filter (fun l -> List.mem l t.point_lines.(p2)) t.point_lines.(p1)
+      in
+      if List.length shared <> 1 then unique_joins := false
+    done
+  done;
+  let small_meets = ref true in
+  for l1 = 0 to n_lines t - 1 do
+    for l2 = l1 + 1 to n_lines t - 1 do
+      let shared =
+        List.filter (fun pt -> List.mem pt t.line_points.(l2)) t.line_points.(l1)
+      in
+      if List.length shared > 1 then small_meets := false
+    done
+  done;
+  lines_ok && points_ok && !unique_joins && !small_meets

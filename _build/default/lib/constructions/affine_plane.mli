@@ -1,0 +1,38 @@
+(** Finite affine planes of prime order, the incidence geometry behind
+    the paper's Lemma 3.2.
+
+    [AG(2, p)] has [p^2] points (pairs over [GF(p)]) and [p^2 + p]
+    lines; it satisfies the four properties the lemma uses:
+    every line has [p] points, every point lies on [p + 1] lines, two
+    distinct points share exactly one line, and two distinct lines meet
+    in at most one point.
+
+    Substitution note (see DESIGN.md): the paper allows prime {e powers};
+    we restrict to primes, which suffices for infinitely many orders and
+    avoids general finite-field towers. *)
+
+type t
+
+val make : int -> t
+(** [make p] for a prime [p]. @raise Invalid_argument otherwise. *)
+
+val order : t -> int
+val n_points : t -> int
+(** [p^2]. *)
+
+val n_lines : t -> int
+(** [p^2 + p]. *)
+
+val points_of_line : t -> int -> int list
+(** The [p] points of a line, by index. *)
+
+val lines_through : t -> int -> int list
+(** The [p + 1] lines through a point. *)
+
+val on_line : t -> point:int -> line:int -> bool
+
+val common_line : t -> int -> int -> int option
+(** The unique line through two distinct points; [None] if equal. *)
+
+val check_axioms : t -> bool
+(** Verifies the four incidence properties exhaustively. *)

@@ -1,0 +1,51 @@
+(** The Fig. 1 / Lemma 3.3 construction: "ignorance is bliss".
+
+    The directed graph [G_k] of Anshelevich et al.: common source [x];
+    edge [x -> y_i] of cost [1/i] for [i = 1..k-1]; edge [x -> z] of
+    cost [1 + eps]; free edges [z -> y_i].  Agents [1..k-1]
+    deterministically travel [x -> y_i]; agent [k] travels to [z] with
+    probability 1/2 and stays at [x] otherwise.
+
+    In the Bayesian game the only equilibrium routes everybody through
+    [z] (social cost [1 + eps]), because the 1/2 chance that agent [k]
+    already pays toward [x -> z] seduces agent 1, then agent 2, and so
+    on.  But when agent [k] turns out absent, the underlying game's only
+    equilibrium is the direct edges, of cost [H(k-1)] — so
+    [worst-eqP / best-eqC = O(1 / log k)]: every equilibrium under
+    ignorance beats every equilibrium under global views. *)
+
+open Bi_num
+
+val graph : int -> Rat.t -> Bi_graph.Graph.t
+(** [graph k eps] is [G_k] (vertices: [x = 0], [z = 1], [y_i = 1 + i]). *)
+
+val default_eps : int -> Rat.t
+(** [1 / (2k^2)] — comfortably inside every strict-preference window
+    used in the lemma's induction. *)
+
+val game : ?eps:Rat.t -> int -> Bi_ncs.Bayesian_ncs.t
+(** [game k] for [k >= 2]. @raise Invalid_argument otherwise. *)
+
+val predicted_worst_eq_p : ?eps:Rat.t -> int -> Rat.t
+(** [1 + eps]: the unique Bayesian equilibrium's social cost. *)
+
+val predicted_best_eq_c_lower : int -> Rat.t
+(** [H(k-1) / 2]: the lower bound the lemma states, contributed by the
+    agent-[k]-absent underlying game alone. *)
+
+val predicted_best_eq_c : ?eps:Rat.t -> int -> Rat.t
+(** The exact value [1/2 H(k-1) + 1/2 (1 + eps)]: when agent [k] is
+    absent the unique equilibrium is the direct edges ([H(k-1)]); when
+    she is present the best equilibrium routes everyone through [z]
+    ([1 + eps]).  Lets benches sweep far beyond exhaustive range. *)
+
+val predicted_ratio : ?eps:Rat.t -> int -> Rat.t
+(** [predicted_worst_eq_p / predicted_best_eq_c = O(1/log k)]. *)
+
+val harmonic_float : int -> float
+(** Float harmonic number, for large-[k] sweeps where exact rationals
+    (hundreds of digits past [k ~ 100]) would dominate the runtime. *)
+
+val predicted_worst_eq_p_float : int -> float
+val predicted_best_eq_c_float : int -> float
+val predicted_ratio_float : int -> float

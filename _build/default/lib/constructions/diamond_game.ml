@@ -1,0 +1,29 @@
+open Bi_num
+module Dist = Bi_prob.Dist
+module Diamond = Bi_steiner.Diamond
+module Online = Bi_steiner.Online
+
+let agents levels = 1 lsl levels
+
+let game levels =
+  if levels < 0 || levels > 2 then
+    invalid_arg "Diamond_game.game: levels must be within [0, 2]";
+  let d = Diamond.build levels in
+  let root = Diamond.root d in
+  let k = agents levels in
+  let prior =
+    Dist.map
+      (fun sigma ->
+        let arr = Array.make k (root, root) in
+        List.iteri (fun i v -> if i < k then arr.(i) <- (v, root)) sigma;
+        arr)
+      (Diamond.request_distribution d)
+  in
+  (d, Bi_ncs.Bayesian_ncs.make (Diamond.graph d) ~prior)
+
+let predicted_opt_c = Rat.one
+
+let expected_alg_cost d alg = Diamond.expected_cost d alg
+
+let oblivious_profile_cost d = expected_alg_cost d Online.oblivious_shortest_path
+let greedy_cost d = expected_alg_cost d Online.greedy

@@ -1,0 +1,41 @@
+(** The Lemma 3.5 reduction: from the online-Steiner-tree adversary on
+    the diamond graph to a Bayesian NCS game with
+    [optP / optC = Omega(log n)] on undirected graphs.
+
+    Agents are request positions of the {!Bi_steiner.Diamond} adversary;
+    agent [i]'s type is (her request vertex, the root).  A strategy
+    profile is exactly an {e oblivious} online Steiner algorithm — each
+    purchase depends only on the agent's own terminal — so
+    [K(s) = E[ALG_s(sigma)]] while [optC = E[OPT(sigma)] = 1].  The
+    lemma's lower bound on online algorithms therefore lower-bounds
+    [optP].
+
+    Exact game construction is kept to small levels (the strategy space
+    explodes); the full logarithmic growth is demonstrated directly on
+    the adversary by the bench (greedy and oblivious algorithms over a
+    level sweep). *)
+
+open Bi_num
+
+val game : int -> Bi_steiner.Diamond.t * Bi_ncs.Bayesian_ncs.t
+(** [game levels] for [0 <= levels <= 2] (the level-3 game already has
+    an astronomically large strategy space).
+    @raise Invalid_argument outside the guard. *)
+
+val agents : int -> int
+(** [2^levels] agents. *)
+
+val predicted_opt_c : Rat.t
+(** Exactly 1: every request sequence lies on a pole-to-pole path of
+    cost 1. *)
+
+val oblivious_profile_cost : Bi_steiner.Diamond.t -> Rat.t
+(** [E[ALG(sigma)]] of the oblivious shortest-path algorithm — the
+    social cost of the corresponding strategy profile, computed on the
+    adversary directly (no game lowering needed), usable at any level
+    [<= 3]. *)
+
+val greedy_cost : Bi_steiner.Diamond.t -> Rat.t
+(** [E[ALG(sigma)]] of greedy — a lower-bound {e witness} for how well
+    adaptive online algorithms do; strategy profiles cannot beat the
+    online lower bound either. *)

@@ -1,0 +1,59 @@
+(** The Fig. 2 / Lemmas 3.6–3.7 constructions on the three-vertex graph
+    [G_worst]: edge [u-v] of cost [k+1], edge [v-w] of cost 1, and edge
+    [u-w] of cost [1 + eps].  Agents [1..k] travel [u -> w]; agent
+    [k+1] travels [u -> v] with some probability and stays at [u]
+    otherwise.
+
+    Two parameter windows give the two extreme existential bounds of
+    Table 1's worst-equilibrium row on O(1)-vertex graphs:
+
+    - {b bliss} (presence probability 1/2, [1/k < eps < 3/(2k)]):
+      the unique Bayesian equilibrium keeps everyone on the direct
+      [u-w] edge ([K = 1 + eps + 1/2]), while the underlying game with
+      agent [k+1] present has a Nash equilibrium where agents pile on
+      the expensive [u-v-w] route ([K_t = k+2]); so
+      [worst-eqP / worst-eqC = O(1/k)].
+
+    - {b curse} (presence probability 1/k, [2/k - 1/k^2 < eps < 2/k]):
+      piling on [u-v-w] {e is} a Bayesian equilibrium ([K = k+2]),
+      while the (probability [1-1/k]) absent underlying game's unique
+      equilibrium is the direct edge ([K_t = 1 + eps]); so
+      [worst-eqP / worst-eqC = Omega(k)].
+
+    (In the paper's numbering, Lemma 3.6 exhibits the [Omega(k)] bound
+    and Lemma 3.7 the [O(1/k)] bound; the proof of 3.6 computes the
+    bliss-window quantities and the proof of 3.7 the curse-window ones,
+    i.e. the lemma statements pair with each other's proofs.  We expose
+    both windows under behavior-describing names and verify the computed
+    quantities, which is what Table 1 needs.) *)
+
+open Bi_num
+
+val graph : ?directed:bool -> int -> Rat.t -> Bi_graph.Graph.t
+(** [graph k eps]; vertices [u = 0], [v = 1], [w = 2].  With
+    [~directed:true], the paper's "trivial modification" for the
+    directed rows of Table 1: routes are oriented [u->v->w], [u->w],
+    [w->v]. *)
+
+val bliss_eps : int -> Rat.t
+(** [5/(4k)], inside [(1/k, 3/(2k))]. *)
+
+val curse_eps : int -> Rat.t
+(** [2/k - 1/(2k^2)], inside [(2/k - 1/k^2, 2/k)]. *)
+
+val bliss_game : ?directed:bool -> int -> Bi_ncs.Bayesian_ncs.t
+(** [bliss_game k] has [k + 1] agents. @raise Invalid_argument for [k < 2]. *)
+
+val curse_game : ?directed:bool -> int -> Bi_ncs.Bayesian_ncs.t
+
+val predicted_bliss_worst_eq_p : int -> Rat.t
+(** [1 + eps + 1/2]. *)
+
+val predicted_bliss_worst_eq_c_lower : int -> Rat.t
+(** [(k+2)/2]. *)
+
+val predicted_curse_worst_eq_p : int -> Rat.t
+(** [k + 2]. *)
+
+val predicted_curse_worst_eq_c_upper : int -> Rat.t
+(** [(1 - 1/k)(1 + eps) + (k + 3 + eps)/k = O(1)]. *)

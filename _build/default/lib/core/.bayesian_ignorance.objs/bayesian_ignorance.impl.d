@@ -1,0 +1,1 @@
+lib/core/bayesian_ignorance.ml: Bi_bayes Bi_constructions Bi_ds Bi_embed Bi_game Bi_graph Bi_minimax Bi_ncs Bi_num Bi_prob Bi_steiner Report

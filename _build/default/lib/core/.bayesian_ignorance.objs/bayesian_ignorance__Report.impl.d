@@ -1,0 +1,1 @@
+lib/core/report.ml: Bi_bayes Bi_num Extended Format List Printf Rat Stdlib String

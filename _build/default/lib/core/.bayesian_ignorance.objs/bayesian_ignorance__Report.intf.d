@@ -1,0 +1,1 @@
+lib/core/report.mli: Bi_bayes Bi_num Extended Format Rat

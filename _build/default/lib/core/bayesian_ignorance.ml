@@ -1,0 +1,33 @@
+(** Public facade of the Bayesian-ignorance reproduction.
+
+    The library quantifies the effect of agents' local views in Bayesian
+    games (Alon, Emek, Feldman, Tennenholtz: "Bayesian ignorance",
+    PODC 2010 / TCS 2012) by comparing partial-information social costs
+    ([optP], [best-eqP], [worst-eqP]) against prior-averaged
+    complete-information ones ([optC], [best-eqC], [worst-eqC]).
+
+    Sub-libraries, re-exported here under stable names:
+    - {!Num}: exact bigints / rationals / extended rationals.
+    - {!Prob}: exact finite distributions (common priors).
+    - {!Graphs}: rational-weighted graphs, shortest paths, Steiner DP.
+    - {!Games}: strategic-form and congestion games.
+    - {!Bayes}: Bayesian games and the six ignorance measures.
+    - {!Ncs}: network cost-sharing games, complete-information and
+      Bayesian.
+    - {!Steiner}: online Steiner tree and the diamond adversary.
+    - {!Embed}: FRT tree embeddings (Lemma 3.4 machinery).
+    - {!Minimax}: matrix games and Section 4 (public random bits).
+    - {!Constructions}: the paper's lower-bound game families. *)
+
+module Num = Bi_num
+module Ds = Bi_ds
+module Prob = Bi_prob
+module Graphs = Bi_graph
+module Games = Bi_game
+module Bayes = Bi_bayes
+module Ncs = Bi_ncs
+module Steiner = Bi_steiner
+module Embed = Bi_embed
+module Minimax = Bi_minimax
+module Constructions = Bi_constructions
+module Report = Report

@@ -1,0 +1,25 @@
+(** Human-readable reporting of ignorance measures and bench rows. *)
+
+open Bi_num
+
+val pp_cell : Format.formatter -> Extended.t -> unit
+(** Exact value followed by a float approximation, e.g. ["7/3 (~2.333)"]. *)
+
+val pp_cell_opt : Format.formatter -> Extended.t option -> unit
+
+val pp_ratio : Format.formatter -> Rat.t option -> unit
+
+val table : header:string list -> string list list -> string
+(** Renders an aligned plain-text table. *)
+
+val measures_rows : Bi_bayes.Measures.report -> string list list
+(** Six labelled rows (quantity, exact, float) for a measures report. *)
+
+val verdict : bool -> string
+(** ["PASS"] / ["FAIL"]. *)
+
+val float_cell : float -> string
+val rat_cell : Rat.t -> string
+val ext_cell : Extended.t -> string
+val ext_opt_cell : Extended.t option -> string
+val ratio_cell : Rat.t option -> string

@@ -1,0 +1,1 @@
+lib/ds/combinat.ml: Array Fun List Seq

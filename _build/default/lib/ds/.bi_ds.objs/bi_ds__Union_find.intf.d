@@ -1,0 +1,1 @@
+lib/ds/union_find.mli:

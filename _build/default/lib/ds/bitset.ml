@@ -1,0 +1,79 @@
+(* Immutable bitset over int words; functional updates copy the word
+   array, which is cheap at the universe sizes used here (graph vertex
+   counts of at most a few thousand). *)
+
+let word_bits = 62
+
+type t = { capacity : int; words : int array }
+
+let nwords capacity = (capacity + word_bits - 1) / word_bits
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (nwords capacity) 0 }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: element out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let set_bit t i value =
+  check t i;
+  let words = Array.copy t.words in
+  let w = i / word_bits and b = i mod word_bits in
+  words.(w) <- (if value then words.(w) lor (1 lsl b) else words.(w) land lnot (1 lsl b));
+  { t with words }
+
+let add t i = set_bit t i true
+let remove t i = set_bit t i false
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let zip op a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch";
+  { a with words = Array.mapi (fun i w -> op w b.words.(i)) a.words }
+
+let union = zip ( lor )
+let inter = zip ( land )
+let diff = zip (fun x y -> x land lnot y)
+
+let subset a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let elements t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list capacity xs = List.fold_left add (create capacity) xs
+
+let iter f t = List.iter f (elements t)
+let fold f t init = List.fold_left (fun acc i -> f i acc) init (elements t)
+
+let to_index t =
+  if t.capacity > word_bits then invalid_arg "Bitset.to_index: capacity too large";
+  if Array.length t.words = 0 then 0 else t.words.(0)
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,32 @@
+(** Fixed-capacity bitsets, used to index vertex subsets in the
+    Dreyfus–Wagner Steiner-tree dynamic program and in path-enumeration
+    visited masks. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> t
+(** Functional update. *)
+
+val remove : t -> int -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val elements : t -> int list
+val of_list : int -> int list -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_index : t -> int
+(** Bit-packed integer encoding; only valid when capacity <= 62.
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+let size h = h.size
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    let cap = Stdlib.max 8 (2 * h.size) in
+    let data = Array.make cap x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek_min h = if h.size = 0 then None else Some h.data.(0)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_min_exn h =
+  match pop_min h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_min_exn: empty heap"
+
+let of_list ~cmp xs =
+  let h = create ~cmp in
+  List.iter (push h) xs;
+  h
+
+let to_sorted_list h =
+  let rec go acc = match pop_min h with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

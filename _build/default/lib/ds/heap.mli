@@ -1,0 +1,25 @@
+(** Imperative binary min-heap with a caller-supplied priority order.
+
+    Used as the frontier of Dijkstra's algorithm; duplicate insertions of
+    the same element with improved priorities are the intended usage
+    (lazy deletion), so [pop_min] may return stale entries that callers
+    filter out. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val peek_min : 'a t -> 'a option
+val pop_min : 'a t -> 'a option
+
+val pop_min_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap; the heap is empty afterwards. *)

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each in its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; [false] when already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets. *)
+
+val size_of : t -> int -> int
+(** Size of the set containing the element. *)

@@ -1,0 +1,1 @@
+lib/embed/frt.ml: Array Bi_graph Bi_num Extended Fun List Random Rat Stdlib

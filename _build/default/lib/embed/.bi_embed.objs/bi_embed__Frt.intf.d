@@ -1,0 +1,1 @@
+lib/embed/frt.mli: Bi_graph Bi_num Random Rat

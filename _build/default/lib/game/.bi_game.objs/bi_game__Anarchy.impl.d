@@ -1,0 +1,1 @@
+lib/game/anarchy.ml: Bi_ds Bi_num Extended Rat Strategic

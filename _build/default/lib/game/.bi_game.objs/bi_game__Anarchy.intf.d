@@ -1,0 +1,1 @@
+lib/game/anarchy.mli: Bi_num Rat Strategic

@@ -1,0 +1,1 @@
+lib/game/congestion.ml: Array Bi_num Extended List Rat Stdlib Strategic

@@ -1,0 +1,1 @@
+lib/game/congestion.mli: Bi_num Rat Strategic

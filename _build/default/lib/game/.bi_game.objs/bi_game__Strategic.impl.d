@@ -1,0 +1,1 @@
+lib/game/strategic.ml: Array Bi_ds Bi_num Extended Fun Hashtbl Option Rat Seq

@@ -1,0 +1,1 @@
+lib/game/strategic.mli: Bi_num Extended Rat Seq

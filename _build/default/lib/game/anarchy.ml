@@ -1,0 +1,31 @@
+open Bi_num
+
+let finite_ratio num den =
+  match num, den with
+  | Extended.Fin n, Extended.Fin d ->
+    if Rat.is_zero d then None else Some (Rat.div n d)
+  | Extended.Inf, _ | _, Extended.Inf -> None
+
+let price_of_anarchy g =
+  match Strategic.worst_equilibrium g with
+  | None -> None
+  | Some (worst, _) -> finite_ratio worst (fst (Strategic.optimum g))
+
+let price_of_stability g =
+  match Strategic.best_equilibrium g with
+  | None -> None
+  | Some (best, _) -> finite_ratio best (fst (Strategic.optimum g))
+
+let potential_minimizer g ~potential =
+  match
+    Bi_ds.Combinat.argmin potential ~cmp:Rat.compare (Strategic.profiles g)
+  with
+  | Some (a, _) -> a
+  | None -> assert false (* profile space is never empty *)
+
+let potential_method_pos_bound g ~potential ~bound =
+  let minimizer = potential_minimizer g ~potential in
+  let opt, _ = Strategic.optimum g in
+  match Strategic.social_cost g minimizer, opt with
+  | Extended.Fin c, Extended.Fin o -> Rat.( <= ) c (Rat.mul bound o)
+  | Extended.Inf, _ | _, Extended.Inf -> false

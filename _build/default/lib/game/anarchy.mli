@@ -1,0 +1,29 @@
+(** Price of anarchy and price of stability (Koutsoupias–Papadimitriou;
+    Anshelevich et al.) — the complete-information "price of ..."
+    measures the paper contrasts with its Bayesian-ignorance ratios.
+
+    For a cost game with optimum [opt] and pure equilibria:
+    - price of anarchy  [PoA = worst equilibrium / opt];
+    - price of stability [PoS = best equilibrium / opt].
+
+    Both are [None] when the game has no pure equilibrium, or when the
+    optimum is zero or infinite (the ratio is then undefined). *)
+
+open Bi_num
+
+val price_of_anarchy : Strategic.t -> Rat.t option
+val price_of_stability : Strategic.t -> Rat.t option
+
+val potential_minimizer : Strategic.t -> potential:(int array -> Rat.t) -> int array
+(** The profile minimizing an exact potential — always a pure Nash
+    equilibrium (Monderer–Shapley), which is how the paper's Lemma 3.8
+    finds its cheap Bayesian equilibrium. *)
+
+val potential_method_pos_bound : Strategic.t -> potential:(int array -> Rat.t) -> bound:Rat.t -> bool
+(** [potential_method_pos_bound g ~potential ~bound] replays the
+    Anshelevich et al. argument: the potential minimizer is an
+    equilibrium whose social cost is at most [bound * opt] whenever
+    [K(a) <= potential(a) <= bound * K(a)] for all profiles [a].  The
+    function checks the conclusion directly:
+    [social_cost (potential_minimizer) <= bound * opt].  For NCS games
+    with the Rosenthal potential, [bound = H(k)]. *)

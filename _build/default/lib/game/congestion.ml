@@ -1,0 +1,58 @@
+open Bi_num
+
+type t = {
+  n_resources : int;
+  usage_cost : int -> int -> Rat.t;
+  action_sets : int list array array;
+}
+
+let make ~n_resources ~usage_cost ~action_sets =
+  Array.iter
+    (fun actions ->
+      if Array.length actions = 0 then invalid_arg "Congestion.make: empty action set";
+      Array.iter
+        (List.iter (fun r ->
+             if r < 0 || r >= n_resources then
+               invalid_arg "Congestion.make: resource id out of range"))
+        actions)
+    action_sets;
+  { n_resources; usage_cost; action_sets }
+
+let players g = Array.length g.action_sets
+
+let loads g profile =
+  let load = Array.make g.n_resources 0 in
+  Array.iteri
+    (fun i ai ->
+      List.iter
+        (fun r -> load.(r) <- load.(r) + 1)
+        (List.sort_uniq Stdlib.compare g.action_sets.(i).(ai)))
+    profile;
+  load
+
+let player_cost g profile i =
+  let load = loads g profile in
+  Rat.sum
+    (List.map
+       (fun r -> g.usage_cost r load.(r))
+       (List.sort_uniq Stdlib.compare g.action_sets.(i).(profile.(i))))
+
+let rosenthal_potential g profile =
+  let load = loads g profile in
+  let per_resource r =
+    let rec go acc j =
+      if j > load.(r) then acc else go (Rat.add acc (g.usage_cost r j)) (j + 1)
+    in
+    go Rat.zero 1
+  in
+  let acc = ref Rat.zero in
+  for r = 0 to g.n_resources - 1 do
+    acc := Rat.add !acc (per_resource r)
+  done;
+  !acc
+
+let to_strategic g =
+  Strategic.make
+    ~players:(players g)
+    ~actions:(Array.map Array.length g.action_sets)
+    ~cost:(fun profile i -> Extended.of_rat (player_cost g profile i))

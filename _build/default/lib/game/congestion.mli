@@ -1,0 +1,36 @@
+(** Congestion games (Rosenthal 1973).
+
+    Each player's action is a set of resources; the per-player cost of a
+    resource depends only on how many players use it.  Every congestion
+    game admits the Rosenthal exact potential and hence a pure Nash
+    equilibrium — the fact the paper leans on for NCS games (Section 2).
+
+    NCS games instantiate this with resources = edges and
+    [usage_cost e load = c(e) / load] (fair cost sharing). *)
+
+open Bi_num
+
+type t
+
+val make :
+  n_resources:int ->
+  usage_cost:(int -> int -> Rat.t) ->
+  action_sets:int list array array ->
+  t
+(** [make ~n_resources ~usage_cost ~action_sets]:
+    [usage_cost r load] is what each of the [load >= 1] users of resource
+    [r] pays; [action_sets.(i)] lists player [i]'s actions, each a list
+    of resource indices.
+    @raise Invalid_argument on empty action sets or bad resource ids. *)
+
+val players : t -> int
+val loads : t -> int array -> int array
+(** [loads g profile] is the usage count of each resource, where
+    [profile.(i)] indexes into player [i]'s action set. *)
+
+val player_cost : t -> int array -> int -> Rat.t
+val rosenthal_potential : t -> int array -> Rat.t
+(** [sum_r sum_{j=1..load(r)} usage_cost r j]; an exact potential. *)
+
+val to_strategic : t -> Strategic.t
+(** The induced strategic-form game (always finite costs). *)

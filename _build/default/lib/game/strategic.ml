@@ -1,0 +1,128 @@
+open Bi_num
+
+type t = {
+  players : int;
+  actions : int array;
+  cost : int array -> int -> Extended.t;
+  memo : (int list, Extended.t array) Hashtbl.t;
+}
+
+let make ~players ~actions ~cost =
+  if players <= 0 then invalid_arg "Strategic.make: need at least one player";
+  if Array.length actions <> players then
+    invalid_arg "Strategic.make: actions array length mismatch";
+  Array.iter
+    (fun n -> if n <= 0 then invalid_arg "Strategic.make: empty action space")
+    actions;
+  { players; actions; cost; memo = Hashtbl.create 256 }
+
+let players g = g.players
+let n_actions g i = g.actions.(i)
+
+let all_costs g a =
+  let key = Array.to_list a in
+  match Hashtbl.find_opt g.memo key with
+  | Some cs -> cs
+  | None ->
+    let cs = Array.init g.players (g.cost a) in
+    Hashtbl.add g.memo key cs;
+    cs
+
+let cost g a i = (all_costs g a).(i)
+
+let social_cost g a = Extended.sum (Array.to_list (all_costs g a))
+
+let profiles g =
+  Bi_ds.Combinat.product_arrays
+    (Array.map (fun n -> Array.init n Fun.id) g.actions)
+
+let best_deviation g a i =
+  let current = cost g a i in
+  let best = ref None in
+  for ai' = 0 to g.actions.(i) - 1 do
+    if ai' <> a.(i) then begin
+      let a' = Array.copy a in
+      a'.(i) <- ai';
+      let c' = cost g a' i in
+      let improves =
+        match !best with
+        | None -> Extended.( < ) c' current
+        | Some (_, cb) -> Extended.( < ) c' cb
+      in
+      if improves then best := Some (ai', c')
+    end
+  done;
+  !best
+
+let is_nash g a =
+  let rec go i =
+    if i >= g.players then true
+    else match best_deviation g a i with Some _ -> false | None -> go (i + 1)
+  in
+  go 0
+
+let nash_equilibria g = Seq.filter (is_nash g) (profiles g)
+
+let optimum g =
+  match
+    Bi_ds.Combinat.argmin (social_cost g) ~cmp:Extended.compare (profiles g)
+  with
+  | Some (a, c) -> (c, a)
+  | None -> assert false (* profile space is never empty *)
+
+let best_equilibrium g =
+  Option.map
+    (fun (a, c) -> (c, a))
+    (Bi_ds.Combinat.argmin (social_cost g) ~cmp:Extended.compare (nash_equilibria g))
+
+let worst_equilibrium g =
+  Option.map
+    (fun (a, c) -> (c, a))
+    (Bi_ds.Combinat.argmax (social_cost g) ~cmp:Extended.compare (nash_equilibria g))
+
+let best_response_dynamics ?(max_steps = 10_000) g start =
+  if Array.length start <> g.players then
+    invalid_arg "Strategic.best_response_dynamics: profile length mismatch";
+  let a = Array.copy start in
+  let rec go steps =
+    if steps > max_steps then None
+    else begin
+      let moved = ref false in
+      for i = 0 to g.players - 1 do
+        if not !moved then
+          match best_deviation g a i with
+          | Some (ai', _) ->
+            a.(i) <- ai';
+            moved := true
+          | None -> ()
+      done;
+      if !moved then go (steps + 1) else Some (Array.copy a)
+    end
+  in
+  go 0
+
+let is_exact_potential g q =
+  let check_profile a =
+    let rec check_player i =
+      if i >= g.players then true
+      else begin
+        let rec check_action ai' =
+          if ai' >= g.actions.(i) then true
+          else begin
+            let a' = Array.copy a in
+            a'.(i) <- ai';
+            let ok =
+              match cost g a i, cost g a' i with
+              | Extended.Fin c, Extended.Fin c' ->
+                Rat.equal (Rat.sub c c') (Rat.sub (q a) (q a'))
+              | Extended.Inf, _ | _, Extended.Inf -> true
+            in
+            ok && check_action (ai' + 1)
+          end
+        in
+        check_action 0 && check_player (i + 1)
+      end
+    in
+    check_player 0
+  in
+  Seq.fold_left (fun acc a -> acc && check_profile a) true (profiles g)

@@ -1,0 +1,65 @@
+(** Finite strategic-form cost games.
+
+    Players are [0 .. k-1]; player [i] has actions [0 .. n_i - 1];
+    profiles are int arrays of length [k].  Costs live in the extended
+    rationals so that the NCS convention (infinite cost for a
+    disconnecting purchase) is expressible.  Agents minimize cost.
+
+    These are the paper's {e underlying games} [G_t] (Section 2): every
+    type profile of a Bayesian game induces one, and the
+    complete-information quantities [optC], [best-eqC], [worst-eqC] are
+    computed here. *)
+
+open Bi_num
+
+type t
+
+val make :
+  players:int -> actions:int array -> cost:(int array -> int -> Extended.t) -> t
+(** [make ~players ~actions ~cost]: [actions.(i)] is player [i]'s action
+    count and [cost profile i] her cost.  The cost function is memoized;
+    it must be pure.
+    @raise Invalid_argument on nonpositive player or action counts. *)
+
+val players : t -> int
+val n_actions : t -> int -> int
+val cost : t -> int array -> int -> Extended.t
+val social_cost : t -> int array -> Extended.t
+(** Sum of all players' costs (the paper's [K_t]). *)
+
+val profiles : t -> int array Seq.t
+(** All action profiles, lexicographically.  Emitted arrays are fresh. *)
+
+val best_deviation : t -> int array -> int -> (int * Extended.t) option
+(** [best_deviation g a i] is [Some (a_i', c')] for a strictly improving
+    unilateral deviation of player [i] minimizing her cost, [None] when
+    [a_i] is already a best response. *)
+
+val is_nash : t -> int array -> bool
+
+val nash_equilibria : t -> int array Seq.t
+(** All pure Nash equilibria, by exhaustive search. *)
+
+val optimum : t -> Extended.t * int array
+(** Profile minimizing social cost. *)
+
+val best_equilibrium : t -> (Extended.t * int array) option
+(** Cheapest pure Nash equilibrium; [None] when no pure equilibrium
+    exists. *)
+
+val worst_equilibrium : t -> (Extended.t * int array) option
+
+val best_response_dynamics :
+  ?max_steps:int -> t -> int array -> int array option
+(** Iterated best responses from the given profile (players scanned
+    round-robin, each moving to a strictly better best response).
+    Terminates at a Nash equilibrium, or [None] after [max_steps]
+    improvement moves (default [10_000]) — which for potential games
+    cannot happen before exhausting the profile space. *)
+
+val is_exact_potential : t -> (int array -> Rat.t) -> bool
+(** Whether the function satisfies Monderer–Shapley's exact potential
+    identity for every profile and unilateral deviation with finite
+    costs (deviations with infinite cost on either side are skipped,
+    matching the NCS setting where potentials are defined on connecting
+    profiles). *)

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Bi_num Graph List Random Rat

@@ -1,0 +1,1 @@
+lib/graph/gen.mli: Bi_num Graph Random Rat

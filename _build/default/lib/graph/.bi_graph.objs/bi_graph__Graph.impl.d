@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bi_ds Bi_num Extended Format Hashtbl List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Bi_num Graph List

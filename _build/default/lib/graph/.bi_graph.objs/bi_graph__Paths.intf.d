@@ -1,0 +1,1 @@
+lib/graph/paths.mli: Bi_num Graph

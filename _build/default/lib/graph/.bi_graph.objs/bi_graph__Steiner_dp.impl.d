@@ -1,0 +1,1 @@
+lib/graph/steiner_dp.ml: Array Bi_num Extended Graph List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/graph/steiner_dp.mli: Bi_num Graph

@@ -1,0 +1,71 @@
+open Bi_num
+
+let path_graph kind n c =
+  Graph.make kind ~n (List.init (n - 1) (fun i -> (i, i + 1, c)))
+
+let cycle_graph kind n c =
+  Graph.make kind ~n (List.init n (fun i -> (i, (i + 1) mod n, c)))
+
+let complete_graph n c =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j, c) :: !edges
+    done
+  done;
+  Graph.make Undirected ~n !edges
+
+let grid_graph rows cols c =
+  let idx r col = (r * cols) + col in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for col = 0 to cols - 1 do
+      if col + 1 < cols then edges := (idx r col, idx r (col + 1), c) :: !edges;
+      if r + 1 < rows then edges := (idx r col, idx (r + 1) col, c) :: !edges
+    done
+  done;
+  Graph.make Undirected ~n:(rows * cols) !edges
+
+let random_cost rng max_cost = Rat.of_int (1 + Random.State.int rng max_cost)
+
+let random_graph rng ~kind ~n ~p ~max_cost =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let candidate = if kind = Graph.Directed then i <> j else i < j in
+      if candidate && Random.State.float rng 1.0 < p then
+        edges := (i, j, random_cost rng max_cost) :: !edges
+    done
+  done;
+  Graph.make kind ~n !edges
+
+let random_connected_graph rng ~n ~p ~max_cost =
+  let base = random_graph rng ~kind:Graph.Undirected ~n ~p ~max_cost in
+  let extra = ref [] in
+  (* Random spanning tree: attach each vertex to a random earlier one. *)
+  for v = 1 to n - 1 do
+    extra := (Random.State.int rng v, v, random_cost rng max_cost) :: !extra
+  done;
+  let existing =
+    List.map (fun e -> (e.Graph.src, e.Graph.dst, e.Graph.cost)) (Graph.edges base)
+  in
+  Graph.make Undirected ~n (existing @ !extra)
+
+let diamond_graph levels =
+  if levels < 0 then invalid_arg "Gen.diamond_graph: negative level";
+  (* Edges as (u, v, cost); vertices are allocated as we subdivide. *)
+  let n = ref 2 in
+  let fresh () = let v = !n in incr n; v in
+  let rec refine j edges =
+    if j = 0 then edges
+    else begin
+      let subdivide (u, v, c) =
+        let c2 = Rat.div_int c 2 in
+        let m1 = fresh () and m2 = fresh () in
+        [ (u, m1, c2); (m1, v, c2); (u, m2, c2); (m2, v, c2) ]
+      in
+      refine (j - 1) (List.concat_map subdivide edges)
+    end
+  in
+  let edges = refine levels [ (0, 1, Rat.one) ] in
+  (Graph.make Undirected ~n:!n edges, 0, 1)

@@ -1,0 +1,32 @@
+(** Graph generators for tests, benchmarks and the paper's constructions. *)
+
+open Bi_num
+
+val path_graph : Graph.kind -> int -> Rat.t -> Graph.t
+(** [path_graph kind n c]: vertices [0..n-1], edges [i -> i+1] of cost [c]. *)
+
+val cycle_graph : Graph.kind -> int -> Rat.t -> Graph.t
+
+val complete_graph : int -> Rat.t -> Graph.t
+(** Undirected complete graph with uniform edge cost. *)
+
+val grid_graph : int -> int -> Rat.t -> Graph.t
+(** Undirected [rows x cols] grid with uniform edge cost. *)
+
+val random_graph :
+  Random.State.t -> kind:Graph.kind -> n:int -> p:float -> max_cost:int -> Graph.t
+(** Erdos–Renyi [G(n, p)] with integer costs drawn uniformly from
+    [1..max_cost].  Self-loops are never generated. *)
+
+val random_connected_graph :
+  Random.State.t -> n:int -> p:float -> max_cost:int -> Graph.t
+(** Undirected random graph augmented with a random spanning tree, so it
+    is always connected. *)
+
+val diamond_graph : int -> Graph.t * int * int
+(** [diamond_graph j] is the [j]-level diamond graph of Imase and Waxman
+    together with its two poles [(g, s, t)].  Level 0 is a single unit
+    edge; level [j+1] replaces every edge of cost [c] by two parallel
+    length-2 paths whose edges cost [c/2].  Every level has pole distance
+    exactly 1, while online Steiner algorithms can be forced to pay
+    [Omega(j)] — the engine of the paper's Lemma 3.5. *)

@@ -1,0 +1,223 @@
+open Bi_num
+
+type kind =
+  | Directed
+  | Undirected
+
+type edge = {
+  id : int;
+  src : int;
+  dst : int;
+  cost : Rat.t;
+}
+
+type t = {
+  kind : kind;
+  n : int;
+  edge_arr : edge array;
+  adj : (edge * int) list array; (* (edge, endpoint reached) *)
+}
+
+let make kind ~n edge_specs =
+  if n < 0 then invalid_arg "Graph.make: negative vertex count";
+  let check v = if v < 0 || v >= n then invalid_arg "Graph.make: vertex out of range" in
+  let edge_arr =
+    Array.of_list
+      (List.mapi
+         (fun id (src, dst, cost) ->
+           check src;
+           check dst;
+           if Stdlib.( < ) (Rat.sign cost) 0 then
+             invalid_arg "Graph.make: negative edge cost";
+           { id; src; dst; cost })
+         edge_specs)
+  in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun e ->
+      adj.(e.src) <- (e, e.dst) :: adj.(e.src);
+      if kind = Undirected && e.src <> e.dst then adj.(e.dst) <- (e, e.src) :: adj.(e.dst))
+    edge_arr;
+  Array.iteri (fun v l -> adj.(v) <- List.rev l) adj;
+  { kind; n; edge_arr; adj }
+
+let kind g = g.kind
+let is_directed g = g.kind = Directed
+let n_vertices g = g.n
+let n_edges g = Array.length g.edge_arr
+let edges g = Array.to_list g.edge_arr
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edge_arr then invalid_arg "Graph.edge: bad id";
+  g.edge_arr.(id)
+
+let cost g id = (edge g id).cost
+
+let total_cost g ids =
+  let ids = List.sort_uniq Stdlib.compare ids in
+  Rat.sum (List.map (cost g) ids)
+
+let succ g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.succ: vertex out of range";
+  g.adj.(v)
+
+let other_endpoint _g e v =
+  if e.src = v then e.dst
+  else if e.dst = v then e.src
+  else invalid_arg "Graph.other_endpoint: vertex not an endpoint"
+
+(* Dijkstra with lazy deletion; exact rational priorities. *)
+let dijkstra g s =
+  if s < 0 || s >= g.n then invalid_arg "Graph.dijkstra: vertex out of range";
+  let dist = Array.make g.n Extended.Inf in
+  let pred = Array.make g.n None in
+  let settled = Array.make g.n false in
+  let cmp (d1, _) (d2, _) = Extended.compare d1 d2 in
+  let heap = Bi_ds.Heap.create ~cmp in
+  dist.(s) <- Extended.zero;
+  Bi_ds.Heap.push heap (Extended.zero, s);
+  let rec loop () =
+    match Bi_ds.Heap.pop_min heap with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) && Extended.equal d dist.(v) then begin
+        settled.(v) <- true;
+        List.iter
+          (fun (e, w) ->
+            let d' = Extended.add d (Extended.of_rat e.cost) in
+            if Extended.( < ) d' dist.(w) then begin
+              dist.(w) <- d';
+              pred.(w) <- Some e.id;
+              Bi_ds.Heap.push heap (d', w)
+            end)
+          g.adj.(v)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, pred)
+
+let distance g u v =
+  let dist, _ = dijkstra g u in
+  dist.(v)
+
+let shortest_path g u v =
+  let dist, pred = dijkstra g u in
+  match dist.(v) with
+  | Extended.Inf -> None
+  | Extended.Fin _ ->
+    let rec walk v acc =
+      if v = u then acc
+      else
+        match pred.(v) with
+        | None -> acc (* v = u is the only vertex without a predecessor among reached ones *)
+        | Some id ->
+          let e = g.edge_arr.(id) in
+          let prev = if e.dst = v then e.src else e.dst in
+          walk prev (id :: acc)
+    in
+    Some (walk v [])
+
+let bellman_ford g s =
+  let dist = Array.make g.n Extended.Inf in
+  dist.(s) <- Extended.zero;
+  let relax () =
+    let changed = ref false in
+    Array.iter
+      (fun e ->
+        let try_relax u v =
+          let d' = Extended.add dist.(u) (Extended.of_rat e.cost) in
+          if Extended.( < ) d' dist.(v) then begin
+            dist.(v) <- d';
+            changed := true
+          end
+        in
+        try_relax e.src e.dst;
+        if g.kind = Undirected then try_relax e.dst e.src)
+      g.edge_arr;
+    !changed
+  in
+  let rec go i = if i < g.n && relax () then go (i + 1) in
+  go 0;
+  dist
+
+let all_pairs_distances g =
+  Array.init g.n (fun v -> fst (dijkstra g v))
+
+let path_endpoints g ids =
+  match ids with
+  | [] -> None
+  | first :: _ ->
+    let e0 = edge g first in
+    let try_from start =
+      let rec go at = function
+        | [] -> Some at
+        | id :: rest ->
+          let e = edge g id in
+          if e.src = at then go e.dst rest
+          else if g.kind = Undirected && e.dst = at then go e.src rest
+          else None
+      in
+      match go start ids with
+      | Some stop -> Some (start, stop)
+      | None -> None
+    in
+    (match try_from e0.src with
+     | Some r -> Some r
+     | None -> if g.kind = Undirected then try_from e0.dst else None)
+
+let reachable g ~via u v =
+  if u = v then true
+  else begin
+    let allowed = Array.make (Array.length g.edge_arr) false in
+    List.iter
+      (fun id -> if id >= 0 && id < Array.length allowed then allowed.(id) <- true)
+      via;
+    let visited = Array.make g.n false in
+    let rec dfs x =
+      if x = v then true
+      else begin
+        visited.(x) <- true;
+        List.exists (fun (e, w) -> allowed.(e.id) && (not visited.(w)) && dfs w) g.adj.(x)
+      end
+    in
+    dfs u
+  end
+
+let is_path_between g ids u v = reachable g ~via:ids u v
+
+let connected_components g =
+  let uf = Bi_ds.Union_find.create g.n in
+  Array.iter (fun e -> ignore (Bi_ds.Union_find.union uf e.src e.dst)) g.edge_arr;
+  let buckets = Hashtbl.create 16 in
+  for v = g.n - 1 downto 0 do
+    let root = Bi_ds.Union_find.find uf v in
+    let existing = try Hashtbl.find buckets root with Not_found -> [] in
+    Hashtbl.replace buckets root (v :: existing)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) buckets []
+  |> List.sort Stdlib.compare
+
+let minimum_spanning_tree g =
+  if g.kind = Directed then invalid_arg "Graph.minimum_spanning_tree: directed graph";
+  let sorted =
+    List.sort (fun e1 e2 -> Rat.compare e1.cost e2.cost) (Array.to_list g.edge_arr)
+  in
+  let uf = Bi_ds.Union_find.create g.n in
+  let chosen =
+    List.filter (fun e -> Bi_ds.Union_find.union uf e.src e.dst) sorted
+  in
+  let ids = List.map (fun e -> e.id) chosen in
+  (ids, total_cost g ids)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>%s graph: %d vertices, %d edges@,"
+    (match g.kind with Directed -> "directed" | Undirected -> "undirected")
+    g.n (Array.length g.edge_arr);
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "  e%d: %d %s %d (cost %a)@," e.id e.src
+        (match g.kind with Directed -> "->" | Undirected -> "--")
+        e.dst Rat.pp e.cost)
+    g.edge_arr;
+  Format.fprintf fmt "@]"

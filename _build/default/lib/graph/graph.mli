@@ -1,0 +1,93 @@
+(** Weighted multigraphs with exact rational edge costs.
+
+    Vertices are integers [0 .. n-1]; edges carry dense integer
+    identifiers so that NCS actions (edge subsets) can be represented as
+    sorted id lists and shared-cost payments can be tabulated in arrays.
+    A graph is immutable once built.
+
+    Undirected graphs store each edge once; traversal sees it in both
+    directions.  Directed graphs traverse [src -> dst] only. *)
+
+open Bi_num
+
+type kind =
+  | Directed
+  | Undirected
+
+type edge = private {
+  id : int;
+  src : int;
+  dst : int;
+  cost : Rat.t;
+}
+
+type t
+
+val make : kind -> n:int -> (int * int * Rat.t) list -> t
+(** [make kind ~n edges] builds a graph on vertices [0..n-1].
+    @raise Invalid_argument on out-of-range endpoints or negative costs. *)
+
+val kind : t -> kind
+val is_directed : t -> bool
+val n_vertices : t -> int
+val n_edges : t -> int
+val edges : t -> edge list
+val edge : t -> int -> edge
+(** Edge by id. @raise Invalid_argument on bad id. *)
+
+val cost : t -> int -> Rat.t
+(** Cost of edge id. *)
+
+val total_cost : t -> int list -> Rat.t
+(** Sum of costs of the given edge ids (duplicates counted once). *)
+
+val succ : t -> int -> (edge * int) list
+(** [succ g v] lists [(e, w)] for edges leaving [v] toward [w]; in an
+    undirected graph both orientations are reported. *)
+
+val other_endpoint : t -> edge -> int -> int
+(** The endpoint of [e] that is not [v]. @raise Invalid_argument if [v]
+    is not an endpoint. *)
+
+(** {1 Shortest paths} *)
+
+val dijkstra : t -> int -> Extended.t array * int option array
+(** [dijkstra g s] is [(dist, pred)]: exact distances from [s], and for
+    each reached vertex the id of the edge used to reach it. *)
+
+val distance : t -> int -> int -> Extended.t
+
+val shortest_path : t -> int -> int -> int list option
+(** Edge ids of a shortest path, in order from source to destination;
+    [None] if unreachable.  [Some []] when source equals destination. *)
+
+val bellman_ford : t -> int -> Extended.t array
+(** Reference implementation used as a test oracle for {!dijkstra}. *)
+
+val all_pairs_distances : t -> Extended.t array array
+
+(** {1 Structure} *)
+
+val path_endpoints : t -> int list -> (int * int) option
+(** For a nonempty list of edge ids forming a walk, its endpoints
+    [(first_src, last_dst)] under the orientation implied by chaining;
+    [None] when the ids do not chain into a walk.  Undirected edges may
+    be traversed in either direction. *)
+
+val is_path_between : t -> int list -> int -> int -> bool
+(** Whether the edge ids contain a walk from [u] to [v] (in particular
+    [u = v] holds with any edge set, matching the NCS convention that an
+    agent with identical terminals needs to buy nothing). *)
+
+val reachable : t -> via:int list -> int -> int -> bool
+(** Connectivity from [u] to [v] using only the listed edge ids. *)
+
+val connected_components : t -> int list list
+(** Components ignoring edge direction. *)
+
+val minimum_spanning_tree : t -> int list * Rat.t
+(** Kruskal on an undirected graph (a minimum spanning forest when
+    disconnected): edge ids and their total cost.
+    @raise Invalid_argument on a directed graph. *)
+
+val pp : Format.formatter -> t -> unit

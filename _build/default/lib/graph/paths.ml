@@ -1,0 +1,43 @@
+let simple_paths ?max_hops ?(limit = 100_000) g u v =
+  let n = Graph.n_vertices g in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Paths.simple_paths: vertex out of range";
+  if u = v then [ [] ]
+  else begin
+    let visited = Array.make n false in
+    let found = ref [] in
+    let count = ref 0 in
+    let max_hops = match max_hops with Some h -> h | None -> n in
+    let rec dfs at acc depth =
+      if at = v then begin
+        incr count;
+        if !count > limit then invalid_arg "Paths.simple_paths: limit exceeded";
+        found := List.rev acc :: !found
+      end
+      else if depth < max_hops then begin
+        visited.(at) <- true;
+        List.iter
+          (fun (e, w) -> if not visited.(w) then dfs w (e.Graph.id :: acc) (depth + 1))
+          (Graph.succ g at);
+        visited.(at) <- false
+      end
+    in
+    dfs u [] 0;
+    List.rev !found
+  end
+
+let path_cost g ids = Bi_num.Rat.sum (List.map (Graph.cost g) ids)
+
+let path_vertices g u ids =
+  let rec go at acc = function
+    | [] -> List.rev (at :: acc)
+    | id :: rest ->
+      let e = Graph.edge g id in
+      let next =
+        if e.Graph.src = at then e.Graph.dst
+        else if (not (Graph.is_directed g)) && e.Graph.dst = at then e.Graph.src
+        else invalid_arg "Paths.path_vertices: not a walk from the given vertex"
+      in
+      go next (at :: acc) rest
+  in
+  go u [] ids

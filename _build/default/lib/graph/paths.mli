@@ -1,0 +1,22 @@
+(** Enumeration of simple paths.
+
+    NCS equilibria are computed by exhaustive search over path actions
+    (buying a superset of a path is dominated, see lib/ncs), so the
+    solvers need the complete list of simple paths between an agent's
+    terminals.  Enumeration is depth-first over vertex-simple walks. *)
+
+val simple_paths :
+  ?max_hops:int -> ?limit:int -> Graph.t -> int -> int -> int list list
+(** [simple_paths g u v] lists the edge-id sequences of all vertex-simple
+    paths from [u] to [v] ([[]] alone when [u = v]).  [max_hops] bounds
+    path length (default: unbounded); [limit] aborts with
+    [Invalid_argument] if more than [limit] paths exist (default
+    [100_000]), as a guard against accidentally exponential instances. *)
+
+val path_cost : Graph.t -> int list -> Bi_num.Rat.t
+(** Sum of edge costs along a path (each edge counted as listed). *)
+
+val path_vertices : Graph.t -> int -> int list -> int list
+(** [path_vertices g u ids] is the vertex sequence of the walk [ids]
+    starting at [u], including both endpoints.
+    @raise Invalid_argument when [ids] is not a walk from [u]. *)

@@ -1,0 +1,91 @@
+open Bi_num
+
+let steiner_cost g ~root ~terminals =
+  let terminals =
+    List.sort_uniq Stdlib.compare (List.filter (fun t -> t <> root) terminals)
+  in
+  let t = List.length terminals in
+  if t > 20 then invalid_arg "Steiner_dp.steiner_cost: too many terminals";
+  if t = 0 then Extended.zero
+  else begin
+    let terms = Array.of_list terminals in
+    let n = Graph.n_vertices g in
+    (* dist.(v).(u) = shortest-path distance v -> u *)
+    let dist = Graph.all_pairs_distances g in
+    let full = (1 lsl t) - 1 in
+    (* dp.(mask).(v) = minimum cost of a subgraph giving v->terminal
+       paths for every terminal in mask. *)
+    let dp = Array.make_matrix (full + 1) n Extended.Inf in
+    for i = 0 to t - 1 do
+      for v = 0 to n - 1 do
+        dp.(1 lsl i).(v) <- dist.(v).(terms.(i))
+      done
+    done;
+    for mask = 1 to full do
+      (* Skip singletons: already initialized. *)
+      if mask land (mask - 1) <> 0 then begin
+        let best = Array.make n Extended.Inf in
+        (* Merge step: split mask into two nonempty halves at v. *)
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          if !sub > mask lxor !sub then begin
+            (* Enumerate each unordered split once. *)
+            let a = !sub and b = mask lxor !sub in
+            for v = 0 to n - 1 do
+              let c = Extended.add dp.(a).(v) dp.(b).(v) in
+              if Extended.( < ) c best.(v) then best.(v) <- c
+            done
+          end;
+          sub := (!sub - 1) land mask
+        done;
+        (* Grow step: attach v to the best merge point via a shortest
+           path.  A Dijkstra over the metric closure would be faster;
+           the O(n^2) relaxation below is simpler and exact. *)
+        for v = 0 to n - 1 do
+          let acc = ref best.(v) in
+          for u = 0 to n - 1 do
+            let c = Extended.add dist.(v).(u) best.(u) in
+            if Extended.( < ) c !acc then acc := c
+          done;
+          dp.(mask).(v) <- !acc
+        done
+      end
+    done;
+    dp.(full).(root)
+  end
+
+let steiner_mst_approx g ~terminals =
+  if Graph.is_directed g then
+    invalid_arg "Steiner_dp.steiner_mst_approx: directed graph";
+  let terminals = List.sort_uniq Stdlib.compare terminals in
+  match terminals with
+  | [] -> invalid_arg "Steiner_dp.steiner_mst_approx: no terminals"
+  | [ _ ] -> Some ([], Rat.zero)
+  | _ ->
+    let terms = Array.of_list terminals in
+    let t = Array.length terms in
+    let sp = Array.map (fun v -> Graph.dijkstra g v) terms in
+    let closure_edges = ref [] in
+    (try
+       for i = 0 to t - 1 do
+         for j = i + 1 to t - 1 do
+           match (fst sp.(i)).(terms.(j)) with
+           | Extended.Inf -> raise Exit
+           | Extended.Fin d -> closure_edges := (i, j, d) :: !closure_edges
+         done
+       done;
+       let closure = Graph.make Undirected ~n:t !closure_edges in
+       let mst_ids, _ = Graph.minimum_spanning_tree closure in
+       (* Expand each closure edge back to a shortest path in g. *)
+       let expanded =
+         List.concat_map
+           (fun id ->
+             let e = Graph.edge closure id in
+             match Graph.shortest_path g terms.(e.Graph.src) terms.(e.Graph.dst) with
+             | Some ids -> ids
+             | None -> assert false)
+           mst_ids
+       in
+       let ids = List.sort_uniq Stdlib.compare expanded in
+       Some (ids, Graph.total_cost g ids)
+     with Exit -> None)

@@ -1,0 +1,1 @@
+lib/minimax/matrix_game.ml: Array Bi_num Rat Stdlib

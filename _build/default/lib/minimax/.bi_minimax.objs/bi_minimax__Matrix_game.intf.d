@@ -1,0 +1,1 @@
+lib/minimax/matrix_game.mli: Bi_num Rat

@@ -1,0 +1,1 @@
+lib/minimax/section4.ml: Array Bi_bayes Bi_ncs Bi_num Bi_prob Extended Matrix_game Rat Stdlib

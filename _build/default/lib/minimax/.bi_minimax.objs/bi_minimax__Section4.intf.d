@@ -1,0 +1,1 @@
+lib/minimax/section4.mli: Bi_ncs Bi_num Matrix_game Rat

@@ -1,0 +1,176 @@
+open Bi_num
+
+type t = { m : Rat.t array array; rows : int; cols : int }
+
+let make m =
+  let rows = Array.length m in
+  if rows = 0 then invalid_arg "Matrix_game.make: no rows";
+  let cols = Array.length m.(0) in
+  if cols = 0 then invalid_arg "Matrix_game.make: no columns";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then invalid_arg "Matrix_game.make: ragged matrix")
+    m;
+  { m = Array.map Array.copy m; rows; cols }
+
+let rows g = g.rows
+let cols g = g.cols
+let entry g i j = g.m.(i).(j)
+
+let check_mixture g n q =
+  if Array.length q <> n then invalid_arg "Matrix_game: mixture length mismatch";
+  Array.iter
+    (fun w ->
+      if Stdlib.( < ) (Rat.sign w) 0 then invalid_arg "Matrix_game: negative weight")
+    q;
+  if not (Rat.equal Rat.one (Rat.sum (Array.to_list q))) then
+    invalid_arg "Matrix_game: mixture does not sum to one";
+  ignore g
+
+let expected_col g q j =
+  let acc = ref Rat.zero in
+  for i = 0 to g.rows - 1 do
+    if not (Rat.is_zero q.(i)) then acc := Rat.add !acc (Rat.mul q.(i) g.m.(i).(j))
+  done;
+  !acc
+
+let expected_row g p i =
+  let acc = ref Rat.zero in
+  for j = 0 to g.cols - 1 do
+    if not (Rat.is_zero p.(j)) then acc := Rat.add !acc (Rat.mul p.(j) g.m.(i).(j))
+  done;
+  !acc
+
+let row_guarantee g q =
+  check_mixture g g.rows q;
+  let best = ref (expected_col g q 0) in
+  for j = 1 to g.cols - 1 do
+    best := Rat.max !best (expected_col g q j)
+  done;
+  !best
+
+let col_guarantee g p =
+  check_mixture g g.cols p;
+  let best = ref (expected_row g p 0) in
+  for i = 1 to g.rows - 1 do
+    best := Rat.min !best (expected_row g p i)
+  done;
+  !best
+
+let pure_saddle g =
+  (* (i, j) is a saddle when m(i,j) is max in its row and min in its
+     column (row minimizes, column maximizes). *)
+  let found = ref None in
+  for i = 0 to g.rows - 1 do
+    for j = 0 to g.cols - 1 do
+      if !found = None then begin
+        let v = g.m.(i).(j) in
+        let row_max = Array.fold_left Rat.max g.m.(i).(0) g.m.(i) in
+        let col_min = ref g.m.(0).(j) in
+        for i' = 1 to g.rows - 1 do
+          col_min := Rat.min !col_min g.m.(i').(j)
+        done;
+        if Rat.equal v row_max && Rat.equal v !col_min then found := Some (i, j)
+      end
+    done
+  done;
+  !found
+
+type solution = {
+  row_strategy : Rat.t array;
+  col_strategy : Rat.t array;
+  lower : Rat.t;
+  upper : Rat.t;
+}
+
+let point n i =
+  Array.init n (fun j -> if j = i then Rat.one else Rat.zero)
+
+let solve ?(iterations = 2000) g =
+  match pure_saddle g with
+  | Some (i, j) ->
+    let row_strategy = point g.rows i and col_strategy = point g.cols j in
+    { row_strategy; col_strategy; lower = g.m.(i).(j); upper = g.m.(i).(j) }
+  | None ->
+    (* Fictitious play with integer play counts; mixtures are exact. *)
+    let row_count = Array.make g.rows 0 in
+    let col_count = Array.make g.cols 0 in
+    (* Cumulative payoffs against the opponent's raw counts. *)
+    let row_payoff = Array.make g.rows Rat.zero in (* sum over col plays *)
+    let col_payoff = Array.make g.cols Rat.zero in (* sum over row plays *)
+    (* Track the row mixture with the smallest certified upper bound and
+       the column mixture with the largest certified lower bound. *)
+    let best_bracket = ref None in
+    let record q p =
+      let upper = row_guarantee g q and lower = col_guarantee g p in
+      match !best_bracket with
+      | None -> best_bracket := Some (q, p, lower, upper)
+      | Some (bq, bp, bl, bu) ->
+        let q', u' = if Rat.( < ) upper bu then (q, upper) else (bq, bu) in
+        let p', l' = if Rat.( > ) lower bl then (p, lower) else (bp, bl) in
+        best_bracket := Some (q', p', l', u')
+    in
+    let argmin_row () =
+      let best = ref 0 in
+      for i = 1 to g.rows - 1 do
+        if Rat.( < ) row_payoff.(i) row_payoff.(!best) then best := i
+      done;
+      !best
+    in
+    let argmax_col () =
+      let best = ref 0 in
+      for j = 1 to g.cols - 1 do
+        if Rat.( > ) col_payoff.(j) col_payoff.(!best) then best := j
+      done;
+      !best
+    in
+    (* Seed the certified bracket with all pure strategies, so the
+       returned mixture is never worse than the best pure row (and the
+       lower bound never worse than the best pure column). *)
+    let seed_pure () =
+      let best_row = ref 0 and best_row_val = ref (row_guarantee g (point g.rows 0)) in
+      for i = 1 to g.rows - 1 do
+        let v = row_guarantee g (point g.rows i) in
+        if Rat.( < ) v !best_row_val then begin best_row := i; best_row_val := v end
+      done;
+      let best_col = ref 0 and best_col_val = ref (col_guarantee g (point g.cols 0)) in
+      for j = 1 to g.cols - 1 do
+        let v = col_guarantee g (point g.cols j) in
+        if Rat.( > ) v !best_col_val then begin best_col := j; best_col_val := v end
+      done;
+      record (point g.rows !best_row) (point g.cols !best_col)
+    in
+    seed_pure ();
+    (* Seed fictitious play with the first row/column. *)
+    let play_row i =
+      row_count.(i) <- row_count.(i) + 1;
+      for j = 0 to g.cols - 1 do
+        col_payoff.(j) <- Rat.add col_payoff.(j) g.m.(i).(j)
+      done
+    in
+    let play_col j =
+      col_count.(j) <- col_count.(j) + 1;
+      for i = 0 to g.rows - 1 do
+        row_payoff.(i) <- Rat.add row_payoff.(i) g.m.(i).(j)
+      done
+    in
+    play_row 0;
+    play_col (argmax_col ());
+    for t = 2 to iterations do
+      play_row (argmin_row ());
+      play_col (argmax_col ());
+      (* Checkpoint the certified bracket occasionally (guarantees are
+         O(rows * cols) each). *)
+      if t mod 50 = 0 || t = iterations then begin
+        let q = Array.map (fun c -> Rat.of_ints c t) row_count in
+        let p = Array.map (fun c -> Rat.of_ints c t) col_count in
+        record q p
+      end
+    done;
+    (match !best_bracket with
+     | Some (q, p, lower, upper) ->
+       { row_strategy = q; col_strategy = p; lower; upper }
+     | None ->
+       let q = point g.rows 0 and p = point g.cols 0 in
+       { row_strategy = q; col_strategy = p;
+         lower = col_guarantee g p; upper = row_guarantee g q })

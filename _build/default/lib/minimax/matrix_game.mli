@@ -1,0 +1,51 @@
+(** Finite zero-sum matrix games with exact rational payoffs.
+
+    Convention: the {e row} player picks a row to {e minimize} the
+    entry, the {e column} player picks a column to {e maximize} it.
+    Section 4 of the paper needs the value and an (approximately)
+    optimal row mixture of the normalized social-cost matrix
+    [K(s,t) / min_s' K(s',t)]: the row mixture is the public-randomness
+    distribution over strategy profiles of Lemma 4.1.
+
+    No LP solver is available in this environment, so the value is
+    bracketed by fictitious play (Robinson 1951): both players
+    repeatedly best-respond to the opponent's empirical mixture.  All
+    bookkeeping is exact — empirical mixtures are rational — so the
+    returned [lower]/[upper] are {e certified} bounds: [lower] is the
+    column mixture's guaranteed payoff, [upper] the row mixture's. *)
+
+open Bi_num
+
+type t
+
+val make : Rat.t array array -> t
+(** Rows of equal positive length. @raise Invalid_argument otherwise. *)
+
+val rows : t -> int
+val cols : t -> int
+val entry : t -> int -> int -> Rat.t
+
+val row_guarantee : t -> Rat.t array -> Rat.t
+(** [row_guarantee g q]: worst case (max over columns) of the expected
+    entry under row mixture [q] — an upper bound on the value.
+    @raise Invalid_argument unless [q] has one non-negative weight per
+    row summing to one. *)
+
+val col_guarantee : t -> Rat.t array -> Rat.t
+(** Min over rows under a column mixture — a lower bound on the value. *)
+
+val pure_saddle : t -> (int * int) option
+(** A pure saddle point (row minimax = column maximin), when one exists:
+    at it, the value is exact. *)
+
+type solution = {
+  row_strategy : Rat.t array;
+  col_strategy : Rat.t array;
+  lower : Rat.t; (** certified: value >= lower *)
+  upper : Rat.t; (** certified: value <= upper *)
+}
+
+val solve : ?iterations:int -> t -> solution
+(** Fictitious play for [iterations] rounds (default 2000), keeping the
+    best certified bracket seen.  When a pure saddle exists the bracket
+    is tight immediately. *)

@@ -1,0 +1,151 @@
+open Bi_num
+
+type t = {
+  k : Rat.t array array; (* strategies x type profiles *)
+  v : Rat.t array; (* per type profile: min_s K(s,t) *)
+}
+
+let make k =
+  let rows = Array.length k in
+  if rows = 0 then invalid_arg "Section4.make: no strategy profiles";
+  let cols = Array.length k.(0) in
+  if cols = 0 then invalid_arg "Section4.make: no type profiles";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then invalid_arg "Section4.make: ragged matrix";
+      Array.iter
+        (fun c ->
+          if Stdlib.( <= ) (Rat.sign c) 0 then
+            invalid_arg "Section4.make: costs must be positive")
+        row)
+    k;
+  let v =
+    Array.init cols (fun j ->
+        let best = ref k.(0).(j) in
+        for i = 1 to rows - 1 do
+          best := Rat.min !best k.(i).(j)
+        done;
+        !best)
+  in
+  { k = Array.map Array.copy k; v }
+
+let of_bayesian_ncs g =
+  let strategies = Array.of_seq (Bi_ncs.Bayesian_ncs.valid_strategy_profiles g) in
+  let game = Bi_ncs.Bayesian_ncs.game g in
+  let support = Array.of_list (Bi_prob.Dist.support (Bi_bayes.Bayesian.prior game)) in
+  let k =
+    Array.map
+      (fun s ->
+        Array.map
+          (fun tp ->
+            match Bi_bayes.Bayesian.social_cost_at game s tp with
+            | Extended.Fin c ->
+              if Rat.is_zero c then
+                invalid_arg
+                  "Section4.of_bayesian_ncs: type profile with zero optimal cost"
+              else c
+            | Extended.Inf ->
+              (* Valid profiles connect every agent; unreachable. *)
+              assert false)
+          support)
+      strategies
+  in
+  make k
+
+let n_strategies t = Array.length t.k
+let n_type_profiles t = Array.length t.v
+let cost t i j = t.k.(i).(j)
+let opt_of_type t j = t.v.(j)
+
+let normalized t =
+  Array.map (fun row -> Array.mapi (fun j c -> Rat.div c t.v.(j)) row) t.k
+
+let check_prior t p =
+  if Array.length p <> Array.length t.v then
+    invalid_arg "Section4: prior length mismatch";
+  Array.iter
+    (fun w ->
+      if Stdlib.( < ) (Rat.sign w) 0 then invalid_arg "Section4: negative prior weight")
+    p;
+  if not (Rat.equal Rat.one (Rat.sum (Array.to_list p))) then
+    invalid_arg "Section4: prior does not sum to one"
+
+let ratio_under_prior t p =
+  check_prior t p;
+  let dot row =
+    let acc = ref Rat.zero in
+    Array.iteri (fun j w -> if not (Rat.is_zero w) then acc := Rat.add !acc (Rat.mul w row.(j))) p;
+    !acc
+  in
+  let denom = dot t.v in
+  if Rat.is_zero denom then invalid_arg "Section4.ratio_under_prior: zero denominator";
+  let best = ref None in
+  Array.iter
+    (fun row ->
+      let num = dot row in
+      match !best with
+      | None -> best := Some num
+      | Some b -> if Rat.( < ) num b then best := Some num)
+    t.k;
+  match !best with
+  | Some num -> Rat.div num denom
+  | None -> assert false
+
+let randomized_guarantee t q =
+  if Array.length q <> Array.length t.k then
+    invalid_arg "Section4.randomized_guarantee: mixture length mismatch";
+  let worst = ref Rat.zero in
+  for j = 0 to Array.length t.v - 1 do
+    let acc = ref Rat.zero in
+    Array.iteri
+      (fun i w ->
+        if not (Rat.is_zero w) then
+          acc := Rat.add !acc (Rat.mul w (Rat.div t.k.(i).(j) t.v.(j))))
+      q;
+    if Rat.( > ) !acc !worst then worst := !acc
+  done;
+  !worst
+
+let r_tilde ?iterations t =
+  Matrix_game.solve ?iterations (Matrix_game.make (normalized t))
+
+let r_star_bracket ?iterations ?(steps = 20) t =
+  (* The ratio is always >= 1 (K >= v pointwise) and <= the largest
+     normalized entry. *)
+  let normalized_max =
+    Array.fold_left
+      (fun acc row ->
+        let m = ref acc in
+        Array.iteri (fun j c -> m := Rat.max !m (Rat.div c t.v.(j))) row;
+        !m)
+      Rat.one t.k
+  in
+  let auxiliary r =
+    (* Game K(s,t) - r * v(t): its value is > 0 iff some prior keeps
+       every strategy profile above ratio r, i.e. iff r < R(phi). *)
+    Matrix_game.solve ?iterations
+      (Matrix_game.make
+         (Array.map
+            (fun row -> Array.mapi (fun j c -> Rat.sub c (Rat.mul r t.v.(j))) row)
+            t.k))
+  in
+  (* The auxiliary value val(r) is strictly decreasing in r with
+     difference quotients in [-max_t v(t), -min_t v(t)] and
+     val(R(phi)) = 0, so a certified value bracket [l, u] at r = mid
+     yields the certified root bracket
+       [mid + min(0, l) / min_v,  mid + max(0, u) / min_v]. *)
+  let min_v = Array.fold_left Rat.min t.v.(0) t.v in
+  let rec go lo hi step =
+    if step = 0 then (lo, hi)
+    else begin
+      let mid = Rat.div_int (Rat.add lo hi) 2 in
+      let sol = auxiliary mid in
+      let l = sol.Matrix_game.lower and u = sol.Matrix_game.upper in
+      let lo' = Rat.max lo (Rat.add mid (Rat.div (Rat.min Rat.zero l) min_v)) in
+      let hi' = Rat.min hi (Rat.add mid (Rat.div (Rat.max Rat.zero u) min_v)) in
+      if Rat.( >= ) lo' hi' then (Rat.min lo' hi', Rat.max lo' hi')
+      else if Rat.equal lo' lo && Rat.equal hi' hi then (lo, hi)
+      else go lo' hi' (step - 1)
+    end
+  in
+  go Rat.one normalized_max steps

@@ -1,0 +1,65 @@
+(** Public random bits as a substitute for the common prior (Section 4).
+
+    A 4-tuple [phi] (a Bayesian game stripped of its prior) is captured
+    by the social-cost matrix [K(s,t)] over strategy profiles [s] and
+    type profiles [t], with [v(t) = min_s K(s,t)] the complete-
+    information optimum of the underlying game [G_t].
+
+    - [R(phi)] is the worst-case (over priors [p]) ratio
+      [min_s sum_t p(t) K(s,t) / sum_t p(t) v(t)] — the worst
+      [optP/optC] any prior can induce.
+    - [R~(phi)] is the value of the zero-sum game with normalized matrix
+      [K(s,t)/v(t)] (row: benevolent agents minimizing; column:
+      adversarial prior).
+
+    Proposition 4.2 states [R = R~]; Lemma 4.1 extracts from the minimax
+    solution a distribution [q] over strategy profiles such that playing
+    [s ~ q] — using only public random bits, never the prior — achieves
+    ratio at most [R(phi)] against {e every} prior.  [r_tilde] returns
+    that [q] (the row strategy), and [r_star_bracket] brackets [R(phi)]
+    independently by binary search, which is how the reproduction
+    demonstrates the proposition numerically. *)
+
+open Bi_num
+
+type t
+
+val make : Rat.t array array -> t
+(** [make k]: rows are strategy profiles, columns type profiles.  All
+    entries must be positive (the paper's [C_{i,t} > 0] assumption;
+    [v(t) = 0] would make the ratio 0/0).
+    @raise Invalid_argument on empty or non-positive input. *)
+
+val of_bayesian_ncs : Bi_ncs.Bayesian_ncs.t -> t
+(** Rows: valid strategy profiles; columns: prior support.  The prior's
+    probabilities are discarded — Section 4 quantifies over all priors.
+    @raise Invalid_argument if some type profile has zero optimal cost
+    (e.g. all agents absent). *)
+
+val n_strategies : t -> int
+val n_type_profiles : t -> int
+val cost : t -> int -> int -> Rat.t
+val opt_of_type : t -> int -> Rat.t
+(** [v(t)]. *)
+
+val normalized : t -> Rat.t array array
+(** [K(s,t)/v(t)]. *)
+
+val ratio_under_prior : t -> Rat.t array -> Rat.t
+(** [optP/optC] under a specific prior (weights over type profiles,
+    summing to one): [min_s sum_t p(t) K(s,t) / sum_t p(t) v(t)]. *)
+
+val randomized_guarantee : t -> Rat.t array -> Rat.t
+(** [max_t sum_s q(s) K(s,t)/v(t)]: the worst-prior performance of the
+    public-randomness mixture [q] (by Proposition 4.2 it suffices to
+    check point priors). *)
+
+val r_tilde : ?iterations:int -> t -> Matrix_game.solution
+(** Solves the normalized game.  [row_strategy] is Lemma 4.1's [q];
+    [lower <= R~(phi) <= upper] are certified. *)
+
+val r_star_bracket : ?iterations:int -> ?steps:int -> t -> Rat.t * Rat.t
+(** Brackets [R(phi)] directly: binary search on [r], testing via the
+    auxiliary game [K(s,t) - r v(t)] whether some prior forces every
+    strategy profile above ratio [r].  Used to check Proposition 4.2
+    ([R = R~]) numerically. *)

@@ -1,0 +1,1 @@
+lib/ncs/bayesian_ncs.ml: Array Bi_bayes Bi_ds Bi_graph Bi_num Bi_prob Complete Extended Fun Hashtbl List Option Rat Seq

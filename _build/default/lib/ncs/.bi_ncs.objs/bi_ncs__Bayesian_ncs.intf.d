@@ -1,0 +1,1 @@
+lib/ncs/bayesian_ncs.mli: Bi_bayes Bi_graph Bi_num Bi_prob Complete Extended Rat Seq

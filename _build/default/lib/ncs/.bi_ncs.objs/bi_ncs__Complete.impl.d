@@ -1,0 +1,1 @@
+lib/ncs/complete.ml: Array Bi_ds Bi_game Bi_graph Bi_num Extended Fun List Option Rat Seq

@@ -1,0 +1,1 @@
+lib/ncs/complete.mli: Bi_game Bi_graph Bi_num Extended Rat Seq

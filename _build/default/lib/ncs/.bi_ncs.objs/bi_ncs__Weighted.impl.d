@@ -1,0 +1,1 @@
+lib/ncs/weighted.ml: Array Bi_ds Bi_graph Bi_num Fun List Option Rat Seq Stdlib

@@ -1,0 +1,1 @@
+lib/ncs/weighted.mli: Bi_graph Bi_num Rat Seq

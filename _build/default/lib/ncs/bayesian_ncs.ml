@@ -1,0 +1,357 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+module Paths = Bi_graph.Paths
+module Dist = Bi_prob.Dist
+module Bayesian = Bi_bayes.Bayesian
+module Measures = Bi_bayes.Measures
+
+type t = {
+  graph : Graph.t;
+  players : int;
+  types : (int * int) array array;
+  actions : int list array array;
+  valid : int list array array; (* player -> type -> valid action indices *)
+  game : Bayesian.t;
+  prior_pairs : (int * int) array Dist.t;
+  complete_memo : ((int * int) list, Complete.t) Hashtbl.t;
+}
+
+let dedup_keep_order xs =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      if List.mem x seen then go seen acc rest else go (x :: seen) (x :: acc) rest
+  in
+  go [] [] xs
+
+let make graph ~prior =
+  let support = Dist.support prior in
+  let players =
+    match support with
+    | [] -> invalid_arg "Bayesian_ncs.make: empty prior"
+    | t :: _ -> Array.length t
+  in
+  if players = 0 then invalid_arg "Bayesian_ncs.make: no agents";
+  List.iter
+    (fun t ->
+      if Array.length t <> players then
+        invalid_arg "Bayesian_ncs.make: inconsistent number of agents in prior")
+    support;
+  let n = Graph.n_vertices graph in
+  List.iter
+    (Array.iter (fun (x, y) ->
+         if x < 0 || x >= n || y < 0 || y >= n then
+           invalid_arg "Bayesian_ncs.make: terminal out of range"))
+    support;
+  (* Agent i's types: distinct pairs in support order. *)
+  let types =
+    Array.init players (fun i ->
+        Array.of_list (dedup_keep_order (List.map (fun t -> t.(i)) support)))
+  in
+  (* Agent i's actions: union of simple paths over her types. *)
+  let actions =
+    Array.init players (fun i ->
+        let all =
+          List.concat_map
+            (fun (x, y) ->
+              let ps = Paths.simple_paths graph x y in
+              if ps = [] then
+                invalid_arg "Bayesian_ncs.make: type with disconnected terminals";
+              ps)
+            (Array.to_list types.(i))
+        in
+        Array.of_list (dedup_keep_order all))
+  in
+  let valid =
+    Array.init players (fun i ->
+        Array.map
+          (fun (x, y) ->
+            List.filter
+              (fun ai -> Graph.is_path_between graph actions.(i).(ai) x y)
+              (List.init (Array.length actions.(i)) Fun.id))
+          types.(i))
+  in
+  let type_index i pair =
+    let rec go ti =
+      if ti >= Array.length types.(i) then assert false
+      else if types.(i).(ti) = pair then ti
+      else go (ti + 1)
+    in
+    go 0
+  in
+  let prior_types =
+    Dist.map (fun t -> Array.mapi type_index t) prior
+  in
+  let cost t a i =
+    let x, y = types.(i).(t.(i)) in
+    let mine = actions.(i).(a.(i)) in
+    if not (Graph.is_path_between graph mine x y) then Extended.Inf
+    else begin
+      let load = Array.make (Graph.n_edges graph) 0 in
+      Array.iteri
+        (fun j aj ->
+          List.iter (fun e -> load.(e) <- load.(e) + 1) actions.(j).(aj))
+        a;
+      Extended.of_rat
+        (Rat.sum
+           (List.map (fun e -> Rat.div_int (Graph.cost graph e) load.(e)) mine))
+    end
+  in
+  let game =
+    Bayesian.make ~players
+      ~n_types:(Array.map Array.length types)
+      ~n_actions:(Array.map Array.length actions)
+      ~prior:prior_types ~cost
+  in
+  { graph; players; types; actions; valid; game;
+    prior_pairs = prior; complete_memo = Hashtbl.create 32 }
+
+let graph g = g.graph
+let players g = g.players
+let game g = g.game
+let types g i = Array.copy g.types.(i)
+let actions g i = Array.copy g.actions.(i)
+let valid_actions g i ti = g.valid.(i).(ti)
+
+let complete_game g pair_profile =
+  let key = Array.to_list pair_profile in
+  match Hashtbl.find_opt g.complete_memo key with
+  | Some c -> c
+  | None ->
+    let c = Complete.make g.graph pair_profile in
+    Hashtbl.add g.complete_memo key c;
+    c
+
+let valid_strategy_profiles g =
+  let per_player =
+    List.init g.players (fun i ->
+        let choices = Array.to_list g.valid.(i) in
+        List.of_seq (Seq.map Array.of_list (Bi_ds.Combinat.product choices)))
+  in
+  Seq.map Array.of_list (Bi_ds.Combinat.product per_player)
+
+let bayesian_equilibria g =
+  Seq.filter (Bayesian.is_bayesian_equilibrium g.game) (valid_strategy_profiles g)
+
+let social_cost g s = Bayesian.social_cost g.game s
+
+let bayesian_potential g s =
+  Dist.expectation
+    (fun t ->
+      let load = Array.make (Graph.n_edges g.graph) 0 in
+      Array.iteri
+        (fun j tj ->
+          List.iter (fun e -> load.(e) <- load.(e) + 1) g.actions.(j).(s.(j).(tj)))
+        t;
+      let acc = ref Rat.zero in
+      Array.iteri
+        (fun e l ->
+          if l > 0 then
+            acc := Rat.add !acc (Rat.mul (Graph.cost g.graph e) (Rat.harmonic l)))
+        load;
+      !acc)
+    (Bayesian.prior g.game)
+
+let shortest_path_profile g =
+  Array.init g.players (fun i ->
+      Array.mapi
+        (fun ti _ ->
+          match g.valid.(i).(ti) with
+          | [] -> assert false (* every type has a connecting path by make *)
+          | candidates ->
+            let path_cost ai = Paths.path_cost g.graph g.actions.(i).(ai) in
+            List.fold_left
+              (fun best ai ->
+                if Rat.( < ) (path_cost ai) (path_cost best) then ai else best)
+              (List.hd candidates) (List.tl candidates))
+        g.types.(i))
+
+let equilibrium_by_dynamics ?max_steps g =
+  Bayesian.best_response_dynamics ?max_steps g.game (shortest_path_profile g)
+
+let opt_c g =
+  Dist.expectation_ext
+    (fun pairs ->
+      let c = complete_game g pairs in
+      match Complete.optimum_rooted c with
+      | Some v -> v
+      | None -> Extended.of_rat (fst (Complete.optimum c)))
+    g.prior_pairs
+
+let expect_eq_c pick g =
+  let exception Missing in
+  try
+    Some
+      (Dist.expectation_ext
+         (fun pairs ->
+           match pick (complete_game g pairs) with
+           | Some (v, _) -> Extended.of_rat v
+           | None -> raise Missing)
+         g.prior_pairs)
+  with Missing -> None
+
+let best_eq_c g = expect_eq_c Complete.best_equilibrium g
+let worst_eq_c g = expect_eq_c Complete.worst_equilibrium g
+
+let opt_p_exhaustive g =
+  match
+    Bi_ds.Combinat.argmin (social_cost g) ~cmp:Extended.compare
+      (valid_strategy_profiles g)
+  with
+  | Some (s, c) -> (c, s)
+  | None -> assert false
+
+let opt_p_branch_and_bound ?(node_budget = 5_000_000) g =
+  let support = Array.of_list (Dist.to_list (Bayesian.prior g.game)) in
+  let n_states = Array.length support in
+  let n_edges = Graph.n_edges g.graph in
+  (* Decision variables: one (agent, type) pair per positive-marginal
+     type, ordered by decreasing marginal probability so that heavy
+     states accumulate cost (and trigger pruning) early. *)
+  let variables =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun ti ->
+            let marginal =
+              Rat.sum
+                (List.filter_map
+                   (fun (t, p) -> if t.(i) = ti then Some p else None)
+                   (Array.to_list support))
+            in
+            if Rat.is_zero marginal then None else Some (i, ti, marginal))
+          (Bi_ds.Combinat.range (Array.length g.types.(i))))
+      (Bi_ds.Combinat.range g.players)
+  in
+  let variables =
+    Array.of_list
+      (List.sort (fun (_, _, m1) (_, _, m2) -> Rat.compare m2 m1) variables)
+  in
+  let n_vars = Array.length variables in
+  (* Per-state purchase multiset: count.(state).(edge) buyers so far. *)
+  let count = Array.make_matrix n_states n_edges 0 in
+  let state_cost = Array.make n_states Rat.zero in
+  let bound () =
+    let acc = ref Rat.zero in
+    for s = 0 to n_states - 1 do
+      acc := Rat.add !acc (Rat.mul (snd support.(s)) state_cost.(s))
+    done;
+    !acc
+  in
+  let states_of i ti =
+    List.filter
+      (fun s -> (fst support.(s)).(i) = ti)
+      (Bi_ds.Combinat.range n_states)
+  in
+  let add_path states path =
+    List.iter
+      (fun s ->
+        List.iter
+          (fun e ->
+            if count.(s).(e) = 0 then
+              state_cost.(s) <- Rat.add state_cost.(s) (Graph.cost g.graph e);
+            count.(s).(e) <- count.(s).(e) + 1)
+          path)
+      states
+  in
+  let remove_path states path =
+    List.iter
+      (fun s ->
+        List.iter
+          (fun e ->
+            count.(s).(e) <- count.(s).(e) - 1;
+            if count.(s).(e) = 0 then
+              state_cost.(s) <- Rat.sub state_cost.(s) (Graph.cost g.graph e))
+          path)
+      states
+  in
+  (* Seed the incumbent with benevolent descent. *)
+  let incumbent_profile = ref (Bayesian.benevolent_descent g.game (shortest_path_profile g)) in
+  let incumbent = ref (social_cost g !incumbent_profile) in
+  let assignment = Array.init g.players (fun i -> Array.make (Array.length g.types.(i)) 0) in
+  (* Types outside the support keep an arbitrary valid action. *)
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun ti _ ->
+          match g.valid.(i).(ti) with
+          | a :: _ -> row.(ti) <- a
+          | [] -> ())
+        row)
+    assignment;
+  let nodes = ref 0 in
+  let exhausted = ref true in
+  let rec dfs v =
+    if !nodes > node_budget then exhausted := false
+    else begin
+      incr nodes;
+      if v >= n_vars then begin
+        let value = Extended.of_rat (bound ()) in
+        if Extended.( < ) value !incumbent then begin
+          incumbent := value;
+          incumbent_profile := Array.map Array.copy assignment
+        end
+      end
+      else begin
+        let i, ti, _ = variables.(v) in
+        let states = states_of i ti in
+        (* Try cheap-looking actions first: sort by immediate increase. *)
+        let scored =
+          List.map
+            (fun ai ->
+              let path = g.actions.(i).(ai) in
+              add_path states path;
+              let b = bound () in
+              remove_path states path;
+              (ai, b))
+            g.valid.(i).(ti)
+        in
+        let scored = List.sort (fun (_, b1) (_, b2) -> Rat.compare b1 b2) scored in
+        List.iter
+          (fun (ai, b) ->
+            if Extended.( < ) (Extended.of_rat b) !incumbent then begin
+              let path = g.actions.(i).(ai) in
+              add_path states path;
+              assignment.(i).(ti) <- ai;
+              dfs (v + 1);
+              remove_path states path
+            end)
+          scored
+      end
+    end
+  in
+  dfs 0;
+  (!incumbent, !incumbent_profile, !exhausted)
+
+let extreme_eq_p pick g =
+  Option.map
+    (fun (s, c) -> (c, s))
+    (pick (social_cost g) ~cmp:Extended.compare (bayesian_equilibria g))
+
+let best_eq_p g = extreme_eq_p Bi_ds.Combinat.argmin g
+let worst_eq_p g = extreme_eq_p Bi_ds.Combinat.argmax g
+
+let measures_exhaustive g =
+  let opt_p, _ = opt_p_exhaustive g in
+  {
+    Measures.opt_p;
+    best_eq_p = Option.map fst (best_eq_p g);
+    worst_eq_p = Option.map fst (worst_eq_p g);
+    opt_c = opt_c g;
+    best_eq_c = best_eq_c g;
+    worst_eq_c = worst_eq_c g;
+  }
+
+let lemma_3_1_bound_holds g =
+  match worst_eq_p g with
+  | None -> true
+  | Some (worst, _) ->
+    Extended.( <= ) worst (Extended.mul (Extended.of_int g.players) (opt_c g))
+
+let lemma_3_8_bound_holds g =
+  match best_eq_p g with
+  | None -> true
+  | Some (best, _) ->
+    let opt_p, _ = opt_p_exhaustive g in
+    Extended.( <= ) best
+      (Extended.mul (Extended.of_rat (Rat.harmonic g.players)) opt_p)

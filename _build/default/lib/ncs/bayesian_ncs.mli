@@ -1,0 +1,96 @@
+(** Bayesian network cost-sharing games (Section 2 of the paper).
+
+    A Bayesian NCS game is a graph with edge costs plus a common prior
+    over arrays of (source, destination) pairs — one pair per agent.
+    Each agent learns her own pair (her type) and buys an edge set; cost
+    sharing is as in {!Complete}.
+
+    The lowering into {!Bi_bayes.Bayesian} uses, for agent [i]:
+    - types: the distinct pairs agent [i] receives in the prior support;
+    - actions: the union of all simple paths between any of her possible
+      pairs (a path is {e valid} for a type when it connects that type's
+      terminals; invalid purchases cost infinity).
+
+    Equilibria and optima are attained at valid strategy profiles, so the
+    solvers enumerate only those; the full action space remains available
+    to deviation checks, which is what makes the equilibrium predicate
+    exact. *)
+
+open Bi_num
+
+type t
+
+val make : Bi_graph.Graph.t -> prior:(int * int) array Bi_prob.Dist.t -> t
+(** @raise Invalid_argument when support arrays disagree on the number
+    of agents, mention out-of-range vertices, or leave some agent with a
+    type admitting no connecting path. *)
+
+val graph : t -> Bi_graph.Graph.t
+val players : t -> int
+val game : t -> Bi_bayes.Bayesian.t
+(** The lowered general Bayesian game. *)
+
+val types : t -> int -> (int * int) array
+(** Agent [i]'s type table (type index -> pair). *)
+
+val actions : t -> int -> int list array
+(** Agent [i]'s action table (action index -> path as edge ids). *)
+
+val valid_actions : t -> int -> int -> int list
+(** Action indices valid for agent [i] at type [ti]. *)
+
+val complete_game : t -> (int * int) array -> Complete.t
+(** The underlying complete-information NCS game for a pair profile;
+    memoized. *)
+
+val valid_strategy_profiles : t -> Bi_bayes.Bayesian.strategy_profile Seq.t
+
+val bayesian_equilibria : t -> Bi_bayes.Bayesian.strategy_profile Seq.t
+(** All pure Bayesian equilibria (search restricted to valid profiles,
+    which is exact — see above). *)
+
+val social_cost : t -> Bi_bayes.Bayesian.strategy_profile -> Extended.t
+
+val bayesian_potential : t -> Bi_bayes.Bayesian.strategy_profile -> Rat.t
+(** [E_p[sum_e c(e) H(load_e)]] — the Bayesian potential of
+    Observation 2.1 instantiated with the Rosenthal potential. *)
+
+val equilibrium_by_dynamics :
+  ?max_steps:int -> t -> Bi_bayes.Bayesian.strategy_profile option
+(** Bayesian best-response dynamics started from everyone's
+    per-type shortest path; converges by the Bayesian potential. *)
+
+val shortest_path_profile : t -> Bi_bayes.Bayesian.strategy_profile
+(** The profile where each agent buys a shortest path for each type. *)
+
+val measures_exhaustive : t -> Bi_bayes.Measures.report
+(** All six quantities; partial-information side by exhaustive valid
+    enumeration, complete-information side by per-type-profile search.
+    Exponential in all directions — small instances only. *)
+
+val opt_c : t -> Extended.t
+val best_eq_c : t -> Extended.t option
+val worst_eq_c : t -> Extended.t option
+val opt_p_exhaustive : t -> Extended.t * Bi_bayes.Bayesian.strategy_profile
+
+val opt_p_branch_and_bound :
+  ?node_budget:int -> t -> Extended.t * Bi_bayes.Bayesian.strategy_profile * bool
+(** Exact [optP] by depth-first branch and bound over (agent, type)
+    assignments, pruning with the per-state union-cost lower bound
+    (edges already forced can only gain company, never disappear).
+    Returns [(value, profile, certified)]: [certified] is true when the
+    search space was exhausted within [node_budget] (default [5_000_000]
+    nodes), in which case the value is provably optimal; otherwise the
+    value is the best found — still an upper bound on [optP].  Orders of
+    magnitude faster than {!opt_p_exhaustive} on games whose optimum
+    shares edges aggressively (the paper's constructions). *)
+
+val best_eq_p : t -> (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
+val worst_eq_p : t -> (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
+
+val lemma_3_1_bound_holds : t -> bool
+(** Universal bound [worst-eqP <= k * optC] (Lemma 3.1); vacuously true
+    when no pure Bayesian equilibrium exists. *)
+
+val lemma_3_8_bound_holds : t -> bool
+(** Universal bound [best-eqP <= H(k) * optP] (Lemma 3.8). *)

@@ -1,0 +1,185 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+module Paths = Bi_graph.Paths
+
+type t = {
+  graph : Graph.t;
+  pairs : (int * int) array;
+  path_table : int list array array; (* agent -> action index -> edge ids *)
+}
+
+let make graph pairs =
+  if Array.length pairs = 0 then invalid_arg "Complete.make: no agents";
+  let n = Graph.n_vertices graph in
+  Array.iter
+    (fun (x, y) ->
+      if x < 0 || x >= n || y < 0 || y >= n then
+        invalid_arg "Complete.make: terminal out of range")
+    pairs;
+  let path_table =
+    Array.map
+      (fun (x, y) ->
+        let ps = Paths.simple_paths graph x y in
+        if ps = [] then invalid_arg "Complete.make: agent with disconnected terminals";
+        Array.of_list ps)
+      pairs
+  in
+  { graph; pairs; path_table }
+
+let graph g = g.graph
+let players g = Array.length g.pairs
+let pairs g = Array.copy g.pairs
+let paths g i = Array.to_list g.path_table.(i)
+
+let action_edges g profile i = g.path_table.(i).(profile.(i))
+
+let loads g profile =
+  let load = Array.make (Graph.n_edges g.graph) 0 in
+  Array.iteri
+    (fun i ai ->
+      List.iter (fun e -> load.(e) <- load.(e) + 1) g.path_table.(i).(ai))
+    profile;
+  load
+
+let player_cost g profile i =
+  let load = loads g profile in
+  Rat.sum
+    (List.map
+       (fun e -> Rat.div_int (Graph.cost g.graph e) load.(e))
+       (action_edges g profile i))
+
+let social_cost g profile =
+  let load = loads g profile in
+  let acc = ref Rat.zero in
+  Array.iteri
+    (fun e l -> if l > 0 then acc := Rat.add !acc (Graph.cost g.graph e))
+    load;
+  !acc
+
+let potential g profile =
+  let load = loads g profile in
+  let acc = ref Rat.zero in
+  Array.iteri
+    (fun e l ->
+      if l > 0 then
+        acc := Rat.add !acc (Rat.mul (Graph.cost g.graph e) (Rat.harmonic l)))
+    load;
+  !acc
+
+let to_strategic g =
+  Bi_game.Strategic.make ~players:(players g)
+    ~actions:(Array.map Array.length g.path_table)
+    ~cost:(fun profile i -> Extended.of_rat (player_cost g profile i))
+
+let profile_space g =
+  Bi_ds.Combinat.product_arrays
+    (Array.map (fun tbl -> Array.init (Array.length tbl) Fun.id) g.path_table)
+
+let optimum g =
+  match Bi_ds.Combinat.argmin (social_cost g) ~cmp:Rat.compare (profile_space g) with
+  | Some (a, c) -> (c, a)
+  | None -> assert false
+
+let optimum_rooted g =
+  let root, _ = g.pairs.(0) in
+  if Array.for_all (fun (x, _) -> x = root) g.pairs then
+    Some
+      (Bi_graph.Steiner_dp.steiner_cost g.graph ~root
+         ~terminals:(Array.to_list (Array.map snd g.pairs)))
+  else None
+
+(* Exact best response: the shared-cost weight of an edge for agent i is
+   c(e)/(load_others(e) + 1), and her path cost is additive in these
+   weights, so a Dijkstra over the reweighted graph finds it. *)
+let best_response g profile i =
+  let load = loads g profile in
+  List.iter (fun e -> load.(e) <- load.(e) - 1) (action_edges g profile i);
+  let reweighted =
+    Graph.make (Graph.kind g.graph) ~n:(Graph.n_vertices g.graph)
+      (List.map
+         (fun e ->
+           ( e.Graph.src,
+             e.Graph.dst,
+             Rat.div_int e.Graph.cost (load.(e.Graph.id) + 1) ))
+         (Graph.edges g.graph))
+  in
+  let x, y = g.pairs.(i) in
+  match Graph.shortest_path reweighted x y with
+  | None -> assert false (* terminals are connected by construction *)
+  | Some ids ->
+    (* Edge ids coincide between g.graph and its reweighting. *)
+    let table = g.path_table.(i) in
+    let found = ref None in
+    Array.iteri (fun j p -> if !found = None && p = ids then found := Some j) table;
+    (match !found with
+     | Some j -> j
+     | None ->
+       (* The Dijkstra path is simple, so it is always in the table;
+          this fallback exists only for belt and braces. *)
+       let cost_of j =
+         Rat.sum
+           (List.map
+              (fun e -> Rat.div_int (Graph.cost g.graph e) (load.(e) + 1))
+              table.(j))
+       in
+       let best = ref 0 in
+       Array.iteri
+         (fun j _ -> if Rat.( < ) (cost_of j) (cost_of !best) then best := j)
+         table;
+       !best)
+
+let is_nash g profile =
+  let k = players g in
+  let rec go i =
+    if i >= k then true
+    else begin
+      let j = best_response g profile i in
+      let deviated = Array.copy profile in
+      deviated.(i) <- j;
+      Rat.( <= ) (player_cost g profile i) (player_cost g deviated i) && go (i + 1)
+    end
+  in
+  go 0
+
+let nash_equilibria g = Seq.filter (is_nash g) (profile_space g)
+
+let best_equilibrium g =
+  Option.map
+    (fun (a, c) -> (c, a))
+    (Bi_ds.Combinat.argmin (social_cost g) ~cmp:Rat.compare (nash_equilibria g))
+
+let worst_equilibrium g =
+  Option.map
+    (fun (a, c) -> (c, a))
+    (Bi_ds.Combinat.argmax (social_cost g) ~cmp:Rat.compare (nash_equilibria g))
+
+let equilibrium_by_dynamics ?(max_steps = 100_000) g start =
+  let profile = Array.copy start in
+  let rec go steps =
+    if steps > max_steps then None
+    else begin
+      let moved = ref false in
+      for i = 0 to players g - 1 do
+        if not !moved then begin
+          let j = best_response g profile i in
+          if j <> profile.(i) then begin
+            let deviated = Array.copy profile in
+            deviated.(i) <- j;
+            if Rat.( < ) (player_cost g deviated i) (player_cost g profile i) then begin
+              profile.(i) <- j;
+              moved := true
+            end
+          end
+        end
+      done;
+      if !moved then go (steps + 1) else Some (Array.copy profile)
+    end
+  in
+  go 0
+
+let price_of_stability_bound_holds g =
+  match best_equilibrium g with
+  | None -> false
+  | Some (best_eq, _) ->
+    let opt, _ = optimum g in
+    Rat.( <= ) best_eq (Rat.mul (Rat.harmonic (players g)) opt)

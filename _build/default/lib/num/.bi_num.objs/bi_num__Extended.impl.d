@@ -1,0 +1,1 @@
+lib/num/extended.ml: Float Format List Rat Stdlib

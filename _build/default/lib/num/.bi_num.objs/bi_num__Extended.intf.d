@@ -1,0 +1,1 @@
+lib/num/extended.mli: Format Rat

@@ -1,0 +1,265 @@
+(* Little-endian magnitude in base 10^4; canonical form has no leading
+   zero limbs and sign 0 exactly for the empty magnitude. *)
+
+let base = 10_000
+let base_digits = 4
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then zero
+  else if hi = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation overflows, so accumulate on negative values. *)
+    let rec limbs acc n = if n = 0 then acc else limbs (-(n mod base) :: acc) (n / base) in
+    let ds = List.rev (limbs [] (if n < 0 then n else -n)) in
+    { sign; mag = Array.of_list ds }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = { x with sign = -x.sign }
+let abs x = { x with sign = Stdlib.abs x.sign }
+
+(* Magnitude-level primitives.  All take/return little-endian arrays. *)
+
+(* Magnitudes may carry leading zero limbs transiently (e.g. the raw
+   output of mul_mag_small), so comparisons must use effective lengths. *)
+let effective_len a =
+  let rec go i = if i >= 0 && a.(i) = 0 then go (i - 1) else i + 1 in
+  go (Array.length a - 1)
+
+let cmp_mag a b =
+  let la = effective_len a and lb = effective_len b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s mod base;
+    carry := s / base
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin r.(i) <- s + base; borrow := 1 end
+    else begin r.(i) <- s; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s mod base;
+        carry := s / base
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let mul_mag_small a m =
+  assert (m >= 0 && m < base);
+  if m = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s mod base;
+      carry := s / base
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+(* Long division of magnitudes: processes dividend limbs from most
+   significant to least, maintaining a remainder smaller than the
+   divisor.  Each quotient limb is found by binary search, which is
+   trivially correct and fast enough at base 10^4. *)
+let divmod_mag a b =
+  let la = Array.length a in
+  let q = Array.make (Stdlib.max la 1) 0 in
+  let rem = ref [||] in
+  for i = la - 1 downto 0 do
+    (* rem := rem * base + a.(i) *)
+    let shifted =
+      let lr = Array.length !rem in
+      let r = Array.make (lr + 1) 0 in
+      Array.blit !rem 0 r 1 lr;
+      r.(0) <- a.(i);
+      r
+    in
+    let rem' = (normalize 1 shifted).mag in
+    (* binary search for the largest d with d * b <= rem' *)
+    let lo = ref 0 and hi = ref (base - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if cmp_mag (mul_mag_small b mid) rem' <= 0 then lo := mid else hi := mid - 1
+    done;
+    q.(i) <- !lo;
+    rem := (normalize 1 (sub_mag rem' (mul_mag_small b !lo))).mag
+  done;
+  (q, !rem)
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
+    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) q_mag in
+    let r = normalize a.sign r_mag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc x) (mul x x) (n lsr 1)
+    else go acc (mul x x) (n lsr 1)
+  in
+  go one x n
+
+let mul_int x m = mul x (of_int m)
+let add_int x m = add x (of_int m)
+
+let to_int_opt x =
+  (* Reconstruct while watching for overflow on negative accumulation. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else begin
+      let limb = x.mag.(i) in
+      if acc < (Stdlib.min_int + limb) / base then None
+      else go (i - 1) ((acc * base) - limb)
+    end
+  in
+  match go (Array.length x.mag - 1) 0 with
+  | None -> None
+  | Some negv ->
+    if x.sign >= 0 then (if negv = Stdlib.min_int then None else Some (-negv))
+    else Some negv
+
+let to_float x =
+  let v = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !v else !v
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let n = Array.length x.mag in
+    let buf = Buffer.create (n * base_digits + 1) in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    Buffer.add_string buf (string_of_int x.mag.(n - 1));
+    for i = n - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%04d" x.mag.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  for i = start to len - 1 do
+    if not (s.[i] >= '0' && s.[i] <= '9') then
+      invalid_arg "Bigint.of_string: invalid character"
+  done;
+  let digits = len - start in
+  let nlimbs = (digits + base_digits - 1) / base_digits in
+  let mag = Array.make nlimbs 0 in
+  (* Walk limb chunks from the least significant end of the string. *)
+  for limb = 0 to nlimbs - 1 do
+    let chunk_end = len - (limb * base_digits) in
+    let chunk_start = Stdlib.max start (chunk_end - base_digits) in
+    let v = ref 0 in
+    for i = chunk_start to chunk_end - 1 do
+      v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+    done;
+    mag.(limb) <- !v
+  done;
+  normalize (if negative then -1 else 1) mag
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let factorial n =
+  if n < 0 then invalid_arg "Bigint.factorial: negative argument";
+  let rec go acc i = if i > n then acc else go (mul_int acc i) (i + 1) in
+  go one 1

@@ -1,0 +1,68 @@
+(** Arbitrary-precision signed integers.
+
+    A value is a sign and a little-endian magnitude in base 10{^4}.  The
+    representation is canonical: the magnitude never has leading zero
+    limbs and the magnitude of zero is empty.  All operations are pure.
+
+    The implementation favours obvious correctness over speed (schoolbook
+    multiplication, binary-search long division): the reproduction needs
+    exact arithmetic on numbers of at most a few hundred digits, where
+    these algorithms are more than fast enough. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts an optional leading ['-'] followed by decimal digits.
+    @raise Invalid_argument on any other input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and
+    [r] carrying the sign of [a] (truncated division, as for [Stdlib.( / )]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative. [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative [n]. *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val factorial : int -> t
+(** [factorial n] for [n >= 0]. *)

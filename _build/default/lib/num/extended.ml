@@ -1,0 +1,60 @@
+type t =
+  | Fin of Rat.t
+  | Inf
+
+let zero = Fin Rat.zero
+let one = Fin Rat.one
+let inf = Inf
+let of_rat r = Fin r
+let of_int n = Fin (Rat.of_int n)
+let of_ints n d = Fin (Rat.of_ints n d)
+
+let is_finite = function Fin _ -> true | Inf -> false
+
+let to_rat_opt = function Fin r -> Some r | Inf -> None
+
+let to_rat_exn = function
+  | Fin r -> r
+  | Inf -> invalid_arg "Extended.to_rat_exn: infinite"
+
+let add x y =
+  match x, y with
+  | Fin a, Fin b -> Fin (Rat.add a b)
+  | Inf, _ | _, Inf -> Inf
+
+let mul x y =
+  match x, y with
+  | Fin a, Fin b -> Fin (Rat.mul a b)
+  | Fin a, Inf | Inf, Fin a -> if Rat.is_zero a then Fin Rat.zero else Inf
+  | Inf, Inf -> Inf
+
+let mul_rat r x = mul (Fin r) x
+
+let div_int x n =
+  match x with
+  | Fin a -> Fin (Rat.div_int a n)
+  | Inf -> Inf
+
+let compare x y =
+  match x, y with
+  | Fin a, Fin b -> Rat.compare a b
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+let equal x y = compare x y = 0
+let ( < ) x y = compare x y < 0
+let ( <= ) x y = compare x y <= 0
+let min x y = if Stdlib.( <= ) (compare x y) 0 then x else y
+let max x y = if Stdlib.( >= ) (compare x y) 0 then x else y
+let sum xs = List.fold_left add zero xs
+
+let to_float = function
+  | Fin r -> Rat.to_float r
+  | Inf -> Float.infinity
+
+let to_string = function
+  | Fin r -> Rat.to_string r
+  | Inf -> "inf"
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

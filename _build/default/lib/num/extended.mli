@@ -1,0 +1,44 @@
+(** Rationals extended with positive infinity.
+
+    NCS games charge infinite cost to an agent whose purchase does not
+    connect her terminals (Section 2 of the paper), so cost arithmetic is
+    carried out in this extended domain.  Negative infinity never occurs
+    in the model and is deliberately not representable. *)
+
+type t =
+  | Fin of Rat.t
+  | Inf
+
+val zero : t
+val one : t
+val inf : t
+val of_rat : Rat.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val is_finite : t -> bool
+
+val to_rat_opt : t -> Rat.t option
+
+val to_rat_exn : t -> Rat.t
+(** @raise Invalid_argument on [Inf]. *)
+
+val add : t -> t -> t
+
+val mul : t -> t -> t
+(** [mul] follows measure-theoretic convention: [0 * Inf = 0], so that a
+    zero-probability state never contributes to an expectation even when
+    its cost is infinite. *)
+
+val mul_rat : Rat.t -> t -> t
+val div_int : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sum : t list -> t
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,77 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let two = { num = B.two; den = B.one }
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints n d = make (B.of_int n) (B.of_int d)
+let num x = x.num
+let den x = x.den
+
+let add x y = make (B.add (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
+let sub x y = make (B.sub (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
+let mul x y = make (B.mul x.num y.num) (B.mul x.den y.den)
+let div x y = make (B.mul x.num y.den) (B.mul x.den y.num)
+let neg x = { x with num = B.neg x.num }
+let abs x = { x with num = B.abs x.num }
+
+let inv x =
+  if B.is_zero x.num then raise Division_by_zero;
+  make x.den x.num
+
+let mul_int x n = make (B.mul_int x.num n) x.den
+let div_int x n = make x.num (B.mul_int x.den n)
+
+(* Denominators are positive, so cross-multiplication preserves order. *)
+let compare x y = B.compare (B.mul x.num y.den) (B.mul y.num x.den)
+let equal x y = compare x y = 0
+let ( < ) x y = compare x y < 0
+let ( <= ) x y = compare x y <= 0
+let ( > ) x y = compare x y > 0
+let ( >= ) x y = compare x y >= 0
+let min x y = if Stdlib.( <= ) (compare x y) 0 then x else y
+let max x y = if Stdlib.( >= ) (compare x y) 0 then x else y
+let sign x = B.sign x.num
+let is_zero x = B.is_zero x.num
+
+let sum xs = List.fold_left add zero xs
+
+let average xs =
+  match xs with
+  | [] -> invalid_arg "Rat.average: empty list"
+  | _ -> div_int (sum xs) (List.length xs)
+
+let harmonic n =
+  if Stdlib.(n < 0) then invalid_arg "Rat.harmonic: negative argument";
+  let rec go acc i = if Stdlib.(i > n) then acc else go (add acc (of_ints 1 i)) (i + 1) in
+  go zero 1
+
+let pow x n =
+  if Stdlib.(n >= 0) then make (B.pow x.num n) (B.pow x.den n)
+  else inv (make (B.pow x.num (-n)) (B.pow x.den (-n)))
+
+(* Dividing the bigints first keeps the conversion exact to ~15 digits
+   and avoids overflowing both operands to infinity (num and den can
+   exceed the float range even when their quotient is small). *)
+let to_float x =
+  let scale = B.pow (B.of_int 10) 17 in
+  let q = B.div (B.mul x.num scale) x.den in
+  B.to_float q /. 1e17
+
+let to_string x =
+  if B.equal x.den B.one then B.to_string x.num
+  else B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,72 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    coprime with the numerator; zero is [0/1].  Exactness matters for
+    this reproduction because the paper's equilibrium arguments hinge on
+    strict comparisons between harmonic sums and thresholds such as
+    [1 + eps] that float arithmetic would blur. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints n d] is the rational [n/d]. @raise Division_by_zero if [d = 0]. *)
+
+val of_bigint : Bigint.t -> t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den]. @raise Division_by_zero if [den] is zero. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sign : t -> int
+val is_zero : t -> bool
+
+val sum : t list -> t
+
+val average : t list -> t
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val harmonic : int -> t
+(** [harmonic n] is [H(n) = 1 + 1/2 + ... + 1/n]; [harmonic 0 = zero].
+    @raise Invalid_argument on negative [n]. *)
+
+val pow : t -> int -> t
+(** Integer powers; negative exponents invert.
+    @raise Division_by_zero on [pow zero n] with [n < 0]. *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Bi_num Extended Format List Random Rat Stdlib

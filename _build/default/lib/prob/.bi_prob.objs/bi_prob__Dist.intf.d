@@ -1,0 +1,1 @@
+lib/prob/dist.mli: Bi_num Extended Format Random Rat

@@ -1,0 +1,99 @@
+open Bi_num
+
+type 'a t = ('a * Rat.t) list
+
+let merge_duplicates pairs =
+  (* Quadratic, but supports are small; keeps first-seen order. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (x, w) :: rest ->
+      let same, other = List.partition (fun (y, _) -> y = x) rest in
+      let w = List.fold_left (fun acc (_, w') -> Rat.add acc w') w same in
+      go ((x, w) :: acc) other
+  in
+  go [] pairs
+
+let make pairs =
+  if pairs = [] then invalid_arg "Dist.make: empty distribution";
+  List.iter
+    (fun (_, w) ->
+      if Stdlib.( < ) (Rat.sign w) 0 then invalid_arg "Dist.make: negative weight")
+    pairs;
+  let total = Rat.sum (List.map snd pairs) in
+  if Rat.is_zero total then invalid_arg "Dist.make: zero total mass";
+  let pairs = List.filter (fun (_, w) -> not (Rat.is_zero w)) pairs in
+  merge_duplicates (List.map (fun (x, w) -> (x, Rat.div w total)) pairs)
+
+let point x = [ (x, Rat.one) ]
+
+let uniform xs =
+  match xs with
+  | [] -> invalid_arg "Dist.uniform: empty list"
+  | _ ->
+    let n = List.length xs in
+    make (List.map (fun x -> (x, Rat.of_ints 1 n)) xs)
+
+let bernoulli p =
+  if Rat.(p < zero) || Rat.(p > one) then invalid_arg "Dist.bernoulli: p outside [0,1]";
+  make [ (true, p); (false, Rat.sub Rat.one p) ]
+
+let weighted_pair p x y =
+  if Rat.(p < zero) || Rat.(p > one) then invalid_arg "Dist.weighted_pair: p outside [0,1]";
+  make [ (x, p); (y, Rat.sub Rat.one p) ]
+
+let support d = List.map fst d
+
+let mass d x =
+  match List.assoc_opt x d with
+  | Some w -> w
+  | None -> Rat.zero
+
+let to_list d = d
+
+let map f d = make (List.map (fun (x, w) -> (f x, w)) d)
+
+let bind d f =
+  make
+    (List.concat_map
+       (fun (x, w) -> List.map (fun (y, w') -> (y, Rat.mul w w')) (f x))
+       d)
+
+let product da db = bind da (fun a -> map (fun b -> (a, b)) db)
+
+let product_list ds =
+  List.fold_right
+    (fun d acc -> bind d (fun x -> map (fun xs -> x :: xs) acc))
+    ds (point [])
+
+let condition pred d =
+  let hits = List.filter (fun (x, _) -> pred x) d in
+  if hits = [] then None else Some (make hits)
+
+let expectation f d =
+  Rat.sum (List.map (fun (x, w) -> Rat.mul w (f x)) d)
+
+let expectation_ext f d =
+  Extended.sum (List.map (fun (x, w) -> Extended.mul_rat w (f x)) d)
+
+let probability pred d =
+  Rat.sum (List.filter_map (fun (x, w) -> if pred x then Some w else None) d)
+
+let sample rng d =
+  (* A uniform draw over a large integer range compared against exact
+     cumulative weights; 2^30 granularity is far finer than any prior
+     used here. *)
+  let grain = 1 lsl 29 in
+  let u = Rat.of_ints (Random.State.int rng grain) grain in
+  let rec go acc = function
+    | [] -> fst (List.hd (List.rev d))
+    | (x, w) :: rest ->
+      let acc = Rat.add acc w in
+      if Rat.(u < acc) then x else go acc rest
+  in
+  go Rat.zero d
+
+let pp pp_elt fmt d =
+  let pp_pair fmt (x, w) = Format.fprintf fmt "%a: %a" pp_elt x Rat.pp w in
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ") pp_pair)
+    d

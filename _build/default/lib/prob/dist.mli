@@ -1,0 +1,54 @@
+(** Finite probability distributions with exact rational weights.
+
+    A distribution is a finite list of (outcome, weight) pairs with
+    positive weights summing to one.  This is the common prior of a
+    Bayesian game (Section 2 of the paper), so exactness is load-bearing:
+    all expected-cost comparisons in equilibrium checks happen in
+    rational arithmetic. *)
+
+open Bi_num
+
+type 'a t
+
+val make : ('a * Rat.t) list -> 'a t
+(** Builds a distribution from weighted outcomes.  Weights must be
+    non-negative and sum to a positive value; they are normalized to sum
+    to one and zero-weight outcomes are dropped.  Duplicate outcomes (per
+    polymorphic equality) are merged.
+    @raise Invalid_argument on an empty or zero-mass input, or any
+    negative weight. *)
+
+val point : 'a -> 'a t
+val uniform : 'a list -> 'a t
+val bernoulli : Rat.t -> bool t
+(** [bernoulli p] is [true] with probability [p]. @raise Invalid_argument
+    unless [0 <= p <= 1]. *)
+
+val weighted_pair : Rat.t -> 'a -> 'a -> 'a t
+(** [weighted_pair p x y] yields [x] with probability [p], else [y]. *)
+
+val support : 'a t -> 'a list
+val mass : 'a t -> 'a -> Rat.t
+(** Zero for outcomes outside the support. *)
+
+val to_list : 'a t -> ('a * Rat.t) list
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val product : 'a t -> 'b t -> ('a * 'b) t
+val product_list : 'a t list -> 'a list t
+(** Independent product; the distribution of the profile. *)
+
+val condition : ('a -> bool) -> 'a t -> 'a t option
+(** Conditional distribution given the event; [None] when the event has
+    zero probability. *)
+
+val expectation : ('a -> Rat.t) -> 'a t -> Rat.t
+val expectation_ext : ('a -> Extended.t) -> 'a t -> Extended.t
+val probability : ('a -> bool) -> 'a t -> Rat.t
+
+val sample : Random.State.t -> 'a t -> 'a
+(** Draws an outcome; rational weights are consumed exactly via
+    cumulative comparison against a uniform 29-bit rational. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

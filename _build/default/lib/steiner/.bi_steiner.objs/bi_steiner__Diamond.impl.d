@@ -1,0 +1,1 @@
+lib/steiner/diamond.ml: Bi_graph Bi_num Bi_prob Extended List Online Random Rat

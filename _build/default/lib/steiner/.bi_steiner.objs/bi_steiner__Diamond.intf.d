@@ -1,0 +1,1 @@
+lib/steiner/diamond.mli: Bi_graph Bi_num Bi_prob Online Random Rat

@@ -1,0 +1,1 @@
+lib/steiner/online.ml: Array Bi_ds Bi_graph Bi_num Extended Fun List Rat

@@ -1,0 +1,1 @@
+lib/steiner/online.mli: Bi_graph Bi_num Extended Rat

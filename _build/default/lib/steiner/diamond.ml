@@ -1,0 +1,105 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+module Dist = Bi_prob.Dist
+
+(* Conceptual edge of the recursive construction: a level-[l] edge either
+   is a graph edge (finest level) or splits through two midpoints. *)
+type cedge = {
+  u : int;
+  v : int;
+  kids : ((int * cedge * cedge) * (int * cedge * cedge)) option;
+}
+
+type t = {
+  graph : Graph.t;
+  top_edge : cedge;
+  levels : int;
+}
+
+let build levels =
+  if levels < 0 then invalid_arg "Diamond.build: negative level count";
+  let next = ref 2 in
+  let fresh () = let v = !next in incr next; v in
+  let graph_edges = ref [] in
+  let leaf_cost = Rat.pow (Rat.of_ints 1 2) levels in
+  let rec subdivide u v level =
+    if level = levels then begin
+      graph_edges := (u, v, leaf_cost) :: !graph_edges;
+      { u; v; kids = None }
+    end
+    else begin
+      let m1 = fresh () and m2 = fresh () in
+      let top = (m1, subdivide u m1 (level + 1), subdivide m1 v (level + 1)) in
+      let bot = (m2, subdivide u m2 (level + 1), subdivide m2 v (level + 1)) in
+      { u; v; kids = Some (top, bot) }
+    end
+  in
+  let top_edge = subdivide 0 1 0 in
+  { graph = Graph.make Undirected ~n:!next !graph_edges; top_edge; levels }
+
+let graph t = t.graph
+let root _ = 0
+let pole _ = 1
+let levels t = t.levels
+
+(* Enumerate the adversary's phases over an active path of conceptual
+   edges: each phase picks one midpoint per active edge. *)
+let request_distribution t =
+  if t.levels > 3 then
+    invalid_arg "Diamond.request_distribution: support too large, use sampling";
+  let half = Rat.of_ints 1 2 in
+  let choice e =
+    match e.kids with
+    | None -> assert false
+    | Some (top, bot) -> Dist.weighted_pair half top bot
+  in
+  let rec phases active =
+    match active with
+    | [] -> Dist.point []
+    | e :: _ when e.kids = None -> Dist.point []
+    | _ ->
+      let choices = Dist.product_list (List.map choice active) in
+      Dist.bind choices (fun picked ->
+          let requests = List.map (fun (m, _, _) -> m) picked in
+          let next_active = List.concat_map (fun (_, e1, e2) -> [ e1; e2 ]) picked in
+          Dist.map (fun rest -> requests @ rest) (phases next_active))
+  in
+  Dist.map (fun rest -> 1 :: rest) (phases [ t.top_edge ])
+
+let sample_requests rng t =
+  let rec phases active =
+    match active with
+    | [] -> []
+    | e :: _ when e.kids = None -> []
+    | _ ->
+      let picked =
+        List.map
+          (fun e ->
+            match e.kids with
+            | None -> assert false
+            | Some (top, bot) -> if Random.State.bool rng then top else bot)
+          active
+      in
+      let requests = List.map (fun (m, _, _) -> m) picked in
+      let next_active = List.concat_map (fun (_, e1, e2) -> [ e1; e2 ]) picked in
+      requests @ phases next_active
+  in
+  1 :: phases [ t.top_edge ]
+
+let offline_opt_is_one t sigma =
+  Extended.equal Extended.one (Online.offline_opt t.graph ~root:0 sigma)
+
+let expected_cost t alg =
+  Dist.expectation
+    (fun sigma -> Online.cost_of_run t.graph (alg.Online.run t.graph ~root:0 sigma))
+    (request_distribution t)
+
+let mean_cost rng ~samples t alg =
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let sigma = sample_requests rng t in
+    total :=
+      !total
+      +. Rat.to_float (Online.cost_of_run t.graph (alg.Online.run t.graph ~root:0 sigma))
+  done;
+  !total /. float_of_int samples

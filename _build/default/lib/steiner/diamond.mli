@@ -1,0 +1,48 @@
+(** The diamond-graph adversary for online Steiner tree.
+
+    Imase and Waxman's lower bound (generalized to a distribution, as
+    the paper's Lemma 3.5 requires against randomized algorithms /
+    arbitrary strategy profiles) lives on the level-[j] diamond graph:
+    starting from a single unit edge between the poles, every level
+    replaces each edge of cost [c] by two parallel two-edge paths of
+    cost [c/2] each.
+
+    The adversarial request distribution reveals, level by level, one
+    uniformly chosen midpoint of every edge of the current {e active
+    path}; the active path then refines through the chosen midpoints.
+    All requests end up on a single pole-to-pole path of cost exactly 1,
+    so the offline optimum is always 1, while any online algorithm pays
+    [Omega(levels)] in expectation. *)
+
+open Bi_num
+
+type t
+
+val build : int -> t
+(** [build levels]. @raise Invalid_argument on negative levels. *)
+
+val graph : t -> Bi_graph.Graph.t
+val root : t -> int
+(** The pole from which terminals must be connected (vertex 0). *)
+
+val pole : t -> int
+(** The opposite pole (vertex 1), always the first request. *)
+
+val levels : t -> int
+
+val request_distribution : t -> int list Bi_prob.Dist.t
+(** The exact adversarial distribution over request sequences.  Its
+    support has size [2^(2^levels - 1)]; guarded to [levels <= 3].
+    @raise Invalid_argument beyond the guard. *)
+
+val sample_requests : Random.State.t -> t -> int list
+
+val offline_opt_is_one : t -> int list -> bool
+(** Every sequence in the support has offline optimum exactly 1; this
+    verifies it for a given sequence. *)
+
+val expected_cost : t -> Online.algorithm -> Rat.t
+(** Exact expected algorithm cost over {!request_distribution}. *)
+
+val mean_cost : Random.State.t -> samples:int -> t -> Online.algorithm -> float
+(** Monte-Carlo estimate, usable at any level. *)

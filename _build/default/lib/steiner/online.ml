@@ -1,0 +1,95 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+
+type algorithm = {
+  name : string;
+  run : Graph.t -> root:int -> int list -> int list list;
+}
+
+let greedy =
+  let run g ~root sigma =
+    let uf = Bi_ds.Union_find.create (Graph.n_vertices g) in
+    let buy_step v =
+      if Bi_ds.Union_find.same uf root v then []
+      else begin
+        (* Cheapest path from v to the component of the root. *)
+        let dist, pred = Graph.dijkstra g v in
+        let best = ref None in
+        for u = 0 to Graph.n_vertices g - 1 do
+          if Bi_ds.Union_find.same uf root u then begin
+            match !best with
+            | None -> best := Some u
+            | Some b -> if Extended.( < ) dist.(u) dist.(b) then best := Some u
+          end
+        done;
+        match !best with
+        | None -> invalid_arg "Online.greedy: disconnected terminal"
+        | Some target ->
+          (match dist.(target) with
+           | Extended.Inf -> invalid_arg "Online.greedy: disconnected terminal"
+           | Extended.Fin _ ->
+             (* Walk predecessors from target back to v, merging as we go. *)
+             let rec walk u acc =
+               if u = v then acc
+               else
+                 match pred.(u) with
+                 | None -> acc
+                 | Some id ->
+                   let e = Graph.edge g id in
+                   let prev = Graph.other_endpoint g e u in
+                   ignore (Bi_ds.Union_find.union uf e.Graph.src e.Graph.dst);
+                   walk prev (id :: acc)
+             in
+             walk target [])
+      end
+    in
+    List.map buy_step sigma
+  in
+  { name = "greedy"; run }
+
+let oblivious_shortest_path =
+  let run g ~root sigma =
+    List.map
+      (fun v ->
+        match Graph.shortest_path g root v with
+        | Some ids -> ids
+        | None -> invalid_arg "Online.oblivious_shortest_path: disconnected terminal")
+      sigma
+  in
+  { name = "oblivious-shortest-path"; run }
+
+let cost_of_run g purchases = Graph.total_cost g (List.concat purchases)
+
+let is_valid_run g ~root sigma purchases =
+  List.length sigma = List.length purchases
+  && begin
+    let rec go bought sigma purchases =
+      match sigma, purchases with
+      | [], [] -> true
+      | v :: sigma', step :: purchases' ->
+        let bought = step @ bought in
+        Graph.is_path_between g bought root v && go bought sigma' purchases'
+      | _ -> false
+    in
+    go [] sigma purchases
+  end
+
+let offline_opt g ~root sigma =
+  Bi_graph.Steiner_dp.steiner_cost g ~root ~terminals:sigma
+
+let competitive_ratio g ~root sigmas alg =
+  let ratios =
+    List.map
+      (fun sigma ->
+        match offline_opt g ~root sigma with
+        | Extended.Inf -> None
+        | Extended.Fin opt ->
+          if Rat.is_zero opt then None
+          else begin
+            let cost = cost_of_run g (alg.run g ~root sigma) in
+            Some (Rat.div cost opt)
+          end)
+      sigmas
+  in
+  if List.exists (fun r -> r = None) ratios || ratios = [] then None
+  else Some (Rat.average (List.filter_map Fun.id ratios))

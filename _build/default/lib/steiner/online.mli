@@ -1,0 +1,45 @@
+(** The online Steiner tree problem (Imase–Waxman), the substrate of the
+    paper's Lemma 3.5.
+
+    An instance is an undirected graph with a root; terminals arrive one
+    by one and the algorithm must immediately buy edges connecting each
+    new terminal to the root.  Bought edges stay bought.  The
+    competitive ratio compares the total purchase against the optimal
+    (offline) Steiner tree of the whole request set. *)
+
+open Bi_num
+
+type algorithm = {
+  name : string;
+  run : Bi_graph.Graph.t -> root:int -> int list -> int list list;
+      (** [run g ~root sigma] returns, per request, the edge ids bought
+          at that step.  The cumulative purchase after step [i] must
+          connect each of the first [i] requests to [root]. *)
+}
+
+val greedy : algorithm
+(** Connects each new terminal by a shortest path to the already-bought
+    component of the root — the classical O(log n)-competitive greedy. *)
+
+val oblivious_shortest_path : algorithm
+(** Buys a shortest root-terminal path for each request independently,
+    ignoring what is already bought.  This is exactly what a strategy
+    profile of the Lemma 3.5 Bayesian NCS game does: each agent's
+    purchase depends only on her own type. *)
+
+val cost_of_run : Bi_graph.Graph.t -> int list list -> Rat.t
+(** Total cost of the union of all purchased edges. *)
+
+val is_valid_run : Bi_graph.Graph.t -> root:int -> int list -> int list list -> bool
+(** Checks the online constraint: one purchase list per request, and
+    after each step the prefix union connects that step's terminal to
+    the root. *)
+
+val offline_opt : Bi_graph.Graph.t -> root:int -> int list -> Extended.t
+(** Cost of a minimum Steiner tree spanning root and all requests
+    (exact, via the subset DP). *)
+
+val competitive_ratio :
+  Bi_graph.Graph.t -> root:int -> int list list -> algorithm -> Rat.t option
+(** Average of [ALG(sigma)/OPT(sigma)] over the given request sequences;
+    [None] if some sequence is unreachable or has zero OPT. *)

@@ -1,0 +1,1 @@
+test/test_bayes.ml: Alcotest Array Bi_bayes Bi_ds Bi_game Bi_num Bi_prob Extended Fun Hashtbl List QCheck2 QCheck_alcotest Random Rat Seq

@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Bi_bayes Bi_constructions Bi_graph Bi_ncs Bi_num Bi_steiner Extended List Printf Random Rat Seq

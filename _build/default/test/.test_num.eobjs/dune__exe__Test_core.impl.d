@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bayes Bayesian_ignorance Extended Graphs List Ncs Num Prob Rat Report String

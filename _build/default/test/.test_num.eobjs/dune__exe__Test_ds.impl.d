@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Bi_ds Bitset Combinat Fun Heap List QCheck2 QCheck_alcotest Seq Stdlib Union_find

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Bi_bayes Bi_ds Bi_graph Bi_ncs Bi_num Bi_prob Bigint Extended Fun List QCheck2 QCheck_alcotest Rat Seq Stdlib

@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Bi_embed Bi_graph Bi_num List Printf QCheck2 QCheck_alcotest Random Rat

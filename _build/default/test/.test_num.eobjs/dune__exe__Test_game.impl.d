@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Bi_game Bi_num Extended List QCheck2 QCheck_alcotest Random Rat Seq

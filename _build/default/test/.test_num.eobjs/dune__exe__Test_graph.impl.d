@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bi_graph Bi_num Extended Gen Graph List Paths QCheck2 QCheck_alcotest Random Rat Steiner_dp

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Bi_bayes Bi_constructions Bi_graph Bi_ncs Bi_num Bi_prob Extended List QCheck2 QCheck_alcotest Random Rat

@@ -1,0 +1,1 @@
+test/test_minimax.ml: Alcotest Array Bi_graph Bi_minimax Bi_ncs Bi_num Bi_prob List Printf QCheck2 QCheck_alcotest Random Rat

@@ -1,0 +1,1 @@
+test/test_ncs.ml: Alcotest Array Bi_bayes Bi_game Bi_graph Bi_ncs Bi_num Bi_prob Extended List QCheck2 QCheck_alcotest Random Rat Seq

@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bi_num Bigint Extended Float List Printf QCheck2 QCheck_alcotest Rat Stdlib String

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Bi_num Bi_prob Extended Float List Printf QCheck2 QCheck_alcotest Random Rat

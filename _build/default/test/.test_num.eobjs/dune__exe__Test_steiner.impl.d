@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Bi_graph Bi_num Bi_prob Bi_steiner Extended List QCheck2 QCheck_alcotest Random Rat

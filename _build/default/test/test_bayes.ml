@@ -1,0 +1,301 @@
+(* Tests for the Bayesian game layer: ex-ante/interim costs, equilibrium
+   predicate (with a brute-force oracle over full strategy deviations),
+   the six measures, and Observation 2.1 / 2.2. *)
+
+open Bi_num
+module Dist = Bi_prob.Dist
+module Strategic = Bi_game.Strategic
+module Bayesian = Bi_bayes.Bayesian
+module Measures = Bi_bayes.Measures
+
+let ext = Alcotest.testable Extended.pp Extended.equal
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let half = Rat.of_ints 1 2
+
+(* Degenerate Bayesian game: point prior on a prisoner's dilemma. *)
+let degenerate_pd () =
+  let table = [| [| (1, 1); (3, 0) |]; [| (0, 3); (2, 2) |] |] in
+  Bayesian.make ~players:2 ~n_types:[| 1; 1 |] ~n_actions:[| 2; 2 |]
+    ~prior:(Dist.point [| 0; 0 |])
+    ~cost:(fun _t a i ->
+      let c1, c2 = table.(a.(0)).(a.(1)) in
+      Extended.of_int (if i = 0 then c1 else c2))
+
+(* "Guess the type": player 0 (1 type, 2 actions) wants to match player
+   1's type (2 equiprobable types, 1 dummy action).  Complete-information
+   agents always match (cost 0); a Bayesian agent pays 1/2 whatever she
+   does.  This is Bayesian ignorance in its purest form. *)
+let guess_the_type () =
+  Bayesian.make ~players:2 ~n_types:[| 1; 2 |] ~n_actions:[| 2; 1 |]
+    ~prior:(Dist.uniform [ [| 0; 0 |]; [| 0; 1 |] ])
+    ~cost:(fun t a i ->
+      if i = 1 then Extended.zero
+      else if a.(0) = t.(1) then Extended.zero
+      else Extended.one)
+
+let test_degenerate_matches_strategic () =
+  let g = degenerate_pd () in
+  let r = Measures.exhaustive g in
+  Alcotest.check ext "optP = 2" (Extended.of_int 2) r.Measures.opt_p;
+  Alcotest.check ext "optC = 2" (Extended.of_int 2) r.Measures.opt_c;
+  Alcotest.(check (option ext)) "best-eqP = 4" (Some (Extended.of_int 4)) r.Measures.best_eq_p;
+  Alcotest.(check (option ext)) "worst-eqP = 4" (Some (Extended.of_int 4)) r.Measures.worst_eq_p;
+  Alcotest.(check (option ext)) "best-eqC = 4" (Some (Extended.of_int 4)) r.Measures.best_eq_c;
+  Alcotest.(check (option ext)) "worst-eqC = 4" (Some (Extended.of_int 4)) r.Measures.worst_eq_c
+
+let test_guess_the_type_measures () =
+  let g = guess_the_type () in
+  let r = Measures.exhaustive g in
+  Alcotest.check ext "optP = 1/2" (Extended.of_rat half) r.Measures.opt_p;
+  Alcotest.check ext "optC = 0" Extended.zero r.Measures.opt_c;
+  Alcotest.(check (option ext)) "best-eqP" (Some (Extended.of_rat half)) r.Measures.best_eq_p;
+  Alcotest.(check (option ext)) "worst-eqP" (Some (Extended.of_rat half)) r.Measures.worst_eq_p;
+  Alcotest.(check (option ext)) "best-eqC" (Some Extended.zero) r.Measures.best_eq_c;
+  Alcotest.(check (option ext)) "worst-eqC" (Some Extended.zero) r.Measures.worst_eq_c;
+  Alcotest.(check bool) "observation 2.2" true (Measures.observation_2_2_holds r);
+  (* The opt ratio is infinite (0 denominator): reported as None. *)
+  let ratios = Measures.ratios_of_report r in
+  Alcotest.(check bool) "opt ratio undefined" true (ratios.Measures.r_opt = None)
+
+let test_interim_and_marginal () =
+  let g = guess_the_type () in
+  let s = [| [| 0 |]; [| 0; 0 |] |] in
+  Alcotest.check (Alcotest.array rat) "marginal of player 1" [| half; half |]
+    (Bayesian.type_marginal g 1);
+  (* Player 0 plays 0: she is wrong exactly when player 1 has type 1. *)
+  Alcotest.check ext "ex-ante" (Extended.of_rat half) (Bayesian.ex_ante_cost g s 0);
+  (match Bayesian.interim_cost g s 0 0 with
+   | Some c -> Alcotest.check ext "interim at her only type" (Extended.of_rat half) c
+   | None -> Alcotest.fail "type has positive probability");
+  Alcotest.check ext "social cost" (Extended.of_rat half) (Bayesian.social_cost g s)
+
+let test_played_actions () =
+  let s = [| [| 3 |]; [| 5; 7 |] |] in
+  Alcotest.(check (array int)) "selection" [| 3; 7 |]
+    (Bayesian.played_actions s [| 0; 1 |])
+
+let test_underlying_game () =
+  let g = guess_the_type () in
+  let u = Bayesian.underlying_game g [| 0; 1 |] in
+  Alcotest.check ext "complete info cost" Extended.one (Strategic.cost u [| 0; 0 |] 0);
+  Alcotest.check ext "matching is free" Extended.zero (Strategic.cost u [| 1; 0 |] 0)
+
+let test_equilibrium_guess_game () =
+  let g = guess_the_type () in
+  (* Player 0 is indifferent, player 1 has one action; player 0 has two
+     strategies (2 actions, 1 type), player 1 one (1 action, 2 types):
+     both profiles are equilibria. *)
+  Alcotest.(check int) "all profiles are equilibria" 2
+    (Seq.length (Bayesian.bayesian_equilibria g));
+  Alcotest.(check int) "strategy space size" 2
+    (Seq.length (Bayesian.strategy_profiles g))
+
+let test_validation () =
+  Alcotest.check_raises "type out of range"
+    (Invalid_argument "Bayesian.make: type out of range in prior support") (fun () ->
+      ignore
+        (Bayesian.make ~players:1 ~n_types:[| 1 |] ~n_actions:[| 1 |]
+           ~prior:(Dist.point [| 5 |])
+           ~cost:(fun _ _ _ -> Extended.zero)));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Bayesian.make: dimension arrays must have one entry per player")
+    (fun () ->
+      ignore
+        (Bayesian.make ~players:2 ~n_types:[| 1 |] ~n_actions:[| 1; 1 |]
+           ~prior:(Dist.point [| 0; 0 |])
+           ~cost:(fun _ _ _ -> Extended.zero)))
+
+(* --- Random Bayesian games for property tests --- *)
+
+let random_bayesian seed =
+  let rng = Random.State.make [| seed |] in
+  let players = 2 in
+  let n_types = Array.init players (fun _ -> 1 + Random.State.int rng 2) in
+  let n_actions = Array.init players (fun _ -> 1 + Random.State.int rng 2) in
+  let all_type_profiles =
+    List.of_seq
+      (Bi_ds.Combinat.product
+         (List.init players (fun i -> List.init n_types.(i) Fun.id)))
+  in
+  let support =
+    List.filter (fun _ -> Random.State.int rng 3 > 0) all_type_profiles
+  in
+  let support = if support = [] then [ List.hd all_type_profiles ] else support in
+  let prior =
+    Dist.make
+      (List.map
+         (fun t -> (Array.of_list t, Rat.of_int (1 + Random.State.int rng 3)))
+         support)
+  in
+  (* A fixed random cost table, pure in its arguments. *)
+  let table = Hashtbl.create 64 in
+  let cost t a i =
+    let key = (Array.to_list t, Array.to_list a, i) in
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None ->
+      let c = Extended.of_int (Random.State.int rng 6) in
+      Hashtbl.add table key c;
+      c
+  in
+  Bayesian.make ~players ~n_types ~n_actions ~prior ~cost
+
+(* Oracle: s is an equilibrium iff no player has ANY improving strategy
+   (not just single-type deviations). *)
+let equilibrium_oracle g s =
+  let players = Bayesian.players g in
+  let ok = ref true in
+  for i = 0 to players - 1 do
+    let current = Bayesian.ex_ante_cost g s i in
+    let alternatives =
+      Bi_ds.Combinat.functions ~dom:(Bayesian.n_types g i)
+        (Array.init (Bayesian.n_actions g i) Fun.id)
+    in
+    Seq.iter
+      (fun si' ->
+        let s' = Array.copy s in
+        s'.(i) <- si';
+        if Extended.( < ) (Bayesian.ex_ante_cost g s' i) current then ok := false)
+      alternatives
+  done;
+  !ok
+
+let prop_equilibrium_predicate_matches_oracle =
+  QCheck2.Test.make ~name:"single-type deviations suffice (predicate = oracle)"
+    ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_bayesian seed in
+      Seq.fold_left
+        (fun acc s ->
+          acc && Bayesian.is_bayesian_equilibrium g s = equilibrium_oracle g s)
+        true (Bayesian.strategy_profiles g))
+
+let prop_observation_2_2 =
+  QCheck2.Test.make ~name:"observation 2.2: optC <= optP <= best-eqP <= worst-eqP"
+    ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_bayesian seed in
+      Measures.observation_2_2_holds (Measures.exhaustive g))
+
+let prop_ex_ante_decomposes_over_interim =
+  QCheck2.Test.make ~name:"ex-ante = sum_t P(t_i) interim" ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_bayesian seed in
+      let s = Bayesian.random_strategy_profile (Random.State.make [| seed |]) g in
+      let ok = ref true in
+      for i = 0 to Bayesian.players g - 1 do
+        let marginal = Bayesian.type_marginal g i in
+        let recomposed =
+          Extended.sum
+            (List.init (Bayesian.n_types g i) (fun ti ->
+                 match Bayesian.interim_cost g s i ti with
+                 | Some c -> Extended.mul_rat marginal.(ti) c
+                 | None -> Extended.zero))
+        in
+        if not (Extended.equal recomposed (Bayesian.ex_ante_cost g s i)) then
+          ok := false
+      done;
+      !ok)
+
+(* Observation 2.1: lift a congestion-style potential through the prior.
+   We use a two-resource congestion structure whose cost depends on the
+   type profile through resource prices. *)
+let prop_observation_2_1 =
+  QCheck2.Test.make ~name:"observation 2.1: lifted potential is a Bayesian potential"
+    ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let price t r = 1 + ((t.(0) + t.(1) + r + seed) mod 5) in
+      let players = 2 in
+      let n_types = [| 1 + Random.State.int rng 2; 1 + Random.State.int rng 2 |] in
+      let all =
+        List.of_seq
+          (Bi_ds.Combinat.product [ List.init n_types.(0) Fun.id; List.init n_types.(1) Fun.id ])
+      in
+      let prior =
+        Dist.make
+          (List.map (fun t -> (Array.of_list t, Rat.of_int (1 + Random.State.int rng 3))) all)
+      in
+      (* action = which of two resources to use; fair sharing. *)
+      let cost t a i =
+        let load = if a.(0) = a.(1) then 2 else 1 in
+        Extended.of_rat (Rat.of_ints (price t a.(i)) (if a.(0) = a.(1) then load else 1))
+      in
+      let g =
+        Bayesian.make ~players ~n_types ~n_actions:[| 2; 2 |] ~prior ~cost
+      in
+      let rosenthal t a =
+        (* sum over resources of price * H(load) *)
+        let load r = (if a.(0) = r then 1 else 0) + (if a.(1) = r then 1 else 0) in
+        Rat.sum
+          (List.map
+             (fun r -> Rat.mul (Rat.of_int (price t r)) (Rat.harmonic (load r)))
+             [ 0; 1 ])
+      in
+      Bayesian.is_bayesian_potential g (Bayesian.bayesian_potential g rosenthal))
+
+let prop_dynamics_on_potential_games =
+  QCheck2.Test.make ~name:"BR dynamics converge on Bayesian potential games" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let price t r = 1 + ((t.(0) + 2 * t.(1) + 3 * r + seed) mod 7) in
+      let n_types = [| 2; 2 |] in
+      let all = [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ] in
+      let prior =
+        Dist.make (List.map (fun t -> (t, Rat.of_int (1 + Random.State.int rng 3))) all)
+      in
+      let cost t a i =
+        let load = if a.(0) = a.(1) then 2 else 1 in
+        Extended.of_rat (Rat.of_ints (price t a.(i)) load)
+      in
+      let g = Bayesian.make ~players:2 ~n_types ~n_actions:[| 2; 2 |] ~prior ~cost in
+      match Bayesian.best_response_dynamics g [| [| 0; 0 |]; [| 0; 0 |] |] with
+      | Some s -> Bayesian.is_bayesian_equilibrium g s
+      | None -> false)
+
+let prop_descent_reaches_at_most_opt =
+  QCheck2.Test.make ~name:"benevolent descent upper-bounds and often finds optP"
+    ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_bayesian seed in
+      let opt, _ = Measures.opt_p_exhaustive g in
+      let found, _ = Measures.opt_p_descent ~restarts:4 ~seed g in
+      Extended.( <= ) opt found)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_equilibrium_predicate_matches_oracle;
+      prop_observation_2_2;
+      prop_ex_ante_decomposes_over_interim;
+      prop_observation_2_1;
+      prop_dynamics_on_potential_games;
+      prop_descent_reaches_at_most_opt;
+    ]
+
+let () =
+  Alcotest.run "bi_bayes"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "played actions" `Quick test_played_actions;
+          Alcotest.test_case "underlying game" `Quick test_underlying_game;
+        ] );
+      ( "costs",
+        [ Alcotest.test_case "interim & marginal" `Quick test_interim_and_marginal ] );
+      ( "measures",
+        [
+          Alcotest.test_case "degenerate = strategic" `Quick test_degenerate_matches_strategic;
+          Alcotest.test_case "guess-the-type" `Quick test_guess_the_type_measures;
+          Alcotest.test_case "equilibrium set" `Quick test_equilibrium_guess_game;
+        ] );
+      ("properties", qtests);
+    ]

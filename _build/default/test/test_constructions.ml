@@ -1,0 +1,292 @@
+(* Integration tests: the paper's constructions, verified end-to-end
+   against the closed forms derived in Lemmas 3.2, 3.3, 3.6, 3.7 and the
+   diamond reduction of Lemma 3.5. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Bncs = Bi_ncs.Bayesian_ncs
+module Bayesian = Bi_bayes.Bayesian
+module Measures = Bi_bayes.Measures
+module Ap = Bi_constructions.Affine_plane
+module Ag = Bi_constructions.Affine_game
+module An = Bi_constructions.Anshelevich_game
+module Gw = Bi_constructions.Gworst_game
+module Dg = Bi_constructions.Diamond_game
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+let rr = Rat.of_ints
+
+(* --- Affine planes --- *)
+
+let test_affine_axioms () =
+  List.iter
+    (fun p ->
+      let plane = Ap.make p in
+      Alcotest.(check int) "points" (p * p) (Ap.n_points plane);
+      Alcotest.(check int) "lines" ((p * p) + p) (Ap.n_lines plane);
+      Alcotest.(check bool)
+        (Printf.sprintf "axioms at order %d" p)
+        true (Ap.check_axioms plane))
+    [ 2; 3; 5; 7 ]
+
+let test_affine_rejects_composite () =
+  List.iter
+    (fun p ->
+      Alcotest.check_raises
+        (Printf.sprintf "order %d" p)
+        (Invalid_argument "Affine_plane.make: order must be prime") (fun () ->
+          ignore (Ap.make p)))
+    [ 0; 1; 4; 6; 9 ]
+
+let test_affine_incidence () =
+  let plane = Ap.make 3 in
+  (* Common line through two distinct points is unique & incident. *)
+  (match Ap.common_line plane 0 4 with
+   | Some l ->
+     Alcotest.(check bool) "incident both" true
+       (Ap.on_line plane ~point:0 ~line:l && Ap.on_line plane ~point:4 ~line:l)
+   | None -> Alcotest.fail "two distinct points share a line");
+  Alcotest.(check bool) "same point" true (Ap.common_line plane 2 2 = None);
+  Alcotest.(check int) "lines through a point" 4 (List.length (Ap.lines_through plane 5))
+
+(* --- Lemma 3.2 (affine game) --- *)
+
+let test_affine_game_structure () =
+  let plane = Ap.make 2 in
+  let g = Ag.graph plane in
+  (* 1 source + 6 line vertices + 4 point vertices. *)
+  Alcotest.(check int) "vertices" 11 (Graph.n_vertices g);
+  (* 6 unit edges + 12 free incidence edges. *)
+  Alcotest.(check int) "edges" 18 (Graph.n_edges g);
+  Alcotest.(check bool) "directed" true (Graph.is_directed g)
+
+let test_affine_game_all_profiles_equal_cost () =
+  let game = Ag.game 2 in
+  let predicted = Extended.of_rat (Ag.predicted_social_cost 2) in
+  (* The lemma's punchline: every strategy profile costs the same. *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 25 do
+    let s = Bayesian.random_strategy_profile rng (Bncs.game game) in
+    (* Random profiles may assign invalid paths; restrict to valid. *)
+    ignore s
+  done;
+  Seq.iter
+    (fun s ->
+      Alcotest.check ext "profile cost" predicted (Bncs.social_cost game s))
+    (Seq.take 200 (Bncs.valid_strategy_profiles game));
+  (* And therefore optP equals the closed form. *)
+  let opt_p, _ = Bncs.opt_p_exhaustive game in
+  Alcotest.check ext "optP = 1 + m^2/(m+1)" predicted opt_p
+
+let test_affine_game_complete_information_side () =
+  let game = Ag.game 2 in
+  Alcotest.check ext "optC = 1" Extended.one (Bncs.opt_c game);
+  Alcotest.(check (option ext)) "best-eqC = 1" (Some Extended.one) (Bncs.best_eq_c game);
+  Alcotest.(check (option ext)) "worst-eqC = 1" (Some Extended.one) (Bncs.worst_eq_c game)
+
+let test_affine_game_equilibrium () =
+  let game = Ag.game 2 in
+  match Bncs.equilibrium_by_dynamics game with
+  | Some s ->
+    Alcotest.(check bool) "dynamics reach a Bayesian equilibrium" true
+      (Bayesian.is_bayesian_equilibrium (Bncs.game game) s);
+    Alcotest.check ext "its cost is the common value"
+      (Extended.of_rat (Ag.predicted_social_cost 2))
+      (Bncs.social_cost game s)
+  | None -> Alcotest.fail "potential game: dynamics converge"
+
+let test_affine_game_ratio_growth () =
+  (* The predicted optP/worst-eqC ratio grows linearly in k. *)
+  let ratio m = Rat.to_float (Ag.predicted_ratio m) in
+  Alcotest.(check bool) "growth 2 -> 3 -> 5" true
+    (ratio 3 > ratio 2 && ratio 5 > ratio 3 && ratio 5 > 5.0)
+
+(* --- Lemma 3.3 (Anshelevich game, ignorance is bliss) --- *)
+
+let anshelevich_measures k = Bncs.measures_exhaustive (An.game k)
+
+let test_anshelevich_unique_equilibrium () =
+  let game = An.game 4 in
+  let eqs = List.of_seq (Bncs.bayesian_equilibria game) in
+  Alcotest.(check int) "unique Bayesian equilibrium" 1 (List.length eqs);
+  match eqs with
+  | [ s ] ->
+    Alcotest.check ext "equilibrium cost 1 + eps"
+      (Extended.of_rat (An.predicted_worst_eq_p 4))
+      (Bncs.social_cost game s)
+  | _ -> Alcotest.fail "unique"
+
+let test_anshelevich_measures () =
+  List.iter
+    (fun k ->
+      let m = anshelevich_measures k in
+      let one_eps = Extended.of_rat (An.predicted_worst_eq_p k) in
+      Alcotest.check ext "optP = 1 + eps" one_eps m.Measures.opt_p;
+      Alcotest.check ext "optC = 1 + eps" one_eps m.Measures.opt_c;
+      Alcotest.(check (option ext)) "worst-eqP = 1 + eps" (Some one_eps)
+        m.Measures.worst_eq_p;
+      Alcotest.(check (option ext))
+        "best-eqC = (H(k-1) + 1 + eps)/2"
+        (Some (Extended.of_rat (An.predicted_best_eq_c k)))
+        m.Measures.best_eq_c;
+      Alcotest.(check bool) "observation 2.2" true (Measures.observation_2_2_holds m))
+    [ 3; 4; 5 ]
+
+let test_anshelevich_bliss () =
+  (* worst-eqP < best-eqC from k = 5 on: all Bayesian equilibria beat
+     all complete-information equilibria. *)
+  let m = anshelevich_measures 6 in
+  match m.Measures.worst_eq_p, m.Measures.best_eq_c with
+  | Some p, Some c -> Alcotest.(check bool) "ignorance is bliss" true Extended.(p < c)
+  | _ -> Alcotest.fail "equilibria exist"
+
+let test_anshelevich_ratio_shrinks () =
+  let ratio k = Rat.to_float (An.predicted_ratio k) in
+  Alcotest.(check bool) "O(1/log k) trend" true
+    (ratio 8 < ratio 4 && ratio 16 < ratio 8 && ratio 64 < 0.5)
+
+(* --- Lemmas 3.6 / 3.7 (G_worst) --- *)
+
+let test_gworst_bliss () =
+  List.iter
+    (fun k ->
+      let m = Bncs.measures_exhaustive (Gw.bliss_game k) in
+      Alcotest.(check (option ext)) "worst-eqP = 3/2 + eps"
+        (Some (Extended.of_rat (Gw.predicted_bliss_worst_eq_p k)))
+        m.Measures.worst_eq_p;
+      (match m.Measures.worst_eq_c with
+       | Some c ->
+         Alcotest.(check bool) "worst-eqC >= (k+2)/2" true
+           (Extended.( <= ) (Extended.of_rat (Gw.predicted_bliss_worst_eq_c_lower k)) c)
+       | None -> Alcotest.fail "equilibria exist");
+      (* The ratio is O(1/k): at most (3/2 + eps) / ((k+2)/2). *)
+      (match m.Measures.worst_eq_p, m.Measures.worst_eq_c with
+       | Some (Extended.Fin p), Some (Extended.Fin c) ->
+         let bound =
+           Rat.div (Gw.predicted_bliss_worst_eq_p k)
+             (Gw.predicted_bliss_worst_eq_c_lower k)
+         in
+         Alcotest.(check bool) "ratio below the O(1/k) bound" true
+           (Rat.( <= ) (Rat.div p c) bound)
+       | _ -> Alcotest.fail "finite"))
+    [ 3; 4; 5 ]
+
+let test_gworst_bliss_unique_equilibrium () =
+  let game = Gw.bliss_game 4 in
+  let eqs = List.of_seq (Bncs.bayesian_equilibria game) in
+  Alcotest.(check int) "unique Bayesian equilibrium" 1 (List.length eqs)
+
+let test_gworst_curse () =
+  List.iter
+    (fun k ->
+      let m = Bncs.measures_exhaustive (Gw.curse_game k) in
+      (match m.Measures.worst_eq_p with
+       | Some p ->
+         Alcotest.(check bool) "worst-eqP >= k + 2" true
+           (Extended.( <= ) (Extended.of_rat (Gw.predicted_curse_worst_eq_p k)) p)
+       | None -> Alcotest.fail "equilibria exist");
+      (match m.Measures.worst_eq_c with
+       | Some c ->
+         Alcotest.(check bool) "worst-eqC = O(1)" true
+           (Extended.( <= ) c
+              (Extended.of_rat (Gw.predicted_curse_worst_eq_c_upper k)))
+       | None -> Alcotest.fail "equilibria exist");
+      Alcotest.(check bool) "observation 2.2" true (Measures.observation_2_2_holds m))
+    [ 3; 4; 5 ]
+
+let test_gworst_curse_ratio_grows () =
+  (* worst-eqP / worst-eqC = Omega(k). *)
+  let ratio k =
+    let m = Bncs.measures_exhaustive (Gw.curse_game k) in
+    match m.Measures.worst_eq_p, m.Measures.worst_eq_c with
+    | Some (Extended.Fin p), Some (Extended.Fin c) -> Rat.to_float (Rat.div p c)
+    | _ -> Alcotest.fail "finite"
+  in
+  let r3 = ratio 3 and r5 = ratio 5 and r7 = ratio 7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "growing: %.2f < %.2f < %.2f" r3 r5 r7)
+    true
+    (r3 < r5 && r5 < r7 && r7 > 3.0)
+
+(* --- Lemma 3.5 (diamond game) --- *)
+
+let test_diamond_game_level_0 () =
+  let _, game = Dg.game 0 in
+  let m = Bncs.measures_exhaustive game in
+  (* Single agent, single edge: everything is 1. *)
+  Alcotest.check ext "optP" Extended.one m.Measures.opt_p;
+  Alcotest.check ext "optC" Extended.one m.Measures.opt_c
+
+let test_diamond_game_level_1 () =
+  let _, game = Dg.game 1 in
+  Alcotest.(check int) "agents" 2 (Bncs.players game);
+  let opt_p, _ = Bncs.opt_p_exhaustive game in
+  (* Hand computation: the pole agent fixes one side; the midpoint agent
+     matches it when lucky (cost 1) and adds her own 1/2-edge otherwise:
+     optP = 1/2 * 1 + 1/2 * 3/2 = 5/4. *)
+  Alcotest.check ext "optP = 5/4" (Extended.of_rat (rr 5 4)) opt_p;
+  Alcotest.check ext "optC = 1" Extended.one (Bncs.opt_c game);
+  (* Bayesian ignorance already costs 25% at one level. *)
+  let ratios =
+    Measures.ratios_of_report (Bncs.measures_exhaustive game)
+  in
+  match ratios.Measures.r_opt with
+  | Some r -> Alcotest.check rat "ratio 5/4" (rr 5 4) r
+  | None -> Alcotest.fail "defined"
+
+let test_diamond_game_growth () =
+  (* The oblivious-profile cost (an achievable K(s)) grows with the
+     level while optC stays 1 — the shape of Omega(log n). *)
+  let cost j =
+    let d = Bi_steiner.Diamond.build j in
+    Rat.to_float (Dg.oblivious_profile_cost d)
+  in
+  let c0 = cost 0 and c1 = cost 1 and c2 = cost 2 and c3 = cost 3 in
+  Alcotest.(check (float 1e-9)) "level 0 exact" 1.0 c0;
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone growth %.3f %.3f %.3f %.3f" c0 c1 c2 c3)
+    true
+    (c1 > c0 +. 0.2 && c2 > c1 +. 0.2 && c3 > c2 +. 0.2)
+
+let () =
+  Alcotest.run "bi_constructions"
+    [
+      ( "affine_plane",
+        [
+          Alcotest.test_case "axioms" `Quick test_affine_axioms;
+          Alcotest.test_case "composite rejected" `Quick test_affine_rejects_composite;
+          Alcotest.test_case "incidence" `Quick test_affine_incidence;
+        ] );
+      ( "lemma_3_2",
+        [
+          Alcotest.test_case "graph structure" `Quick test_affine_game_structure;
+          Alcotest.test_case "all profiles cost the same" `Slow
+            test_affine_game_all_profiles_equal_cost;
+          Alcotest.test_case "complete-information side" `Quick
+            test_affine_game_complete_information_side;
+          Alcotest.test_case "equilibrium" `Quick test_affine_game_equilibrium;
+          Alcotest.test_case "Omega(k) ratio" `Quick test_affine_game_ratio_growth;
+        ] );
+      ( "lemma_3_3",
+        [
+          Alcotest.test_case "unique equilibrium" `Quick test_anshelevich_unique_equilibrium;
+          Alcotest.test_case "exact measures" `Slow test_anshelevich_measures;
+          Alcotest.test_case "ignorance is bliss" `Slow test_anshelevich_bliss;
+          Alcotest.test_case "ratio shrinks" `Quick test_anshelevich_ratio_shrinks;
+        ] );
+      ( "lemmas_3_6_3_7",
+        [
+          Alcotest.test_case "bliss window" `Slow test_gworst_bliss;
+          Alcotest.test_case "bliss uniqueness" `Quick test_gworst_bliss_unique_equilibrium;
+          Alcotest.test_case "curse window" `Slow test_gworst_curse;
+          Alcotest.test_case "curse ratio grows" `Slow test_gworst_curse_ratio_grows;
+        ] );
+      ( "lemma_3_5",
+        [
+          Alcotest.test_case "level 0" `Quick test_diamond_game_level_0;
+          Alcotest.test_case "level 1 exact" `Quick test_diamond_game_level_1;
+          Alcotest.test_case "logarithmic growth" `Slow test_diamond_game_growth;
+        ] );
+    ]

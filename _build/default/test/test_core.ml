@@ -1,0 +1,81 @@
+(* Tests for the public facade and the plain-text reporting layer. *)
+
+open Bayesian_ignorance
+open Num
+
+let test_facade_reexports () =
+  (* The stable aliases resolve and interoperate. *)
+  let g = Graphs.Gen.path_graph Graphs.Graph.Undirected 3 Rat.one in
+  Alcotest.(check int) "graphs alias" 2 (Graphs.Graph.n_edges g);
+  let d = Prob.Dist.uniform [ 1; 2 ] in
+  Alcotest.(check int) "prob alias" 2 (List.length (Prob.Dist.support d));
+  Alcotest.(check bool) "num alias" true (Rat.equal (Rat.of_ints 2 4) (Rat.of_ints 1 2))
+
+let test_table_alignment () =
+  let rendered =
+    Report.table ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + separator + rows" 4 (List.length lines);
+  (* All lines are padded to the same width. *)
+  let widths = List.map String.length lines in
+  List.iter
+    (fun w -> Alcotest.(check int) "uniform width" (List.hd widths) w)
+    widths
+
+let test_cells () =
+  Alcotest.(check string) "ext finite" "7/2 (~3.5000)"
+    (Report.ext_cell (Extended.of_ints 7 2));
+  Alcotest.(check string) "ext inf" "inf" (Report.ext_cell Extended.Inf);
+  Alcotest.(check string) "opt none" "n/a" (Report.ext_opt_cell None);
+  Alcotest.(check string) "ratio none" "undefined" (Report.ratio_cell None);
+  Alcotest.(check string) "verdicts" "PASS FAIL"
+    (Report.verdict true ^ " " ^ Report.verdict false)
+
+let test_measures_rows () =
+  let report =
+    {
+      Bayes.Measures.opt_p = Extended.one;
+      best_eq_p = Some Extended.one;
+      worst_eq_p = None;
+      opt_c = Extended.zero;
+      best_eq_c = None;
+      worst_eq_c = Some Extended.Inf;
+    }
+  in
+  let rows = Report.measures_rows report in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  Alcotest.(check (list string)) "worst-eqP row" [ "worst-eqP"; "n/a" ]
+    (List.nth rows 2);
+  Alcotest.(check (list string)) "worst-eqC row" [ "worst-eqC"; "inf" ]
+    (List.nth rows 5)
+
+let test_end_to_end_through_facade () =
+  (* The README's quickstart snippet, verbatim semantics. *)
+  let graph =
+    Graphs.Graph.make Undirected ~n:2 [ (0, 1, Rat.one); (0, 1, Rat.of_ints 3 2) ]
+  in
+  let game =
+    Ncs.Bayesian_ncs.make graph
+      ~prior:(Prob.Dist.uniform [ [| (0, 1); (0, 1) |]; [| (0, 1); (0, 0) |] ])
+  in
+  let report = Ncs.Bayesian_ncs.measures_exhaustive game in
+  Alcotest.(check bool) "optP = 1" true (Extended.equal Extended.one report.Bayes.Measures.opt_p);
+  Alcotest.(check bool) "worst-eqC = 5/4" true
+    (report.Bayes.Measures.worst_eq_c = Some (Extended.of_ints 5 4))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "re-exports" `Quick test_facade_reexports;
+          Alcotest.test_case "end-to-end" `Quick test_end_to_end_through_facade;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "cells" `Quick test_cells;
+          Alcotest.test_case "measures rows" `Quick test_measures_rows;
+        ] );
+    ]

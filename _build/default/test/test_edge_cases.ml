@@ -1,0 +1,251 @@
+(* Edge-case and failure-injection tests across the stack: boundary
+   values of the arithmetic layer, degenerate graphs and games, guard
+   rails, and error-message contracts relied on by other suites. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Paths = Bi_graph.Paths
+module Gen = Bi_graph.Gen
+module Dist = Bi_prob.Dist
+module Bncs = Bi_ncs.Bayesian_ncs
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+let r = Rat.of_int
+
+(* --- Bigint boundaries --- *)
+
+let test_bigint_min_int_arithmetic () =
+  let m = Bigint.of_int min_int in
+  Alcotest.check bigint "negate twice" m (Bigint.neg (Bigint.neg m));
+  Alcotest.(check (option int)) "min_int + 1 roundtrips" (Some (min_int + 1))
+    (Bigint.to_int_opt (Bigint.add m Bigint.one));
+  (* One beyond the native range no longer fits. *)
+  Alcotest.(check (option int)) "min_int - 1 does not fit" None
+    (Bigint.to_int_opt (Bigint.sub m Bigint.one));
+  Alcotest.(check (option int)) "max_int + 1 does not fit" None
+    (Bigint.to_int_opt (Bigint.add (Bigint.of_int max_int) Bigint.one))
+
+let test_bigint_negative_zero_string () =
+  Alcotest.check bigint "-0 = 0" Bigint.zero (Bigint.of_string "-0");
+  Alcotest.(check int) "sign of -0" 0 (Bigint.sign (Bigint.of_string "-000"))
+
+let test_bigint_mul_int_negative () =
+  Alcotest.check bigint "mul_int by negative" (Bigint.of_int (-35))
+    (Bigint.mul_int (Bigint.of_int 7) (-5));
+  Alcotest.check bigint "add_int negative" (Bigint.of_int 2)
+    (Bigint.add_int (Bigint.of_int 7) (-5))
+
+let test_bigint_huge_division () =
+  (* 100! / 99! = 100 exactly. *)
+  let q, rem = Bigint.divmod (Bigint.factorial 100) (Bigint.factorial 99) in
+  Alcotest.check bigint "100!/99!" (Bigint.of_int 100) q;
+  Alcotest.check bigint "no remainder" Bigint.zero rem
+
+(* --- Rational boundaries --- *)
+
+let test_rat_div_by_zero_rational () =
+  Alcotest.check_raises "x / 0" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero));
+  Alcotest.check_raises "of_ints n 0" Division_by_zero (fun () ->
+      ignore (Rat.of_ints 1 0))
+
+let test_rat_harmonic_negative () =
+  Alcotest.check_raises "harmonic -1"
+    (Invalid_argument "Rat.harmonic: negative argument") (fun () ->
+      ignore (Rat.harmonic (-1)))
+
+let test_rat_to_float_huge () =
+  (* Numerator and denominator both overflow floats; the quotient must
+     not become nan. *)
+  let x = Rat.make (Bigint.factorial 200) (Bigint.factorial 199) in
+  Alcotest.(check (float 1e-9)) "200!/199! as float" 200.0 (Rat.to_float x);
+  let tiny = Rat.make (Bigint.factorial 199) (Bigint.factorial 200) in
+  Alcotest.(check (float 1e-9)) "199!/200! as float" 0.005 (Rat.to_float tiny)
+
+(* --- Graph degeneracies --- *)
+
+let test_empty_and_single_vertex_graphs () =
+  let g0 = Graph.make Undirected ~n:0 [] in
+  Alcotest.(check int) "no vertices" 0 (Graph.n_vertices g0);
+  Alcotest.(check (list (list int))) "no components" [] (Graph.connected_components g0);
+  let g1 = Graph.make Directed ~n:1 [] in
+  Alcotest.check ext "self distance" Extended.zero (Graph.distance g1 0 0);
+  Alcotest.(check (list (list int))) "one component" [ [ 0 ] ]
+    (Graph.connected_components g1)
+
+let test_self_loop () =
+  let g = Graph.make Undirected ~n:2 [ (0, 0, r 5); (0, 1, r 1) ] in
+  (* A self-loop never helps a shortest path. *)
+  Alcotest.check ext "ignores loop" Extended.one (Graph.distance g 0 1);
+  Alcotest.(check int) "loop listed once in adjacency" 2
+    (List.length (Graph.succ g 0))
+
+let test_total_cost_empty () =
+  let g = Gen.path_graph Undirected 3 (r 2) in
+  Alcotest.check rat "empty purchase" Rat.zero (Graph.total_cost g []);
+  Alcotest.(check bool) "v reaches v with no edges" true
+    (Graph.is_path_between g [] 1 1);
+  Alcotest.(check bool) "u does not reach v with no edges" false
+    (Graph.is_path_between g [] 0 1)
+
+let test_max_hops_zero () =
+  let g = Gen.path_graph Undirected 3 Rat.one in
+  Alcotest.(check (list (list int))) "0 hops, distinct endpoints" []
+    (Paths.simple_paths ~max_hops:0 g 0 1);
+  Alcotest.(check (list (list int))) "0 hops, same endpoint" [ [] ]
+    (Paths.simple_paths ~max_hops:0 g 1 1)
+
+let test_path_vertices_rejects_nonwalk () =
+  let g = Gen.path_graph Directed 3 Rat.one in
+  Alcotest.check_raises "wrong start"
+    (Invalid_argument "Paths.path_vertices: not a walk from the given vertex")
+    (fun () -> ignore (Paths.path_vertices g 1 [ 0 ]))
+
+let test_steiner_guard () =
+  let g = Gen.complete_graph 25 Rat.one in
+  Alcotest.check_raises "too many terminals"
+    (Invalid_argument "Steiner_dp.steiner_cost: too many terminals") (fun () ->
+      ignore
+        (Bi_graph.Steiner_dp.steiner_cost g ~root:0
+           ~terminals:(List.init 22 (fun i -> i + 1))))
+
+(* --- Distribution corner cases --- *)
+
+let test_dist_product_list_empty () =
+  let d = Dist.product_list ([] : int Dist.t list) in
+  Alcotest.(check int) "point at []" 1 (List.length (Dist.support d));
+  Alcotest.check rat "mass" Rat.one (Dist.mass d [])
+
+let test_dist_condition_extremes () =
+  let d = Dist.uniform [ 1; 2; 3 ] in
+  Alcotest.(check bool) "always-true condition is identity" true
+    (match Dist.condition (fun _ -> true) d with
+     | Some d' -> Dist.to_list d' = Dist.to_list d
+     | None -> false);
+  Alcotest.(check bool) "always-false condition" true
+    (Dist.condition (fun _ -> false) d = None)
+
+(* --- Bayesian NCS guard rails --- *)
+
+let test_bncs_inconsistent_prior () =
+  let g = Gen.path_graph Undirected 2 Rat.one in
+  Alcotest.check_raises "agent count varies"
+    (Invalid_argument "Bayesian_ncs.make: inconsistent number of agents in prior")
+    (fun () ->
+      ignore
+        (Bncs.make g
+           ~prior:(Dist.uniform [ [| (0, 1) |]; [| (0, 1); (0, 1) |] ])));
+  Alcotest.check_raises "terminal out of range"
+    (Invalid_argument "Bayesian_ncs.make: terminal out of range") (fun () ->
+      ignore (Bncs.make g ~prior:(Dist.point [| (0, 7) |])))
+
+let test_bncs_disconnected_type () =
+  let g = Graph.make Undirected ~n:3 [ (0, 1, Rat.one) ] in
+  Alcotest.check_raises "unreachable destination"
+    (Invalid_argument "Bayesian_ncs.make: type with disconnected terminals")
+    (fun () -> ignore (Bncs.make g ~prior:(Dist.point [| (0, 2) |])))
+
+let test_bncs_single_agent_degenerate () =
+  (* One agent, one state: everything collapses to her shortest path. *)
+  let g = Gen.path_graph Undirected 3 (r 2) in
+  let game = Bncs.make g ~prior:(Dist.point [| (0, 2) |]) in
+  let m = Bncs.measures_exhaustive game in
+  Alcotest.check ext "optP" (Extended.of_int 4) m.Bi_bayes.Measures.opt_p;
+  Alcotest.check ext "optC" (Extended.of_int 4) m.Bi_bayes.Measures.opt_c;
+  Alcotest.(check (option ext)) "best-eqP" (Some (Extended.of_int 4))
+    m.Bi_bayes.Measures.best_eq_p
+
+let test_measures_ratio_undefined_on_zero () =
+  Alcotest.(check bool) "zero denominator" true
+    (Bi_bayes.Measures.ratio Extended.one Extended.zero = None);
+  Alcotest.(check bool) "infinite numerator" true
+    (Bi_bayes.Measures.ratio Extended.Inf Extended.one = None)
+
+(* --- Stress property: heap against a sorting oracle under interleaved
+   operations --- *)
+
+let prop_heap_interleaved =
+  QCheck2.Test.make ~name:"heap matches sorted-list oracle under pop/push mix"
+    ~count:200
+    QCheck2.Gen.(list (int_range (-50) 50))
+    (fun ops ->
+      let h = Bi_ds.Heap.create ~cmp:Stdlib.compare in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op >= 0 then begin
+            Bi_ds.Heap.push h op;
+            model := List.sort Stdlib.compare (op :: !model)
+          end
+          else begin
+            match Bi_ds.Heap.pop_min h, !model with
+            | None, [] -> ()
+            | Some x, y :: rest when x = y -> model := rest
+            | _ -> ok := false
+          end)
+        ops;
+      !ok && Bi_ds.Heap.size h = List.length !model)
+
+let prop_combinations_count =
+  QCheck2.Test.make ~name:"C(n,k) counts, including k > n" ~count:100
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 9))
+    (fun (n, k) ->
+      let binom n k =
+        if k > n then 0
+        else begin
+          let num = ref 1 and den = ref 1 in
+          for i = 0 to k - 1 do
+            num := !num * (n - i);
+            den := !den * (i + 1)
+          done;
+          !num / !den
+        end
+      in
+      Seq.length (Bi_ds.Combinat.combinations (List.init n Fun.id) k) = binom n k)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_heap_interleaved; prop_combinations_count ]
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "min_int boundaries" `Quick test_bigint_min_int_arithmetic;
+          Alcotest.test_case "negative zero" `Quick test_bigint_negative_zero_string;
+          Alcotest.test_case "signed small ops" `Quick test_bigint_mul_int_negative;
+          Alcotest.test_case "huge division" `Quick test_bigint_huge_division;
+        ] );
+      ( "rational",
+        [
+          Alcotest.test_case "division by zero" `Quick test_rat_div_by_zero_rational;
+          Alcotest.test_case "harmonic guard" `Quick test_rat_harmonic_negative;
+          Alcotest.test_case "to_float beyond float range" `Quick test_rat_to_float_huge;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "empty & singleton" `Quick test_empty_and_single_vertex_graphs;
+          Alcotest.test_case "self loops" `Quick test_self_loop;
+          Alcotest.test_case "empty purchases" `Quick test_total_cost_empty;
+          Alcotest.test_case "max_hops zero" `Quick test_max_hops_zero;
+          Alcotest.test_case "non-walk rejected" `Quick test_path_vertices_rejects_nonwalk;
+          Alcotest.test_case "steiner terminal guard" `Quick test_steiner_guard;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "empty product" `Quick test_dist_product_list_empty;
+          Alcotest.test_case "condition extremes" `Quick test_dist_condition_extremes;
+        ] );
+      ( "bayesian_ncs",
+        [
+          Alcotest.test_case "inconsistent priors" `Quick test_bncs_inconsistent_prior;
+          Alcotest.test_case "disconnected type" `Quick test_bncs_disconnected_type;
+          Alcotest.test_case "single-agent degenerate" `Quick test_bncs_single_agent_degenerate;
+          Alcotest.test_case "undefined ratios" `Quick test_measures_ratio_undefined_on_zero;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,165 @@
+(* Tests for FRT tree embeddings: domination, leaf/center structure,
+   expansion connectivity, and empirically bounded stretch. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Gen = Bi_graph.Gen
+module Frt = Bi_embed.Frt
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let r = Rat.of_int
+
+let sample_on seed g = Frt.sample (Random.State.make [| seed |]) g
+
+let test_singleton_graph () =
+  let g = Graph.make Undirected ~n:1 [] in
+  let t = sample_on 1 g in
+  Alcotest.(check int) "leaf exists" (Frt.leaf_of_vertex t 0) (Frt.leaf_of_vertex t 0);
+  Alcotest.check rat "self distance" Rat.zero (Frt.tree_distance t 0 0)
+
+let test_two_vertices () =
+  let g = Graph.make Undirected ~n:2 [ (0, 1, r 5) ] in
+  let t = sample_on 2 g in
+  Alcotest.(check bool) "dominates" true (Frt.dominates t g);
+  Alcotest.(check bool) "bounded blowup" true
+    (Rat.( <= ) (Frt.tree_distance t 0 1) (r 200));
+  Alcotest.(check int) "leaf center is the vertex" 0
+    (Frt.center t (Frt.leaf_of_vertex t 0))
+
+let test_domination_various_graphs () =
+  List.iter
+    (fun (name, g) ->
+      for seed = 0 to 4 do
+        let t = sample_on seed g in
+        if not (Frt.dominates t g) then
+          Alcotest.fail (Printf.sprintf "%s: tree fails to dominate (seed %d)" name seed)
+      done)
+    [
+      ("path", Gen.path_graph Undirected 7 (r 2));
+      ("cycle", Gen.cycle_graph Undirected 8 (r 1));
+      ("grid", Gen.grid_graph 3 3 (r 1));
+      ("complete", Gen.complete_graph 6 (r 3));
+    ]
+
+let test_center_path_endpoints () =
+  let g = Gen.grid_graph 3 3 (r 1) in
+  let t = sample_on 3 g in
+  for u = 0 to 8 do
+    for v = 0 to 8 do
+      let path = Frt.center_path t u v in
+      match path with
+      | [] -> Alcotest.fail "nonempty"
+      | first :: _ ->
+        let last = List.nth path (List.length path - 1) in
+        Alcotest.(check int) "starts at u" u first;
+        Alcotest.(check int) "ends at v" v last
+    done
+  done
+
+let test_expansion_connects () =
+  let g = Gen.grid_graph 3 4 (r 1) in
+  for seed = 0 to 3 do
+    let t = sample_on seed g in
+    for u = 0 to 11 do
+      for v = 0 to 11 do
+        let edges = Frt.expand_pair t g u v in
+        if not (Graph.is_path_between g edges u v) then
+          Alcotest.fail
+            (Printf.sprintf "expansion misses %d -> %d (seed %d)" u v seed)
+      done
+    done
+  done
+
+let test_expansion_cost_bounded_by_tree_distance () =
+  let g = Gen.grid_graph 3 3 (r 1) in
+  for seed = 0 to 3 do
+    let t = sample_on seed g in
+    for u = 0 to 8 do
+      for v = 0 to 8 do
+        if u <> v then begin
+          let cost = Graph.total_cost g (Frt.expand_pair t g u v) in
+          if not (Rat.( <= ) cost (Frt.tree_distance t u v)) then
+            Alcotest.fail "expansion dearer than the tree distance"
+        end
+      done
+    done
+  done
+
+let test_average_stretch_reasonable () =
+  (* Not a theorem-level bound, just a sanity ceiling: on a 12-cycle the
+     average stretch over 32 sampled trees stays below ~4 log2 n. *)
+  let g = Gen.cycle_graph Undirected 12 (r 1) in
+  let rng = Random.State.make [| 99 |] in
+  let total = ref 0.0 in
+  let trees = 32 in
+  for _ = 1 to trees do
+    total := !total +. Rat.to_float (Frt.average_stretch (Frt.sample rng g) g)
+  done;
+  let mean = !total /. float_of_int trees in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean stretch %.2f within ceiling" mean)
+    true
+    (mean >= 1.0 && mean < 4.0 *. (log (float_of_int 12) /. log 2.0))
+
+let test_directed_rejected () =
+  Alcotest.check_raises "directed" (Invalid_argument "Frt.sample: directed graph")
+    (fun () ->
+      ignore (sample_on 0 (Gen.path_graph Directed 3 (r 1))))
+
+let test_disconnected_rejected () =
+  let g = Graph.make Undirected ~n:3 [ (0, 1, r 1) ] in
+  Alcotest.check_raises "disconnected" (Invalid_argument "Frt.sample: disconnected graph")
+    (fun () -> ignore (sample_on 0 g))
+
+let prop_domination_random =
+  QCheck2.Test.make ~name:"random trees dominate random graphs" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 7 in
+      let g = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:8 in
+      Frt.dominates (Frt.sample rng g) g)
+
+let prop_expansion_random =
+  QCheck2.Test.make ~name:"expansions connect on random graphs" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 5 in
+      let g = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:8 in
+      let t = Frt.sample rng g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if not (Graph.is_path_between g (Frt.expand_pair t g u v) u v) then ok := false
+        done
+      done;
+      !ok)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_domination_random; prop_expansion_random ]
+
+let () =
+  Alcotest.run "bi_embed"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton_graph;
+          Alcotest.test_case "two vertices" `Quick test_two_vertices;
+          Alcotest.test_case "directed rejected" `Quick test_directed_rejected;
+          Alcotest.test_case "disconnected rejected" `Quick test_disconnected_rejected;
+        ] );
+      ( "domination",
+        [ Alcotest.test_case "standard graphs" `Quick test_domination_various_graphs ] );
+      ( "expansion",
+        [
+          Alcotest.test_case "center paths" `Quick test_center_path_endpoints;
+          Alcotest.test_case "connectivity" `Quick test_expansion_connects;
+          Alcotest.test_case "cost vs tree distance" `Quick
+            test_expansion_cost_bounded_by_tree_distance;
+        ] );
+      ( "stretch",
+        [ Alcotest.test_case "average stretch ceiling" `Slow test_average_stretch_reasonable ] );
+      ("properties", qtests);
+    ]

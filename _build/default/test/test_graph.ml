@@ -1,0 +1,319 @@
+(* Tests for the graph substrate: construction, shortest paths (with a
+   Bellman-Ford oracle), MST, path enumeration, Steiner DP, generators. *)
+
+open Bi_num
+open Bi_graph
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+let r = Rat.of_int
+let rr n d = Rat.of_ints n d
+
+(* A small weighted undirected graph:
+     0 --1-- 1 --1-- 2
+      \------3------/     (direct 0-2 edge of cost 3)
+     plus 2 --1-- 3 *)
+let small_undirected () =
+  Graph.make Undirected ~n:4
+    [ (0, 1, r 1); (1, 2, r 1); (0, 2, r 3); (2, 3, r 1) ]
+
+let test_construction () =
+  let g = small_undirected () in
+  Alcotest.(check int) "vertices" 4 (Graph.n_vertices g);
+  Alcotest.(check int) "edges" 4 (Graph.n_edges g);
+  Alcotest.(check bool) "undirected" false (Graph.is_directed g);
+  Alcotest.check rat "edge cost" (r 3) (Graph.cost g 2);
+  Alcotest.check rat "total_cost dedups" (r 4) (Graph.total_cost g [ 0; 2; 0 ]);
+  Alcotest.check_raises "vertex range" (Invalid_argument "Graph.make: vertex out of range")
+    (fun () -> ignore (Graph.make Directed ~n:2 [ (0, 5, r 1) ]));
+  Alcotest.check_raises "negative cost" (Invalid_argument "Graph.make: negative edge cost")
+    (fun () -> ignore (Graph.make Directed ~n:2 [ (0, 1, r (-1)) ]))
+
+let test_succ_orientation () =
+  let gd = Graph.make Directed ~n:3 [ (0, 1, r 1); (1, 2, r 1) ] in
+  Alcotest.(check int) "directed out-degree of 1" 1 (List.length (Graph.succ gd 1));
+  let gu = Graph.make Undirected ~n:3 [ (0, 1, r 1); (1, 2, r 1) ] in
+  Alcotest.(check int) "undirected degree of 1" 2 (List.length (Graph.succ gu 1))
+
+let test_dijkstra_small () =
+  let g = small_undirected () in
+  Alcotest.check ext "0 to 2 via middle" (Extended.of_int 2) (Graph.distance g 0 2);
+  Alcotest.check ext "0 to 3" (Extended.of_int 3) (Graph.distance g 0 3);
+  Alcotest.check ext "self" Extended.zero (Graph.distance g 1 1);
+  match Graph.shortest_path g 0 3 with
+  | None -> Alcotest.fail "path exists"
+  | Some ids ->
+    Alcotest.(check int) "path length" 3 (List.length ids);
+    Alcotest.check rat "path cost" (r 3) (Paths.path_cost g ids)
+
+let test_unreachable () =
+  let g = Graph.make Directed ~n:3 [ (0, 1, r 1) ] in
+  Alcotest.check ext "no path 1->0" Extended.Inf (Graph.distance g 1 0);
+  Alcotest.(check bool) "shortest_path none" true (Graph.shortest_path g 1 0 = None);
+  Alcotest.(check bool) "shortest_path self" true (Graph.shortest_path g 2 2 = Some [])
+
+let test_zero_cost_edges () =
+  let g = Graph.make Directed ~n:3 [ (0, 1, Rat.zero); (1, 2, Rat.zero) ] in
+  Alcotest.check ext "zero distance" Extended.zero (Graph.distance g 0 2)
+
+let test_rational_weights () =
+  (* Two fractional hops beat one unit hop exactly. *)
+  let g = Graph.make Undirected ~n:3 [ (0, 1, rr 1 3); (1, 2, rr 1 3); (0, 2, rr 7 10) ] in
+  Alcotest.check ext "exact comparison" (Extended.of_rat (rr 2 3)) (Graph.distance g 0 2)
+
+let test_multigraph () =
+  (* Parallel edges with different costs: the cheaper one wins. *)
+  let g = Graph.make Undirected ~n:2 [ (0, 1, r 5); (0, 1, r 2) ] in
+  Alcotest.check ext "parallel edges" (Extended.of_int 2) (Graph.distance g 0 1);
+  Alcotest.(check int) "both edges present" 2 (Graph.n_edges g)
+
+let random_graph_pair seed =
+  let rng = Random.State.make [| seed |] in
+  let kind = if Random.State.bool rng then Graph.Directed else Graph.Undirected in
+  Gen.random_graph rng ~kind ~n:(2 + Random.State.int rng 12)
+    ~p:(Random.State.float rng 0.6) ~max_cost:8
+
+let prop_dijkstra_matches_bellman_ford =
+  QCheck2.Test.make ~name:"dijkstra = bellman-ford on random graphs" ~count:150
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph_pair seed in
+      let ok = ref true in
+      for s = 0 to Graph.n_vertices g - 1 do
+        let d1, _ = Graph.dijkstra g s in
+        let d2 = Graph.bellman_ford g s in
+        for v = 0 to Graph.n_vertices g - 1 do
+          if not (Extended.equal d1.(v) d2.(v)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_shortest_path_cost_matches_distance =
+  QCheck2.Test.make ~name:"path reconstruction matches distance" ~count:150
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph_pair seed in
+      let n = Graph.n_vertices g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          match Graph.shortest_path g u v, Graph.distance g u v with
+          | None, Extended.Inf -> ()
+          | None, Extended.Fin _ | Some _, Extended.Inf -> ok := false
+          | Some ids, Extended.Fin d ->
+            if not (Rat.equal (Paths.path_cost g ids) d) then ok := false;
+            if not (Graph.is_path_between g ids u v) then ok := false
+        done
+      done;
+      !ok)
+
+let test_path_endpoints () =
+  let g = small_undirected () in
+  (match Graph.shortest_path g 0 3 with
+   | Some ids ->
+     (match Graph.path_endpoints g ids with
+      | Some (a, b) ->
+        Alcotest.(check bool) "endpoints" true ((a, b) = (0, 3) || (a, b) = (3, 0))
+      | None -> Alcotest.fail "is a path")
+   | None -> Alcotest.fail "path exists");
+  Alcotest.(check bool) "non-walk detected" true
+    (Graph.path_endpoints g [ 0; 3 ] = None)
+
+let test_connected_components () =
+  let g = Graph.make Undirected ~n:5 [ (0, 1, r 1); (3, 4, r 1) ] in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (Graph.connected_components g)
+
+let test_mst () =
+  let g = small_undirected () in
+  let ids, cost = Graph.minimum_spanning_tree g in
+  Alcotest.(check int) "n-1 edges" 3 (List.length ids);
+  Alcotest.check rat "mst cost" (r 3) cost;
+  Alcotest.check_raises "directed rejected"
+    (Invalid_argument "Graph.minimum_spanning_tree: directed graph") (fun () ->
+      ignore (Graph.minimum_spanning_tree (Graph.make Directed ~n:2 [ (0, 1, r 1) ])))
+
+let prop_mst_beats_random_spanning_sets =
+  QCheck2.Test.make ~name:"mst no heavier than greedy alternatives" ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.random_connected_graph rng ~n:(3 + Random.State.int rng 8) ~p:0.5 ~max_cost:9 in
+      let _, mst_cost = Graph.minimum_spanning_tree g in
+      (* Oracle: cost of DFS tree is an upper bound. *)
+      let visited = Array.make (Graph.n_vertices g) false in
+      let acc = ref Rat.zero in
+      let rec dfs v =
+        visited.(v) <- true;
+        List.iter
+          (fun (e, w) ->
+            if not visited.(w) then begin
+              acc := Rat.add !acc e.Graph.cost;
+              dfs w
+            end)
+          (Graph.succ g v)
+      in
+      dfs 0;
+      Rat.( <= ) mst_cost !acc)
+
+let test_simple_paths () =
+  let g = small_undirected () in
+  let ps = Paths.simple_paths g 0 2 in
+  (* 0-1-2, 0-2, 0-2 via 3? no edge 0-3, so exactly two. *)
+  Alcotest.(check int) "two simple paths" 2 (List.length ps);
+  Alcotest.(check (list (list int))) "self paths" [ [] ] (Paths.simple_paths g 1 1);
+  let cycle = Gen.cycle_graph Undirected 5 (r 1) in
+  Alcotest.(check int) "two around a cycle" 2 (List.length (Paths.simple_paths cycle 0 2));
+  let limited = Paths.simple_paths ~max_hops:1 g 0 2 in
+  Alcotest.(check int) "hop bound" 1 (List.length limited)
+
+let test_simple_paths_limit () =
+  let g = Gen.complete_graph 8 (r 1) in
+  Alcotest.check_raises "limit guard" (Invalid_argument "Paths.simple_paths: limit exceeded")
+    (fun () -> ignore (Paths.simple_paths ~limit:10 g 0 1))
+
+let test_path_vertices () =
+  let g = small_undirected () in
+  match Graph.shortest_path g 0 3 with
+  | Some ids ->
+    Alcotest.(check (list int)) "vertex walk" [ 0; 1; 2; 3 ] (Paths.path_vertices g 0 ids)
+  | None -> Alcotest.fail "path exists"
+
+(* --- Steiner --- *)
+
+let test_steiner_line () =
+  let g = Gen.path_graph Undirected 5 (r 1) in
+  Alcotest.check ext "span a path graph" (Extended.of_int 4)
+    (Steiner_dp.steiner_cost g ~root:0 ~terminals:[ 4 ]);
+  Alcotest.check ext "middle terminals" (Extended.of_int 4)
+    (Steiner_dp.steiner_cost g ~root:0 ~terminals:[ 2; 4 ])
+
+let test_steiner_star () =
+  (* Star with expensive rim: optimum uses the hub. *)
+  let g =
+    Graph.make Undirected ~n:4
+      [ (0, 1, r 1); (0, 2, r 1); (0, 3, r 1); (1, 2, r 10); (2, 3, r 10) ]
+  in
+  Alcotest.check ext "hub tree" (Extended.of_int 3)
+    (Steiner_dp.steiner_cost g ~root:1 ~terminals:[ 2; 3 ])
+
+let test_steiner_directed () =
+  let g = Graph.make Directed ~n:4 [ (0, 1, r 1); (0, 2, r 1); (1, 3, r 1); (2, 3, r 5) ] in
+  Alcotest.check ext "arborescence" (Extended.of_int 3)
+    (Steiner_dp.steiner_cost g ~root:0 ~terminals:[ 1; 2; 3 ]);
+  Alcotest.check ext "unreachable terminal" Extended.Inf
+    (Steiner_dp.steiner_cost g ~root:1 ~terminals:[ 2 ])
+
+let test_steiner_trivia () =
+  let g = Gen.path_graph Undirected 3 (r 1) in
+  Alcotest.check ext "no terminals" Extended.zero
+    (Steiner_dp.steiner_cost g ~root:0 ~terminals:[]);
+  Alcotest.check ext "root as terminal" Extended.zero
+    (Steiner_dp.steiner_cost g ~root:0 ~terminals:[ 0; 0 ])
+
+let prop_steiner_sandwich =
+  (* MST-approx is within factor 2 of DW and never below it;
+     DW is at least the eccentricity lower bound. *)
+  QCheck2.Test.make ~name:"steiner: DW <= MST-approx <= 2*DW" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rng 6 in
+      let g = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:9 in
+      let t = 1 + Random.State.int rng (min 4 (n - 1)) in
+      let terminals = List.init t (fun i -> (i * 7 + 1) mod n) in
+      let exact = Steiner_dp.steiner_cost g ~root:0 ~terminals in
+      match Steiner_dp.steiner_mst_approx g ~terminals:(0 :: terminals), exact with
+      | Some (_, approx), Extended.Fin ex ->
+        Rat.( <= ) ex approx && Rat.( <= ) approx (Rat.mul_int ex 2)
+      | None, _ | _, Extended.Inf -> false)
+
+(* --- Generators --- *)
+
+let test_generators_shapes () =
+  let p = Gen.path_graph Directed 6 (r 2) in
+  Alcotest.(check int) "path edges" 5 (Graph.n_edges p);
+  let c = Gen.cycle_graph Undirected 6 (r 1) in
+  Alcotest.(check int) "cycle edges" 6 (Graph.n_edges c);
+  let k = Gen.complete_graph 6 (r 1) in
+  Alcotest.(check int) "complete edges" 15 (Graph.n_edges k);
+  let gr = Gen.grid_graph 3 4 (r 1) in
+  Alcotest.(check int) "grid vertices" 12 (Graph.n_vertices gr);
+  Alcotest.(check int) "grid edges" 17 (Graph.n_edges gr)
+
+let test_random_connected () =
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 20 do
+    let g = Gen.random_connected_graph rng ~n:8 ~p:0.2 ~max_cost:5 in
+    Alcotest.(check int) "one component" 1 (List.length (Graph.connected_components g))
+  done
+
+let test_diamond () =
+  let g0, s0, t0 = Gen.diamond_graph 0 in
+  Alcotest.(check int) "level 0 edges" 1 (Graph.n_edges g0);
+  Alcotest.check ext "level 0 distance" Extended.one (Graph.distance g0 s0 t0);
+  let g1, s1, t1 = Gen.diamond_graph 1 in
+  Alcotest.(check int) "level 1 vertices" 4 (Graph.n_vertices g1);
+  Alcotest.(check int) "level 1 edges" 4 (Graph.n_edges g1);
+  Alcotest.check ext "level 1 distance" Extended.one (Graph.distance g1 s1 t1);
+  let g3, s3, t3 = Gen.diamond_graph 3 in
+  Alcotest.(check int) "level 3 edges" 64 (Graph.n_edges g3);
+  Alcotest.check ext "pole distance invariant" Extended.one (Graph.distance g3 s3 t3);
+  (* Every edge at level j costs 2^-j. *)
+  List.iter
+    (fun e -> Alcotest.check rat "edge scale" (rr 1 8) e.Graph.cost)
+    (Graph.edges g3)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dijkstra_matches_bellman_ford;
+      prop_shortest_path_cost_matches_distance;
+      prop_mst_beats_random_spanning_sets;
+      prop_steiner_sandwich;
+    ]
+
+let () =
+  Alcotest.run "bi_graph"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "make & accessors" `Quick test_construction;
+          Alcotest.test_case "orientation" `Quick test_succ_orientation;
+          Alcotest.test_case "multigraph" `Quick test_multigraph;
+        ] );
+      ( "shortest_paths",
+        [
+          Alcotest.test_case "dijkstra small" `Quick test_dijkstra_small;
+          Alcotest.test_case "unreachable" `Quick test_unreachable;
+          Alcotest.test_case "zero-cost edges" `Quick test_zero_cost_edges;
+          Alcotest.test_case "rational weights" `Quick test_rational_weights;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "path endpoints" `Quick test_path_endpoints;
+          Alcotest.test_case "components" `Quick test_connected_components;
+          Alcotest.test_case "mst" `Quick test_mst;
+          Alcotest.test_case "path vertices" `Quick test_path_vertices;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "simple paths" `Quick test_simple_paths;
+          Alcotest.test_case "limit guard" `Quick test_simple_paths_limit;
+        ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "line" `Quick test_steiner_line;
+          Alcotest.test_case "star" `Quick test_steiner_star;
+          Alcotest.test_case "directed arborescence" `Quick test_steiner_directed;
+          Alcotest.test_case "trivial cases" `Quick test_steiner_trivia;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shapes;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+        ] );
+      ("properties", qtests);
+    ]

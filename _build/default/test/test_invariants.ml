@@ -1,0 +1,186 @@
+(* Cross-cutting invariants of the cost-sharing model:
+
+   - budget balance: Shapley payments sum exactly to the union cost, in
+     complete-information, weighted, and Bayesian NCS games;
+   - metric laws of the exact shortest-path layer;
+   - the Lemma 3.2 punchline at order m = 3 (beyond exhaustive reach):
+     sampled valid strategy profiles all cost exactly 1 + m^2/(m+1). *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Gen = Bi_graph.Gen
+module Dist = Bi_prob.Dist
+module Complete = Bi_ncs.Complete
+module Weighted = Bi_ncs.Weighted
+module Bncs = Bi_ncs.Bayesian_ncs
+module Bayesian = Bi_bayes.Bayesian
+
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+(* --- Budget balance --- *)
+
+let random_complete seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int rng 3 in
+  let graph = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:7 in
+  let k = 2 + Random.State.int rng 2 in
+  let pairs =
+    Array.init k (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+  in
+  (Complete.make graph pairs, rng)
+
+let prop_budget_balance_complete =
+  QCheck2.Test.make ~name:"fair sharing is budget balanced" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, rng = random_complete seed in
+      let profile =
+        Array.init (Complete.players g) (fun i ->
+            Random.State.int rng (List.length (Complete.paths g i)))
+      in
+      let payments =
+        Rat.sum
+          (List.init (Complete.players g) (fun i -> Complete.player_cost g profile i))
+      in
+      Rat.equal payments (Complete.social_cost g profile))
+
+let prop_budget_balance_weighted =
+  QCheck2.Test.make ~name:"proportional sharing is budget balanced" ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 3 in
+      let graph = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:7 in
+      let k = 2 + Random.State.int rng 2 in
+      let pairs =
+        Array.init k (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+      in
+      let weights = Array.init k (fun _ -> Rat.of_ints (1 + Random.State.int rng 9) (1 + Random.State.int rng 3)) in
+      let g = Weighted.make graph ~pairs ~weights in
+      let profile =
+        Array.init k (fun i -> Random.State.int rng (List.length (Weighted.paths g i)))
+      in
+      let payments =
+        Rat.sum (List.init k (fun i -> Weighted.player_cost g profile i))
+      in
+      Rat.equal payments (Weighted.social_cost g profile))
+
+(* Bayesian budget balance: the sum of ex-ante costs equals the expected
+   union cost, i.e. Bayesian.social_cost (which is defined as the sum)
+   equals the direct expectation of the per-state union cost. *)
+let prop_budget_balance_bayesian =
+  QCheck2.Test.make ~name:"Bayesian NCS social cost = expected union cost" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 2 in
+      let graph = Gen.random_connected_graph rng ~n ~p:0.45 ~max_cost:5 in
+      let profile () = Array.init 2 (fun _ -> (0, Random.State.int rng n)) in
+      let support = List.init (1 + Random.State.int rng 2) (fun _ -> profile ()) in
+      let g = Bncs.make graph ~prior:(Dist.uniform support) in
+      (* A random valid strategy profile. *)
+      let s =
+        Array.init (Bncs.players g) (fun i ->
+            Array.init (Array.length (Bncs.types g i)) (fun ti ->
+                let valid = Bncs.valid_actions g i ti in
+                List.nth valid (Random.State.int rng (List.length valid))))
+      in
+      let game = Bncs.game g in
+      let expected_union =
+        Dist.expectation_ext
+          (fun t ->
+            let bought =
+              List.concat
+                (List.init (Bncs.players g) (fun i ->
+                     (Bncs.actions g i).(s.(i).(t.(i)))))
+            in
+            Extended.of_rat (Graph.total_cost graph bought))
+          (Bayesian.prior game)
+      in
+      Extended.equal (Bncs.social_cost g s) expected_union)
+
+(* --- Metric laws of exact shortest paths --- *)
+
+let prop_undirected_distance_symmetric =
+  QCheck2.Test.make ~name:"undirected distances are symmetric" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.random_connected_graph rng ~n:(3 + Random.State.int rng 6) ~p:0.4 ~max_cost:9 in
+      let d = Graph.all_pairs_distances g in
+      let n = Graph.n_vertices g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if not (Extended.equal d.(u).(v) d.(v).(u)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_triangle_inequality =
+  QCheck2.Test.make ~name:"shortest-path triangle inequality" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let kind = if Random.State.bool rng then Graph.Directed else Graph.Undirected in
+      let g = Gen.random_graph rng ~kind ~n:(3 + Random.State.int rng 6) ~p:0.5 ~max_cost:9 in
+      let d = Graph.all_pairs_distances g in
+      let n = Graph.n_vertices g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          for w = 0 to n - 1 do
+            if Extended.( < ) (Extended.add d.(u).(v) d.(v).(w)) d.(u).(w) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* --- Lemma 3.2 at order 3, beyond exhaustive reach --- *)
+
+let test_affine_m3_constant_cost () =
+  let game = Bi_constructions.Affine_game.game 3 in
+  let predicted =
+    Extended.of_rat (Bi_constructions.Affine_game.predicted_social_cost 3)
+  in
+  let rng = Random.State.make [| 271828 |] in
+  (* 20 random valid strategy profiles: by the conditional-uniformity
+     argument of Lemma 3.2 every one of them costs 1 + 9/4 = 13/4. *)
+  for _ = 1 to 20 do
+    let s =
+      Array.init (Bncs.players game) (fun i ->
+          Array.init (Array.length (Bncs.types game i)) (fun ti ->
+              let valid = Bncs.valid_actions game i ti in
+              List.nth valid (Random.State.int rng (List.length valid))))
+    in
+    Alcotest.check ext "profile cost is the common value" predicted
+      (Bncs.social_cost game s)
+  done
+
+let test_affine_m3_complete_side () =
+  let game = Bi_constructions.Affine_game.game 3 in
+  Alcotest.check ext "optC = 1" Extended.one (Bncs.opt_c game)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_budget_balance_complete;
+      prop_budget_balance_weighted;
+      prop_budget_balance_bayesian;
+      prop_undirected_distance_symmetric;
+      prop_triangle_inequality;
+    ]
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "lemma_3_2_order_3",
+        [
+          Alcotest.test_case "all sampled profiles cost 13/4" `Slow
+            test_affine_m3_constant_cost;
+          Alcotest.test_case "complete-information side" `Slow
+            test_affine_m3_complete_side;
+        ] );
+      ("properties", qtests);
+    ]

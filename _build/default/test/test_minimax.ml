@@ -1,0 +1,180 @@
+(* Tests for matrix games (fictitious play with certified bounds) and
+   Section 4: R(phi) = R~(phi), and the public-randomness mixture. *)
+
+open Bi_num
+module Mg = Bi_minimax.Matrix_game
+module S4 = Bi_minimax.Section4
+module Dist = Bi_prob.Dist
+module Bncs = Bi_ncs.Bayesian_ncs
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let r = Rat.of_int
+let rr = Rat.of_ints
+
+let m rows = Mg.make (Array.of_list (List.map Array.of_list rows))
+
+let test_pure_saddle () =
+  (* Row minimizes; entry (1,0)=2 is max in its row? Build a matrix with
+     a clear saddle: row 1 = [2;3], row 0 = [4;5]: row player picks row
+     1; column player picks column 1: value 3. *)
+  let g = m [ [ r 4; r 5 ]; [ r 2; r 3 ] ] in
+  (match Mg.pure_saddle g with
+   | Some (i, j) ->
+     Alcotest.(check (pair int int)) "saddle" (1, 1) (i, j);
+     Alcotest.check rat "value" (r 3) (Mg.entry g i j)
+   | None -> Alcotest.fail "saddle exists");
+  let sol = Mg.solve g in
+  Alcotest.check rat "lower = upper at saddle" sol.Mg.lower sol.Mg.upper
+
+let test_matching_pennies_value () =
+  (* Classic: entries 0/1, value 1/2, no pure saddle. *)
+  let g = m [ [ r 1; r 0 ]; [ r 0; r 1 ] ] in
+  Alcotest.(check bool) "no pure saddle" true (Mg.pure_saddle g = None);
+  let sol = Mg.solve ~iterations:4000 g in
+  Alcotest.(check bool) "bracket straddles 1/2" true
+    (Rat.( <= ) sol.Mg.lower (rr 1 2) && Rat.( <= ) (rr 1 2) sol.Mg.upper);
+  Alcotest.(check bool) "bracket is tight-ish" true
+    (Rat.( <= ) (Rat.sub sol.Mg.upper sol.Mg.lower) (rr 1 10))
+
+let test_guarantees_are_certified () =
+  let g = m [ [ r 1; r 0 ]; [ r 0; r 1 ] ] in
+  let sol = Mg.solve ~iterations:2000 g in
+  (* By definition of the certificates. *)
+  Alcotest.check rat "upper = row guarantee" (Mg.row_guarantee g sol.Mg.row_strategy)
+    sol.Mg.upper;
+  Alcotest.check rat "lower = col guarantee" (Mg.col_guarantee g sol.Mg.col_strategy)
+    sol.Mg.lower
+
+let test_mixture_validation () =
+  let g = m [ [ r 1; r 0 ]; [ r 0; r 1 ] ] in
+  Alcotest.check_raises "bad sum" (Invalid_argument "Matrix_game: mixture does not sum to one")
+    (fun () -> ignore (Mg.row_guarantee g [| rr 1 2; rr 1 3 |]));
+  Alcotest.check_raises "length" (Invalid_argument "Matrix_game: mixture length mismatch")
+    (fun () -> ignore (Mg.row_guarantee g [| Rat.one |]))
+
+let prop_fictitious_play_brackets =
+  QCheck2.Test.make ~name:"fictitious play: lower <= upper, both certified" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 2 + Random.State.int rng 3 in
+      let cols = 2 + Random.State.int rng 3 in
+      let mat =
+        Array.init rows (fun _ ->
+            Array.init cols (fun _ -> Rat.of_int (Random.State.int rng 9)))
+      in
+      let g = Mg.make mat in
+      let sol = Mg.solve ~iterations:800 g in
+      Rat.( <= ) sol.Mg.lower sol.Mg.upper
+      && Rat.equal (Mg.row_guarantee g sol.Mg.row_strategy) sol.Mg.upper
+      && Rat.equal (Mg.col_guarantee g sol.Mg.col_strategy) sol.Mg.lower)
+
+(* --- Section 4 --- *)
+
+(* The guess-the-type structure as a cost matrix: strategies = the two
+   actions of the guessing agent; type profiles = the two types.
+   K(s,t) = 1 if the guess matches, 2 otherwise; v(t) = 1.  Value of the
+   normalized game = 3/2, achieved by the uniform mixture. *)
+let guess_phi () = S4.make [| [| r 1; r 2 |]; [| r 2; r 1 |] |]
+
+let test_section4_guess_game () =
+  let phi = guess_phi () in
+  Alcotest.check rat "v(t)" Rat.one (S4.opt_of_type phi 0);
+  let sol = S4.r_tilde ~iterations:4000 phi in
+  Alcotest.(check bool) "R~ bracket around 3/2" true
+    (Rat.( <= ) sol.Mg.lower (rr 3 2) && Rat.( <= ) (rr 3 2) sol.Mg.upper);
+  (* The uniform mixture guarantees exactly 3/2 against every prior. *)
+  let q = [| rr 1 2; rr 1 2 |] in
+  Alcotest.check rat "uniform q guarantee" (rr 3 2) (S4.randomized_guarantee phi q);
+  (* Point priors achieve ratio 2 deterministically... for pure
+     strategies; the prior-ratio (best strategy per prior) is 3/2 at the
+     uniform prior and 1 at point priors. *)
+  Alcotest.check rat "point prior ratio" Rat.one
+    (S4.ratio_under_prior phi [| Rat.one; Rat.zero |]);
+  Alcotest.check rat "uniform prior ratio" (rr 3 2)
+    (S4.ratio_under_prior phi [| rr 1 2; rr 1 2 |])
+
+let test_proposition_4_2 () =
+  let phi = guess_phi () in
+  let lo, hi = S4.r_star_bracket ~iterations:3000 ~steps:12 phi in
+  (* R(phi) = 3/2 must sit inside the bracket, matching R~(phi). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bracket [%s, %s] contains 3/2" (Rat.to_string lo) (Rat.to_string hi))
+    true
+    (Rat.( <= ) lo (rr 3 2) && Rat.( <= ) (rr 3 2) hi);
+  Alcotest.(check bool) "bracket reasonably tight" true
+    (Rat.( <= ) (Rat.sub hi lo) (rr 1 4))
+
+let test_positive_costs_required () =
+  Alcotest.check_raises "zero cost"
+    (Invalid_argument "Section4.make: costs must be positive") (fun () ->
+      ignore (S4.make [| [| Rat.zero |] |]))
+
+let test_of_bayesian_ncs () =
+  (* Two parallel edges, unknown partner (as in test_ncs). *)
+  let graph =
+    Bi_graph.Graph.make Undirected ~n:2 [ (0, 1, r 1); (0, 1, rr 3 2) ]
+  in
+  let g =
+    Bncs.make graph
+      ~prior:(Dist.uniform [ [| (0, 1); (0, 1) |]; [| (0, 1); (0, 0) |] ])
+  in
+  let phi = S4.of_bayesian_ncs g in
+  Alcotest.(check int) "type profiles = support" 2 (S4.n_type_profiles phi);
+  Alcotest.(check bool) "several strategy profiles" true (S4.n_strategies phi > 4);
+  (* Both type profiles have optimum 1 (edge e0). *)
+  Alcotest.check rat "v(t0)" Rat.one (S4.opt_of_type phi 0);
+  Alcotest.check rat "v(t1)" Rat.one (S4.opt_of_type phi 1);
+  (* There is a single strategy profile optimal for every type profile
+     simultaneously (everyone on e0), so R(phi) = 1. *)
+  let sol = S4.r_tilde ~iterations:1000 phi in
+  Alcotest.check rat "R~ = 1 exactly" Rat.one sol.Mg.upper;
+  Alcotest.check rat "lower too" Rat.one sol.Mg.lower
+
+let prop_randomized_guarantee_beats_best_pure_sometimes =
+  (* Structural sanity: the optimal mixture's guarantee is never worse
+     than the best single strategy profile's worst-case ratio. *)
+  QCheck2.Test.make ~name:"mixture guarantee <= best pure worst-case" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 2 + Random.State.int rng 3 in
+      let cols = 2 + Random.State.int rng 3 in
+      let mat =
+        Array.init rows (fun _ ->
+            Array.init cols (fun _ -> Rat.of_int (1 + Random.State.int rng 8)))
+      in
+      let phi = S4.make mat in
+      let sol = S4.r_tilde ~iterations:600 phi in
+      let normalized = S4.normalized phi in
+      let pure_worst i = Array.fold_left Rat.max Rat.zero normalized.(i) in
+      let best_pure = ref (pure_worst 0) in
+      for i = 1 to rows - 1 do
+        best_pure := Rat.min !best_pure (pure_worst i)
+      done;
+      Rat.( <= ) (S4.randomized_guarantee phi sol.Mg.row_strategy) !best_pure)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_fictitious_play_brackets; prop_randomized_guarantee_beats_best_pure_sometimes ]
+
+let () =
+  Alcotest.run "bi_minimax"
+    [
+      ( "matrix_game",
+        [
+          Alcotest.test_case "pure saddle" `Quick test_pure_saddle;
+          Alcotest.test_case "matching pennies" `Quick test_matching_pennies_value;
+          Alcotest.test_case "certified guarantees" `Quick test_guarantees_are_certified;
+          Alcotest.test_case "mixture validation" `Quick test_mixture_validation;
+        ] );
+      ( "section4",
+        [
+          Alcotest.test_case "guess game" `Quick test_section4_guess_game;
+          Alcotest.test_case "proposition 4.2" `Slow test_proposition_4_2;
+          Alcotest.test_case "positive costs" `Quick test_positive_costs_required;
+          Alcotest.test_case "from Bayesian NCS" `Quick test_of_bayesian_ncs;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,265 @@
+(* Tests for the exact-arithmetic substrate: bigints against the native
+   int oracle, rational field laws, harmonic numbers. *)
+
+open Bi_num
+
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+let rat = Alcotest.testable Rat.pp Rat.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+(* --- Bigint unit tests --- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (Bigint.to_int_opt (Bigint.of_int n)))
+    [ 0; 1; -1; 9999; 10000; 10001; -10000; 123456789; -987654321;
+      max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_of_string () =
+  Alcotest.(check string) "positive" "123456789012345678901234567890"
+    (Bigint.to_string (Bigint.of_string "123456789012345678901234567890"));
+  Alcotest.(check string) "negative" "-42" (Bigint.to_string (Bigint.of_string "-42"));
+  Alcotest.(check string) "leading zeros" "7" (Bigint.to_string (Bigint.of_string "0007"));
+  Alcotest.(check string) "zero" "0" (Bigint.to_string (Bigint.of_string "000"));
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (Bigint.of_string ""));
+  Alcotest.check_raises "garbage" (Invalid_argument "Bigint.of_string: invalid character")
+    (fun () -> ignore (Bigint.of_string "12x4"))
+
+let test_add_carries () =
+  let a = Bigint.of_string "9999999999999999" in
+  Alcotest.check bigint "carry chain"
+    (Bigint.of_string "10000000000000000")
+    (Bigint.add a Bigint.one)
+
+let test_mul_large () =
+  let a = Bigint.of_string "123456789" in
+  let b = Bigint.of_string "987654321" in
+  Alcotest.check bigint "large product" (Bigint.of_string "121932631112635269")
+    (Bigint.mul a b)
+
+let test_divmod_signs () =
+  (* Truncated division: same convention as OCaml's / and mod. *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Alcotest.check bigint
+        (Printf.sprintf "q %d/%d" a b)
+        (Bigint.of_int (a / b)) q;
+      Alcotest.check bigint
+        (Printf.sprintf "r %d/%d" a b)
+        (Bigint.of_int (a mod b)) r)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (100000007, 10007);
+      (999999999, 1); (12, 12); (5, 7); (-5, 7) ]
+
+let test_div_by_zero () =
+  Alcotest.check_raises "divmod by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_gcd () =
+  let g a b = Bigint.to_int_opt (Bigint.gcd (Bigint.of_int a) (Bigint.of_int b)) in
+  Alcotest.(check (option int)) "gcd 12 18" (Some 6) (g 12 18);
+  Alcotest.(check (option int)) "gcd 0 5" (Some 5) (g 0 5);
+  Alcotest.(check (option int)) "gcd -12 18" (Some 6) (g (-12) 18);
+  Alcotest.(check (option int)) "gcd 0 0" (Some 0) (g 0 0);
+  Alcotest.(check (option int)) "coprime" (Some 1) (g 17 19)
+
+let test_pow () =
+  Alcotest.check bigint "2^62" (Bigint.of_string "4611686018427387904")
+    (Bigint.pow Bigint.two 62);
+  Alcotest.check bigint "x^0" Bigint.one (Bigint.pow (Bigint.of_int 17) 0);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (Bigint.pow Bigint.two (-1)))
+
+let test_factorial () =
+  Alcotest.check bigint "20!" (Bigint.of_string "2432902008176640000")
+    (Bigint.factorial 20);
+  Alcotest.check bigint "30!" (Bigint.of_string "265252859812191058636308480000000")
+    (Bigint.factorial 30);
+  Alcotest.check bigint "0!" Bigint.one (Bigint.factorial 0)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "1e20"
+    1e20
+    (Bigint.to_float (Bigint.of_string "100000000000000000000"))
+
+(* --- Bigint properties against the int oracle --- *)
+
+let int_pm_million = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+
+let prop_binop name op big_op =
+  QCheck2.Test.make ~name ~count:500
+    QCheck2.Gen.(pair int_pm_million int_pm_million)
+    (fun (a, b) ->
+      Bigint.equal
+        (Bigint.of_int (op a b))
+        (big_op (Bigint.of_int a) (Bigint.of_int b)))
+
+let prop_add = prop_binop "bigint add matches int" ( + ) Bigint.add
+let prop_sub = prop_binop "bigint sub matches int" ( - ) Bigint.sub
+let prop_mul = prop_binop "bigint mul matches int" ( * ) Bigint.mul
+
+let prop_divmod =
+  QCheck2.Test.make ~name:"bigint divmod matches int" ~count:500
+    QCheck2.Gen.(pair int_pm_million int_pm_million)
+    (fun (a, b) ->
+      QCheck2.assume (b <> 0);
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Bigint.equal q (Bigint.of_int (a / b)) && Bigint.equal r (Bigint.of_int (a mod b)))
+
+let prop_compare =
+  QCheck2.Test.make ~name:"bigint compare matches int" ~count:500
+    QCheck2.Gen.(pair int_pm_million int_pm_million)
+    (fun (a, b) ->
+      Stdlib.compare a b = Bigint.compare (Bigint.of_int a) (Bigint.of_int b))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"bigint string roundtrip" ~count:500
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let x = Bigint.of_string s in
+      Bigint.equal x (Bigint.of_string (Bigint.to_string x)))
+
+let prop_mul_div_cancel =
+  QCheck2.Test.make ~name:"(a*b)/b = a over big operands" ~count:200
+    QCheck2.Gen.(pair (string_size ~gen:(char_range '1' '9') (int_range 1 40))
+                   (string_size ~gen:(char_range '1' '9') (int_range 1 25)))
+    (fun (sa, sb) ->
+      let a = Bigint.of_string sa and b = Bigint.of_string sb in
+      let q, r = Bigint.divmod (Bigint.mul a b) b in
+      Bigint.equal q a && Bigint.is_zero r)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both" ~count:300
+    QCheck2.Gen.(pair int_pm_million int_pm_million)
+    (fun (a, b) ->
+      QCheck2.assume (a <> 0 || b <> 0);
+      let g = Bigint.gcd (Bigint.of_int a) (Bigint.of_int b) in
+      Bigint.is_zero (Bigint.rem (Bigint.of_int a) g)
+      && Bigint.is_zero (Bigint.rem (Bigint.of_int b) g))
+
+(* --- Rational unit tests --- *)
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.of_ints 3 2) (Rat.of_ints 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Rat.of_ints 3 2) (Rat.of_ints (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Rat.of_ints (-3) 2) (Rat.of_ints 6 (-4));
+  Alcotest.(check string) "pp integer" "5" (Rat.to_string (Rat.of_ints 10 2));
+  Alcotest.(check string) "pp fraction" "-3/2" (Rat.to_string (Rat.of_ints 6 (-4)))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Rat.of_ints 5 6)
+    (Rat.add (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rat "1/2 * 2/3" (Rat.of_ints 1 3)
+    (Rat.mul (Rat.of_ints 1 2) (Rat.of_ints 2 3));
+  Alcotest.check rat "(1/2) / (3/4)" (Rat.of_ints 2 3)
+    (Rat.div (Rat.of_ints 1 2) (Rat.of_ints 3 4));
+  Alcotest.check rat "inv" (Rat.of_ints 7 3) (Rat.inv (Rat.of_ints 3 7));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero))
+
+let test_harmonic () =
+  Alcotest.check rat "H(1)" Rat.one (Rat.harmonic 1);
+  Alcotest.check rat "H(4)" (Rat.of_ints 25 12) (Rat.harmonic 4);
+  Alcotest.check rat "H(0)" Rat.zero (Rat.harmonic 0);
+  (* H(n) - H(n-1) = 1/n with exact arithmetic. *)
+  Alcotest.check rat "H(50)-H(49)" (Rat.of_ints 1 50)
+    (Rat.sub (Rat.harmonic 50) (Rat.harmonic 49))
+
+let test_rat_average () =
+  Alcotest.check rat "average" (Rat.of_ints 1 2)
+    (Rat.average [ Rat.zero; Rat.one ]);
+  Alcotest.check_raises "empty average" (Invalid_argument "Rat.average: empty list")
+    (fun () -> ignore (Rat.average []))
+
+let test_rat_pow () =
+  Alcotest.check rat "(2/3)^3" (Rat.of_ints 8 27) (Rat.pow (Rat.of_ints 2 3) 3);
+  Alcotest.check rat "(2/3)^-2" (Rat.of_ints 9 4) (Rat.pow (Rat.of_ints 2 3) (-2));
+  Alcotest.check rat "x^0" Rat.one (Rat.pow (Rat.of_ints 7 5) 0)
+
+let rat_gen =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rat.of_ints n d) (int_range (-1000) 1000) (int_range 1 1000))
+
+let prop_rat_field =
+  QCheck2.Test.make ~name:"rational distributivity" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_rat_add_comm =
+  QCheck2.Test.make ~name:"rational add commutative/associative" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)))
+
+let prop_rat_order_total =
+  QCheck2.Test.make ~name:"rational order antisymmetric & transitive-ish" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      let ( <= ) = Rat.( <= ) in
+      (a <= b || b <= a)
+      && ((not (a <= b && b <= c)) || a <= c)
+      && ((not (a <= b && b <= a)) || Rat.equal a b))
+
+let prop_rat_float_consistent =
+  QCheck2.Test.make ~name:"to_float close to exact" ~count:300 rat_gen (fun a ->
+      Float.abs (Rat.to_float a -. Rat.to_float a) < 1e-9)
+
+(* --- Extended --- *)
+
+let test_extended () =
+  Alcotest.check ext "inf + x" Extended.Inf (Extended.add Extended.Inf Extended.one);
+  Alcotest.check ext "0 * inf = 0 (measure convention)" Extended.zero
+    (Extended.mul Extended.zero Extended.Inf);
+  Alcotest.check ext "2 * inf" Extended.Inf (Extended.mul (Extended.of_int 2) Extended.Inf);
+  Alcotest.(check bool) "fin < inf" true Extended.(one < Inf);
+  Alcotest.(check bool) "inf <= inf" true Extended.(Inf <= Inf);
+  Alcotest.(check int) "compare inf inf" 0 (Extended.compare Extended.Inf Extended.Inf);
+  Alcotest.check ext "sum with inf" Extended.Inf
+    (Extended.sum [ Extended.one; Extended.Inf ]);
+  Alcotest.(check (float 0.0)) "to_float inf" Float.infinity (Extended.to_float Extended.Inf);
+  Alcotest.check_raises "to_rat_exn inf"
+    (Invalid_argument "Extended.to_rat_exn: infinite") (fun () ->
+      ignore (Extended.to_rat_exn Extended.Inf))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add; prop_sub; prop_mul; prop_divmod; prop_compare;
+      prop_string_roundtrip; prop_mul_div_cancel; prop_gcd_divides;
+      prop_rat_field; prop_rat_add_comm; prop_rat_order_total;
+      prop_rat_float_consistent ]
+
+let () =
+  Alcotest.run "bi_num"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_of_to_int;
+          Alcotest.test_case "of_string/to_string" `Quick test_of_string;
+          Alcotest.test_case "carry chains" `Quick test_add_carries;
+          Alcotest.test_case "large multiplication" `Quick test_mul_large;
+          Alcotest.test_case "divmod sign conventions" `Quick test_divmod_signs;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ( "rational",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "harmonic numbers" `Quick test_harmonic;
+          Alcotest.test_case "average" `Quick test_rat_average;
+          Alcotest.test_case "pow" `Quick test_rat_pow;
+        ] );
+      ("extended", [ Alcotest.test_case "infinity arithmetic" `Quick test_extended ]);
+      ("properties", qtests);
+    ]

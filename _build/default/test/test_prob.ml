@@ -1,0 +1,168 @@
+(* Tests for exact finite distributions. *)
+
+open Bi_num
+module Dist = Bi_prob.Dist
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+let half = Rat.of_ints 1 2
+let third = Rat.of_ints 1 3
+
+let test_point () =
+  let d = Dist.point 42 in
+  Alcotest.(check (list int)) "support" [ 42 ] (Dist.support d);
+  Alcotest.check rat "mass" Rat.one (Dist.mass d 42);
+  Alcotest.check rat "mass outside" Rat.zero (Dist.mass d 0)
+
+let test_uniform () =
+  let d = Dist.uniform [ 1; 2; 3; 4 ] in
+  Alcotest.check rat "mass each" (Rat.of_ints 1 4) (Dist.mass d 2);
+  Alcotest.check rat "total" Rat.one
+    (Rat.sum (List.map snd (Dist.to_list d)));
+  Alcotest.check_raises "empty uniform" (Invalid_argument "Dist.uniform: empty list")
+    (fun () -> ignore (Dist.uniform []))
+
+let test_normalization_and_merge () =
+  (* Unnormalized weights and duplicate outcomes are cleaned up. *)
+  let d = Dist.make [ ("a", Rat.of_int 2); ("b", Rat.of_int 1); ("a", Rat.of_int 1) ] in
+  Alcotest.check rat "a merged" (Rat.of_ints 3 4) (Dist.mass d "a");
+  Alcotest.check rat "b" (Rat.of_ints 1 4) (Dist.mass d "b");
+  Alcotest.(check int) "support size" 2 (List.length (Dist.support d))
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.make: empty distribution")
+    (fun () -> ignore (Dist.make ([] : (int * Rat.t) list)));
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.make: negative weight")
+    (fun () -> ignore (Dist.make [ (1, Rat.of_int (-1)); (2, Rat.of_int 2) ]));
+  Alcotest.check_raises "zero mass" (Invalid_argument "Dist.make: zero total mass")
+    (fun () -> ignore (Dist.make [ (1, Rat.zero) ]));
+  (* Zero-weight outcomes are dropped. *)
+  let d = Dist.make [ (1, Rat.zero); (2, Rat.one) ] in
+  Alcotest.(check (list int)) "dropped" [ 2 ] (Dist.support d)
+
+let test_bernoulli () =
+  let d = Dist.bernoulli third in
+  Alcotest.check rat "p true" third (Dist.mass d true);
+  Alcotest.check rat "p false" (Rat.of_ints 2 3) (Dist.mass d false);
+  Alcotest.check_raises "p > 1" (Invalid_argument "Dist.bernoulli: p outside [0,1]")
+    (fun () -> ignore (Dist.bernoulli (Rat.of_int 2)))
+
+let test_map_bind () =
+  let d = Dist.uniform [ 1; 2; 3 ] in
+  let doubled = Dist.map (fun x -> 2 * x) d in
+  Alcotest.check rat "map mass" third (Dist.mass doubled 4);
+  (* map can merge outcomes *)
+  let parity = Dist.map (fun x -> x mod 2) d in
+  Alcotest.check rat "merged parity 1" (Rat.of_ints 2 3) (Dist.mass parity 1);
+  let d2 = Dist.bind d (fun x -> if x = 1 then Dist.point 0 else Dist.uniform [ 0; x ]) in
+  Alcotest.check rat "bind mass 0"
+    (Rat.add third (Rat.add (Rat.of_ints 1 6) (Rat.of_ints 1 6)))
+    (Dist.mass d2 0)
+
+let test_product () =
+  let d = Dist.product (Dist.bernoulli half) (Dist.uniform [ 0; 1; 2 ]) in
+  Alcotest.check rat "independent mass" (Rat.of_ints 1 6) (Dist.mass d (true, 1));
+  let dp = Dist.product_list [ Dist.uniform [ 0; 1 ]; Dist.uniform [ 0; 1 ] ] in
+  Alcotest.(check int) "product_list support" 4 (List.length (Dist.support dp));
+  Alcotest.check rat "product_list mass" (Rat.of_ints 1 4) (Dist.mass dp [ 0; 1 ])
+
+let test_condition () =
+  let d = Dist.uniform [ 1; 2; 3; 4; 5; 6 ] in
+  (match Dist.condition (fun x -> x mod 2 = 0) d with
+   | None -> Alcotest.fail "conditioning on possible event"
+   | Some d' ->
+     Alcotest.check rat "renormalized" third (Dist.mass d' 2);
+     Alcotest.(check int) "support" 3 (List.length (Dist.support d')));
+  Alcotest.(check bool) "impossible event" true
+    (Dist.condition (fun x -> x > 10) d = None)
+
+let test_expectation () =
+  let d = Dist.uniform [ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.check rat "die mean" (Rat.of_ints 7 2)
+    (Dist.expectation (fun x -> Rat.of_int x) d);
+  Alcotest.check rat "probability even" half
+    (Dist.probability (fun x -> x mod 2 = 0) d);
+  (* Infinite cost on a zero-probability event does not pollute the
+     expectation; on a positive-probability event it dominates. *)
+  let d2 = Dist.weighted_pair half 0 1 in
+  Alcotest.check ext "finite expectation" (Extended.of_ints 1 2)
+    (Dist.expectation_ext (fun x -> Extended.of_int x) d2);
+  Alcotest.check ext "infinite expectation" Extended.Inf
+    (Dist.expectation_ext
+       (fun x -> if x = 0 then Extended.Inf else Extended.zero)
+       d2)
+
+let test_sample_support () =
+  let rng = Random.State.make [| 7 |] in
+  let d = Dist.make [ (1, half); (2, third); (3, Rat.of_ints 1 6) ] in
+  for _ = 1 to 200 do
+    let x = Dist.sample rng d in
+    if not (List.mem x [ 1; 2; 3 ]) then Alcotest.fail "sample outside support"
+  done;
+  (* Point distributions sample deterministically. *)
+  Alcotest.(check int) "point sample" 9 (Dist.sample rng (Dist.point 9))
+
+let test_sample_frequencies () =
+  let rng = Random.State.make [| 11 |] in
+  let d = Dist.bernoulli (Rat.of_ints 3 4) in
+  let hits = ref 0 in
+  let n = 4000 in
+  for _ = 1 to n do
+    if Dist.sample rng d then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "frequency %.3f near 0.75" freq)
+    true
+    (Float.abs (freq -. 0.75) < 0.05)
+
+let prop_expectation_linear =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 8) (pair (int_range 0 20) (int_range 1 20)))
+  in
+  QCheck2.Test.make ~name:"expectation is linear" ~count:200 gen (fun pairs ->
+      let d = Dist.make (List.map (fun (x, w) -> (x, Rat.of_int w)) pairs) in
+      let f x = Rat.of_int (x * 3) and g x = Rat.of_int (x + 1) in
+      Rat.equal
+        (Dist.expectation (fun x -> Rat.add (f x) (g x)) d)
+        (Rat.add (Dist.expectation f d) (Dist.expectation g d)))
+
+let prop_mass_sums_to_one =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 10) (pair (int_range 0 5) (int_range 0 9)))
+  in
+  QCheck2.Test.make ~name:"masses sum to one" ~count:200 gen (fun pairs ->
+      QCheck2.assume (List.exists (fun (_, w) -> w > 0) pairs);
+      let d = Dist.make (List.map (fun (x, w) -> (x, Rat.of_int w)) pairs) in
+      Rat.equal Rat.one (Rat.sum (List.map snd (Dist.to_list d))))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_expectation_linear; prop_mass_sums_to_one ]
+
+let () =
+  Alcotest.run "bi_prob"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "point" `Quick test_point;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "normalization & merge" `Quick test_normalization_and_merge;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "map/bind" `Quick test_map_bind;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "condition" `Quick test_condition;
+        ] );
+      ( "expectation",
+        [ Alcotest.test_case "expectation & probability" `Quick test_expectation ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "stays in support" `Quick test_sample_support;
+          Alcotest.test_case "frequencies" `Quick test_sample_frequencies;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the online Steiner tree substrate and the diamond adversary. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Gen = Bi_graph.Gen
+module Online = Bi_steiner.Online
+module Diamond = Bi_steiner.Diamond
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let ext = Alcotest.testable Extended.pp Extended.equal
+
+let r = Rat.of_int
+
+let test_greedy_line () =
+  (* Path graph, requests at increasing distance: greedy pays each
+     incremental segment once. *)
+  let g = Gen.path_graph Undirected 5 (r 1) in
+  let run = Online.greedy.Online.run g ~root:0 [ 2; 4; 1 ] in
+  Alcotest.(check bool) "valid" true (Online.is_valid_run g ~root:0 [ 2; 4; 1 ] run);
+  Alcotest.check rat "total = 4" (r 4) (Online.cost_of_run g run);
+  (* Third request was already covered: bought nothing new. *)
+  (match run with
+   | [ _; _; step3 ] -> Alcotest.(check (list int)) "no extra purchase" [] step3
+   | _ -> Alcotest.fail "three steps");
+  Alcotest.check ext "offline opt" (Extended.of_int 4)
+    (Online.offline_opt g ~root:0 [ 2; 4; 1 ])
+
+let test_oblivious_overbuys () =
+  (* Cycle: two far requests force the oblivious algorithm to buy two
+     overlapping shortest paths; here they overlap fully, so costs tie;
+     use a graph where they do not. *)
+  let g =
+    Graph.make Undirected ~n:4
+      [ (0, 1, r 2); (1, 2, r 2); (0, 3, r 3); (3, 2, r 3) ]
+  in
+  (* Requests 1 then 2: greedy pays 2 then 2; oblivious pays 2, then
+     shortest path 0-1-2 (4) which shares, also 4 total.  Equal here;
+     check validity and order-of-magnitude instead. *)
+  let sigma = [ 1; 2 ] in
+  let run_g = Online.greedy.Online.run g ~root:0 sigma in
+  let run_o = Online.oblivious_shortest_path.Online.run g ~root:0 sigma in
+  Alcotest.(check bool) "greedy valid" true (Online.is_valid_run g ~root:0 sigma run_g);
+  Alcotest.(check bool) "oblivious valid" true (Online.is_valid_run g ~root:0 sigma run_o);
+  Alcotest.(check bool) "greedy <= oblivious" true
+    (Rat.( <= ) (Online.cost_of_run g run_g) (Online.cost_of_run g run_o))
+
+let test_is_valid_run_rejects () =
+  let g = Gen.path_graph Undirected 3 (r 1) in
+  (* Buying nothing does not connect vertex 2. *)
+  Alcotest.(check bool) "missing purchase" false
+    (Online.is_valid_run g ~root:0 [ 2 ] [ [] ]);
+  Alcotest.(check bool) "length mismatch" false
+    (Online.is_valid_run g ~root:0 [ 2 ] [ []; [] ])
+
+let test_competitive_ratio () =
+  let g = Gen.path_graph Undirected 4 (r 1) in
+  match Online.competitive_ratio g ~root:0 [ [ 3 ]; [ 1; 3 ] ] Online.greedy with
+  | Some ratio -> Alcotest.check rat "greedy optimal on a path" Rat.one ratio
+  | None -> Alcotest.fail "well-defined"
+
+let test_diamond_structure () =
+  let d = Diamond.build 2 in
+  let g = Diamond.graph d in
+  Alcotest.(check int) "level-2 edges" 16 (Graph.n_edges g);
+  (* Poles + 2 level-1 midpoints + 8 level-2 midpoints. *)
+  Alcotest.(check int) "level-2 vertices" 12 (Graph.n_vertices g);
+  Alcotest.(check int) "levels" 2 (Diamond.levels d);
+  Alcotest.check ext "pole distance 1" Extended.one
+    (Graph.distance g (Diamond.root d) (Diamond.pole d))
+
+let test_diamond_distribution () =
+  let d = Diamond.build 2 in
+  let dist = Diamond.request_distribution d in
+  (* 2 choices at level 1, then 2 x 2 at level 2: 8 sequences. *)
+  Alcotest.(check int) "support size" 8 (List.length (Bi_prob.Dist.support dist));
+  List.iter
+    (fun sigma ->
+      Alcotest.(check int) "sequence length = 2^levels" 4 (List.length sigma);
+      Alcotest.(check bool) "opt is exactly one" true (Diamond.offline_opt_is_one d sigma))
+    (Bi_prob.Dist.support dist)
+
+let test_diamond_sampling_matches_support () =
+  let d = Diamond.build 2 in
+  let support = Bi_prob.Dist.support (Diamond.request_distribution d) in
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 50 do
+    let sigma = Diamond.sample_requests rng d in
+    if not (List.mem sigma support) then Alcotest.fail "sample outside support"
+  done
+
+let test_diamond_guard () =
+  Alcotest.check_raises "level guard"
+    (Invalid_argument "Diamond.request_distribution: support too large, use sampling")
+    (fun () -> ignore (Diamond.request_distribution (Diamond.build 4)))
+
+let test_adversary_hurts_online () =
+  (* The expected online cost grows with the level while OPT stays 1. *)
+  let cost j = Rat.to_float (Diamond.expected_cost (Diamond.build j) Online.greedy) in
+  let c1 = cost 1 and c2 = cost 2 and c3 = cost 3 in
+  Alcotest.(check bool) "level 1 above opt" true (c1 > 1.19);
+  Alcotest.(check bool) "strictly growing 1->2" true (c2 > c1 +. 0.15);
+  Alcotest.(check bool) "strictly growing 2->3" true (c3 > c2 +. 0.15)
+
+let test_oblivious_on_adversary () =
+  let d = Diamond.build 2 in
+  let greedy = Diamond.expected_cost d Online.greedy in
+  let oblivious = Diamond.expected_cost d Online.oblivious_shortest_path in
+  Alcotest.(check bool) "greedy no worse than oblivious" true (Rat.( <= ) greedy oblivious);
+  Alcotest.(check bool) "oblivious also suffers" true (Rat.( > ) oblivious Rat.one)
+
+let prop_greedy_valid_on_random_graphs =
+  QCheck2.Test.make ~name:"greedy produces valid runs" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rng 6 in
+      let g = Gen.random_connected_graph rng ~n ~p:0.4 ~max_cost:9 in
+      let sigma = List.init (1 + Random.State.int rng 4) (fun _ -> Random.State.int rng n) in
+      let run = Online.greedy.Online.run g ~root:0 sigma in
+      Online.is_valid_run g ~root:0 sigma run)
+
+let prop_greedy_beats_opt_by_bounded_factor =
+  QCheck2.Test.make ~name:"greedy >= opt and within crude factor" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rng 5 in
+      let g = Gen.random_connected_graph rng ~n ~p:0.5 ~max_cost:9 in
+      let sigma = List.init (1 + Random.State.int rng 3) (fun i -> (i * 3 + 1) mod n) in
+      match Online.offline_opt g ~root:0 sigma with
+      | Extended.Inf -> false
+      | Extended.Fin opt ->
+        let alg = Online.cost_of_run g (Online.greedy.Online.run g ~root:0 sigma) in
+        if Rat.is_zero opt then Rat.is_zero alg
+        else Rat.( <= ) opt alg && Rat.( <= ) alg (Rat.mul_int opt (2 * n)))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_greedy_valid_on_random_graphs; prop_greedy_beats_opt_by_bounded_factor ]
+
+let () =
+  Alcotest.run "bi_steiner"
+    [
+      ( "online",
+        [
+          Alcotest.test_case "greedy on a line" `Quick test_greedy_line;
+          Alcotest.test_case "oblivious vs greedy" `Quick test_oblivious_overbuys;
+          Alcotest.test_case "run validation" `Quick test_is_valid_run_rejects;
+          Alcotest.test_case "competitive ratio" `Quick test_competitive_ratio;
+        ] );
+      ( "diamond",
+        [
+          Alcotest.test_case "structure" `Quick test_diamond_structure;
+          Alcotest.test_case "adversarial distribution" `Quick test_diamond_distribution;
+          Alcotest.test_case "sampling" `Quick test_diamond_sampling_matches_support;
+          Alcotest.test_case "guard" `Quick test_diamond_guard;
+          Alcotest.test_case "online cost grows per level" `Slow test_adversary_hurts_online;
+          Alcotest.test_case "oblivious on adversary" `Quick test_oblivious_on_adversary;
+        ] );
+      ("properties", qtests);
+    ]
