@@ -40,7 +40,7 @@ let visibility () =
   print_endline "shows which agent's view actually carries the gap.";
   print_endline ""
 
-let branch_and_bound () =
+let branch_and_bound ~pool ~sink =
   print_endline "--- Ablation: exhaustive vs branch-and-bound optP ---";
   print_endline "";
   let time f =
@@ -51,7 +51,7 @@ let branch_and_bound () =
   let rows =
     List.map
       (fun (name, game) ->
-        let (ex, _), t_ex = time (fun () -> Bncs.opt_p_exhaustive game) in
+        let (ex, _), t_ex = time (fun () -> Bncs.opt_p_exhaustive ~pool game) in
         let (bb, _, certified), t_bb =
           time (fun () -> Bncs.opt_p_branch_and_bound game)
         in
@@ -74,9 +74,12 @@ let branch_and_bound () =
     (Report.table
        ~header:[ "game"; "exhaustive"; "time"; "B&B"; "time"; "agree" ]
        rows);
+  Engine.Sink.table sink ~section:"ablations"
+    ~header:[ "game"; "exhaustive"; "exhaustive time"; "bb"; "bb time"; "agree" ]
+    rows;
   print_endline ""
 
-let weighted () =
+let weighted ~sink =
   print_endline "--- Ablation: fair vs proportional (weighted) sharing ---";
   print_endline "";
   let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one); (0, 1, Rat.of_int 2) ] in
@@ -99,6 +102,8 @@ let weighted () =
       ]
   in
   print_endline (Report.table ~header:[ "instance"; "PoS"; "PoA" ] rows);
+  Engine.Sink.table sink ~section:"ablations" ~kind:"weighted"
+    ~header:[ "instance"; "PoS"; "PoA" ] rows;
   print_endline "";
   print_endline
     "Heavier asymmetry shrinks the heavy agent's incentive to share:";
@@ -134,10 +139,10 @@ let fictitious_play () =
   print_endline "The certified bracket narrows roughly like O(1/sqrt(T)).";
   print_endline ""
 
-let run () =
+let run ~pool ~sink =
   print_endline "=== Ablations ===";
   print_endline "";
   visibility ();
-  branch_and_bound ();
-  weighted ();
+  branch_and_bound ~pool ~sink;
+  weighted ~sink;
   fictitious_play ()

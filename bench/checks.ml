@@ -6,15 +6,15 @@ open Bayesian_ignorance
 module Bncs = Ncs.Bayesian_ncs
 module Measures = Bayes.Measures
 
-let check ~label games =
+let check ~pool ~label games =
   let total = List.length games in
   let obs22 = ref 0 and l31 = ref 0 and l38 = ref 0 in
   List.iter
     (fun g ->
-      let m = Bncs.measures_exhaustive g in
+      let m = Bncs.measures_exhaustive ~pool g in
       if Measures.observation_2_2_holds m then incr obs22;
-      if Bncs.lemma_3_1_bound_holds g then incr l31;
-      if Bncs.lemma_3_8_bound_holds g then incr l38)
+      if Bncs.lemma_3_1_bound_holds ~pool g then incr l31;
+      if Bncs.lemma_3_8_bound_holds ~pool g then incr l38)
     games;
   [
     [
@@ -37,13 +37,16 @@ let check ~label games =
     ];
   ]
 
-let run () =
+let run ~pool ~sink =
   print_endline "=== Universal laws on random Bayesian NCS corpora ===";
   print_endline "";
   let rows =
-    check ~label:"directed" (Corpus.games ~directed:true ~count:25)
-    @ check ~label:"undirected" (Corpus.games ~directed:false ~count:25)
+    check ~pool ~label:"directed" (Corpus.games ~pool ~directed:true ~count:25 ())
+    @ check ~pool ~label:"undirected" (Corpus.games ~pool ~directed:false ~count:25 ())
   in
   print_endline
     (Report.table ~header:[ "law"; "statement"; "holds on"; "verdict" ] rows);
+  Engine.Sink.table sink ~section:"checks"
+    ~header:[ "law"; "statement"; "holds on"; "verdict" ]
+    rows;
   print_endline ""

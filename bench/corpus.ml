@@ -44,10 +44,16 @@ let random_game ~directed seed =
   in
   Bncs.make graph ~prior:(Dist.make weighted)
 
-let games ~directed ~count =
-  List.filter_map
-    (fun seed ->
-      match random_game ~directed (seed * 7919) with
-      | g -> Some g
-      | exception Invalid_argument _ -> None)
-    (List.init count (fun i -> i + 1))
+let games ?pool ~directed ~count () =
+  let seeds = Array.init count (fun i -> (i + 1) * 7919) in
+  let build seed =
+    match random_game ~directed seed with
+    | g -> Some g
+    | exception Invalid_argument _ -> None
+  in
+  let built =
+    match pool with
+    | Some pool -> Engine.Pool.map_array pool build seeds
+    | None -> Array.map build seeds
+  in
+  List.filter_map Fun.id (Array.to_list built)

@@ -16,13 +16,13 @@ module Gw = Constructions.Gworst_game
 
 let fl = Rat.to_float
 
-let fig1 () =
+let fig1 ~pool ~sink =
   print_endline "=== Fig. 1 series: the G_k game (Lemma 3.3) ===";
   print_endline "";
   let exact_rows =
     List.map
       (fun k ->
-        let m = Bncs.measures_exhaustive (An.game k) in
+        let m = Bncs.measures_exhaustive ~pool (An.game k) in
         let cell = Report.ext_opt_cell in
         [
           string_of_int k;
@@ -52,17 +52,20 @@ let fig1 () =
     (Report.table
        ~header:[ "k"; "worst-eqP"; "best-eqC"; "ratio"; "mode" ]
        (exact_rows @ closed_rows));
+  Engine.Sink.table sink ~section:"fig1"
+    ~header:[ "k"; "worst-eqP"; "best-eqC"; "ratio"; "mode" ]
+    (exact_rows @ closed_rows);
   print_endline "";
   print_endline
     "Shape check: worst-eqP flat at 1+eps; best-eqC grows like H(k-1)/2;";
   print_endline "the ratio decays like O(1/log k) (ignorance is bliss).";
   print_endline ""
 
-let fig2 () =
+let fig2 ~pool ~sink =
   print_endline "=== Fig. 2 series: the G_worst game (Lemmas 3.6/3.7) ===";
   print_endline "";
   let row maker k mode =
-    let m = Bncs.measures_exhaustive (maker k) in
+    let m = Bncs.measures_exhaustive ~pool (maker k) in
     let cell = Report.ext_opt_cell in
     [
       string_of_int k;
@@ -84,6 +87,9 @@ let fig2 () =
     (Report.table
        ~header:[ "k"; "window"; "worst-eqP"; "worst-eqC"; "ratio" ]
        rows);
+  Engine.Sink.table sink ~section:"fig2"
+    ~header:[ "k"; "window"; "worst-eqP"; "worst-eqC"; "ratio" ]
+    rows;
   print_endline "";
   print_endline
     "Shape check: the curse window gives ratio = Omega(k) (ignorance";
@@ -91,6 +97,6 @@ let fig2 () =
     "hurts by a k factor on 3 vertices); the bliss window gives O(1/k).";
   print_endline ""
 
-let run () =
-  fig1 ();
-  fig2 ()
+let run ~pool ~sink =
+  fig1 ~pool ~sink;
+  fig2 ~pool ~sink

@@ -10,9 +10,16 @@
    - Section 4 (Proposition 4.2 and Lemma 4.1) numerically;
    plus bechamel micro-benchmarks of the computational kernels.
 
-   Usage: dune exec bench/main.exe [-- section ...]
+   Usage: dune exec bench/main.exe [-- [--jobs N] section ...]
    where section is any of: table1 figures checks sec4 ablations micro.
-   With no arguments, everything runs. *)
+   With no section arguments, everything runs.  --jobs N (or BI_JOBS=N)
+   runs the exhaustive solvers on N worker domains; results are
+   bit-identical to --jobs 1.  Structured results are written as JSON
+   lines to BENCH_results.json alongside the printed tables. *)
+
+open Bayesian_ignorance
+module Pool = Engine.Pool
+module Sink = Engine.Sink
 
 let sections =
   [
@@ -24,21 +31,73 @@ let sections =
     ("micro", Micro.run);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+let usage () =
+  Printf.eprintf "usage: main.exe [--jobs N] [section ...]\navailable sections: %s\n"
+    (String.concat ", " (List.map fst sections));
+  exit 1
+
+let parse_args args =
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("--jobs" | "-j") :: rest -> (
+      match rest with
+      | n :: rest' -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> go (Some n) acc rest'
+        | _ ->
+          Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+          exit 1)
+      | [] ->
+        Printf.eprintf "--jobs expects an argument\n";
+        exit 1)
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n" s;
+      usage ()
+    | s :: rest -> go jobs (s :: acc) rest
   in
+  go None [] args
+
+let () =
+  let jobs_opt, requested = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let asked = match jobs_opt with Some n -> n | None -> Pool.default_size () in
+  let jobs = Pool.recommended_jobs asked in
+  let requested = if requested = [] then List.map fst sections else requested in
+  List.iter
+    (fun name -> if not (List.mem_assoc name sections) then usage ())
+    requested;
   print_endline "Bayesian ignorance: reproduction benchmark suite";
   print_endline "(paper values are asymptotic; verdicts check the shape)";
+  Printf.printf "(jobs = %d%s; structured results -> BENCH_results.json)\n" jobs
+    (if jobs < asked then
+       Printf.sprintf " — %d requested, clamped to the core count" asked
+     else "");
   print_endline "";
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some run -> run ()
-      | None ->
-        Printf.eprintf "unknown section %S; available: %s\n" name
-          (String.concat ", " (List.map fst sections));
-        exit 1)
-    requested
+  let pool = Pool.create jobs in
+  let sink = Sink.create "BENCH_results.json" in
+  Sink.emit sink
+    [
+      ("record", Str "run");
+      ("suite", Str "bayesian-ignorance bench");
+      ("jobs", Int jobs);
+      ("sections", List (List.map (fun s -> Sink.Str s) requested));
+    ];
+  Fun.protect
+    ~finally:(fun () ->
+      Sink.close sink;
+      Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun name ->
+          let run = List.assoc name sections in
+          let t0 = Unix.gettimeofday () in
+          run ~pool ~sink;
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf "[%s: %.2fs at jobs = %d]\n\n" name dt jobs;
+          Sink.emit sink
+            [
+              ("record", Str "section");
+              ("section", Str name);
+              ("seconds", Float dt);
+              ("jobs", Int jobs);
+            ])
+        requested)

@@ -74,7 +74,7 @@ let img (window, results) =
   Bechamel_notty.Multiple.image_of_ols_results ~rect:window
     ~predictor:Measure.run results
 
-let run () =
+let run ~pool:_ ~sink:_ =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_endline "";
   let results, _ = benchmark () in

@@ -54,7 +54,7 @@ let triangle_commuters () =
          (Prob.Dist.uniform
             [ [| (0, 1); (0, 2) |]; [| (0, 2); (0, 2) |]; [| (0, 1); (0, 1) |] ]))
 
-let run () =
+let run ~pool:_ ~sink =
   print_endline "=== Section 4: public random bits vs the common prior ===";
   print_endline "";
   let rows =
@@ -69,6 +69,9 @@ let run () =
        ~header:
          [ "phi"; "|S|x|T|"; "R~ bracket"; "R* bracket"; "q guarantee"; "verdict" ]
        rows);
+  Engine.Sink.table sink ~section:"sec4"
+    ~header:[ "phi"; "size"; "r_tilde"; "r_star"; "q guarantee"; "verdict" ]
+    rows;
   print_endline "";
   print_endline
     "Proposition 4.2: the R* and R~ brackets intersect on every phi;";

@@ -35,11 +35,11 @@ type corpus_stats = {
   all_within_k : bool; (* worst-eqP <= k optC everywhere (Lemma 3.1) *)
 }
 
-let corpus_stats games =
+let corpus_stats ~pool games =
   let stats =
     List.filter_map
       (fun g ->
-        let m = Bncs.measures_exhaustive g in
+        let m = Bncs.measures_exhaustive ~pool g in
         let k = Bncs.players g in
         let r = Measures.ratios_of_report m in
         let within =
@@ -101,11 +101,11 @@ let universal_rows ~label stats =
 (* --- Existential rows --- *)
 
 (* Directed optP/optC = Omega(k): the affine-plane game (Lemma 3.2). *)
-let affine_row () =
+let affine_row ~pool () =
   let exact =
     let g = Ag.game 2 in
-    let opt_p, _ = Bncs.opt_p_exhaustive g in
-    let worst_c = Bncs.worst_eq_c g in
+    let opt_p, _ = Bncs.opt_p_exhaustive ~pool g in
+    let worst_c = Bncs.worst_eq_c ~pool g in
     (opt_p, worst_c)
   in
   let measured_ratio =
@@ -129,9 +129,9 @@ let affine_row () =
   ]
 
 (* Directed best-eq existential O(1/log k): Anshelevich game (Lemma 3.3). *)
-let anshelevich_row () =
+let anshelevich_row ~pool () =
   let exact k =
-    let m = Bncs.measures_exhaustive (An.game k) in
+    let m = Bncs.measures_exhaustive ~pool (An.game k) in
     match ratio_opt m.Measures.worst_eq_p m.Measures.best_eq_c with
     | Some r -> fl r
     | None -> nan
@@ -153,9 +153,9 @@ let anshelevich_row () =
   ]
 
 (* Worst-eq existential rows, on G_worst (Lemmas 3.6/3.7). *)
-let gworst_rows ~directed label =
+let gworst_rows ~pool ~directed label =
   let measure game =
-    let m = Bncs.measures_exhaustive game in
+    let m = Bncs.measures_exhaustive ~pool game in
     match ratio_opt m.Measures.worst_eq_p m.Measures.worst_eq_c with
     | Some r -> fl r
     | None -> nan
@@ -180,7 +180,7 @@ let gworst_rows ~directed label =
   ]
 
 (* Undirected optP/optC <= O(log n): Lemma 3.4 via FRT trees. *)
-let frt_row () =
+let frt_row ~pool () =
   let rng = Random.State.make [| 424242 |] in
   let trial n seed =
     let rng' = Random.State.make [| seed |] in
@@ -193,7 +193,7 @@ let frt_row () =
     in
     let support = List.init 3 (fun _ -> profile ()) in
     let game = Bncs.make g ~prior:(Prob.Dist.uniform support) in
-    match Bncs.opt_c game with
+    match Bncs.opt_c ~pool game with
     | Extended.Fin opt_c when not (Rat.is_zero opt_c) ->
       (* The Lemma 3.4 strategy: expected cost over sampled trees. *)
       let trees = 8 in
@@ -240,10 +240,10 @@ let frt_row () =
   ]
 
 (* Undirected optP/optC = Omega(log n): the diamond game (Lemma 3.5). *)
-let diamond_row () =
+let diamond_row ~pool () =
   let exact1 =
     let _, game = Constructions.Diamond_game.game 1 in
-    let opt_p, _ = Bncs.opt_p_exhaustive game in
+    let opt_p, _ = Bncs.opt_p_exhaustive ~pool game in
     match opt_p with Extended.Fin r -> fl r | Extended.Inf -> nan
   in
   (* Level 2 is beyond exhaustion but within branch-and-bound reach. *)
@@ -273,17 +273,17 @@ let diamond_row () =
 (* Undirected best-eq existential: Omega(log n) via the diamond (its
    optimal profiles are equilibria), and < 1 via the Anshelevich
    phenomenon surviving on a small graph. *)
-let undirected_best_eq_row () =
+let undirected_best_eq_row ~pool () =
   let bliss =
     (* worst-eqP < best-eqC already exhibits best-eqP/best-eqC < 1. *)
-    let m = Bncs.measures_exhaustive (An.game 5) in
+    let m = Bncs.measures_exhaustive ~pool (An.game 5) in
     match ratio_opt m.Measures.best_eq_p m.Measures.best_eq_c with
     | Some r -> fl r
     | None -> nan
   in
   let diamond =
     let _, game = Constructions.Diamond_game.game 1 in
-    let m = Bncs.measures_exhaustive game in
+    let m = Bncs.measures_exhaustive ~pool game in
     match ratio_opt m.Measures.best_eq_p m.Measures.best_eq_c with
     | Some r -> fl r
     | None -> nan
@@ -295,18 +295,21 @@ let undirected_best_eq_row () =
     Report.verdict (diamond > 1.0 && bliss < 1.0);
   ]
 
-let run () =
+let run ~pool ~sink =
   print_endline "=== Table 1: Bayesian ignorance bounds in NCS games ===";
   print_endline "";
-  let directed_stats = corpus_stats (Corpus.games ~directed:true ~count:30) in
-  let undirected_stats = corpus_stats (Corpus.games ~directed:false ~count:30) in
+  let directed_stats = corpus_stats ~pool (Corpus.games ~pool ~directed:true ~count:30 ()) in
+  let undirected_stats =
+    corpus_stats ~pool (Corpus.games ~pool ~directed:false ~count:30 ())
+  in
   let rows =
     universal_rows ~label:"directed" directed_stats
-    @ [ affine_row (); anshelevich_row () ]
-    @ gworst_rows ~directed:true "directed"
+    @ [ affine_row ~pool (); anshelevich_row ~pool () ]
+    @ gworst_rows ~pool ~directed:true "directed"
     @ universal_rows ~label:"undirected" undirected_stats
-    @ [ frt_row (); diamond_row (); undirected_best_eq_row () ]
-    @ gworst_rows ~directed:false "undirected"
+    @ [ frt_row ~pool (); diamond_row ~pool (); undirected_best_eq_row ~pool () ]
+    @ gworst_rows ~pool ~directed:false "undirected"
   in
   print_endline (Report.table ~header rows);
+  Engine.Sink.table sink ~section:"table1" ~header rows;
   print_endline ""

@@ -10,8 +10,8 @@ open Num
 module Bncs = Ncs.Bayesian_ncs
 module Measures = Bayes.Measures
 
-let print_measures game =
-  let report = Bncs.measures_exhaustive game in
+let print_measures ~pool game =
+  let report = Bncs.measures_exhaustive ~pool game in
   print_endline
     (Report.table ~header:[ "quantity"; "value" ] (Report.measures_rows report));
   let ratios = Measures.ratios_of_report report in
@@ -39,14 +39,15 @@ let build_construction name k =
     Printf.eprintf
       "unknown construction %S (try: anshelevich, gworst-bliss, gworst-curse, affine, diamond)\n"
       name;
-    exit 2
+    exit 1
 
-let construction name k =
+let construction name k jobs =
   Printf.printf "construction %s, parameter %d\n\n" name k;
-  (try print_measures (build_construction name k) with
-   | Invalid_argument msg ->
-     Printf.eprintf "error: %s\n" msg;
-     exit 2);
+  Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
+      try print_measures ~pool (build_construction name k) with
+      | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2);
   0
 
 let adversary levels samples seed =
@@ -115,6 +116,16 @@ open Cmdliner
 let k_arg default =
   Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc:"Size parameter.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Engine.Pool.default_size ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the exhaustive solvers (defaults to \
+           $(b,BI_JOBS) or 1; clamped to the core count). Results are \
+           identical for any value.")
+
 let construction_cmd =
   let name_arg =
     Arg.(
@@ -126,7 +137,7 @@ let construction_cmd =
   in
   Cmd.v
     (Cmd.info "construction" ~doc:"Exact ignorance measures of a paper construction")
-    Term.(const construction $ name_arg $ k_arg 4)
+    Term.(const construction $ name_arg $ k_arg 4 $ jobs_arg)
 
 let adversary_cmd =
   let levels =

@@ -17,7 +17,9 @@
     - {!Steiner}: online Steiner tree and the diamond adversary.
     - {!Embed}: FRT tree embeddings (Lemma 3.4 machinery).
     - {!Minimax}: matrix games and Section 4 (public random bits).
-    - {!Constructions}: the paper's lower-bound game families. *)
+    - {!Constructions}: the paper's lower-bound game families.
+    - {!Engine}: domain-pool executor, deterministic map-reduce, and the
+      line-oriented JSON result sink. *)
 
 module Num = Bi_num
 module Ds = Bi_ds
@@ -30,4 +32,5 @@ module Steiner = Bi_steiner
 module Embed = Bi_embed
 module Minimax = Bi_minimax
 module Constructions = Bi_constructions
+module Engine = Bi_engine
 module Report = Report

@@ -1,0 +1,137 @@
+type task = unit -> unit
+
+type t = {
+  size : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  pending : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  busy : bool Atomic.t; (* a parallel op is in flight: nested ops go sequential *)
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.pending pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* closed *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create size =
+  let size = max 1 size in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      closed = false;
+      workers = [];
+      busy = Atomic.make false;
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.pending;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool size f =
+  let pool = create size in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let env_jobs () =
+  match Sys.getenv_opt "BI_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let default_size () = Option.value (env_jobs ()) ~default:1
+let recommended_jobs requested = max 1 (min requested (Domain.recommended_domain_count ()))
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  Queue.push task pool.queue;
+  Condition.signal pool.pending;
+  Mutex.unlock pool.mutex
+
+let parallel_for pool ?(chunk = 1) n body =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be positive";
+  if n <= 0 then ()
+  else if
+    pool.size = 1 || n <= chunk
+    || not (Atomic.compare_and_set pool.busy false true)
+  then body 0 n
+  else begin
+    let n_chunks = (n + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let drain () =
+      let continue = ref true in
+      while !continue do
+        let c = Atomic.fetch_and_add next 1 in
+        if c >= n_chunks || Atomic.get failure <> None then continue := false
+        else begin
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) in
+          try body lo hi
+          with e -> ignore (Atomic.compare_and_set failure None (Some e))
+        end
+      done
+    in
+    let live = Atomic.make (pool.size - 1) in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    for _ = 1 to pool.size - 1 do
+      submit pool (fun () ->
+          drain ();
+          Atomic.decr live;
+          Mutex.lock done_mutex;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_mutex)
+    done;
+    drain ();
+    (* Brief relax-spin for cheap jobs, then block until the helpers are
+       out of their in-flight chunks. *)
+    let spins = ref 0 in
+    while Atomic.get live > 0 && !spins < 10_000 do
+      incr spins;
+      Domain.cpu_relax ()
+    done;
+    Mutex.lock done_mutex;
+    while Atomic.get live > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Atomic.set pool.busy false;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end
+
+let map_array pool ?chunk f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ?chunk n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end

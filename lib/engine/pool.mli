@@ -1,0 +1,51 @@
+(** A fixed pool of worker domains over a chunked task queue.
+
+    The pool underlies every parallel solver in the reproduction: callers
+    split an index space into chunks, workers pull chunks from a shared
+    atomic cursor, and the caller participates in the draining so that a
+    [size]-domain pool really uses [size] cores.  A pool of size 1 never
+    spawns a domain and runs everything in the caller — the sequential
+    fallback used by default and by the determinism tests.
+
+    Parallel operations started from within a running parallel operation
+    degrade to sequential execution instead of deadlocking, so nested
+    [?pool] plumbing is always safe. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] worker domains ([size] is clamped to
+    at least 1).  Workers idle on a condition variable between jobs. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Joins the workers.  Idempotent; the pool must not be used after. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool size f] runs [f] on a fresh pool and always shuts it down. *)
+
+val env_jobs : unit -> int option
+(** The [BI_JOBS] environment variable, when set to a positive integer. *)
+
+val default_size : unit -> int
+(** [env_jobs ()] or 1. *)
+
+val recommended_jobs : int -> int
+(** Clamps a requested pool size to [Domain.recommended_domain_count ()].
+    Oversubscribing domains is a net loss for these workloads (every
+    minor collection synchronizes all domains), so the harnesses run
+    requested sizes through this; {!create} itself honors the request,
+    which the determinism tests use to exercise real interleavings even
+    on few cores. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~chunk n body] calls [body lo hi] over disjoint
+    slices [\[lo, hi)] covering [\[0, n)], concurrently when the pool has
+    more than one domain.  [chunk] (default 1) is the slice width handed
+    to a worker per queue pull.  The first exception raised by any slice
+    is re-raised in the caller after all workers stop. *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; the result keeps input order, so downstream
+    folds are deterministic regardless of execution interleaving. *)

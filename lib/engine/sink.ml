@@ -1,0 +1,102 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else Buffer.add_string buf "null"
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf (Str k);
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+type t = {
+  path : string;
+  channel : out_channel;
+  mutable open_ : bool;
+}
+
+let create path = { path; channel = open_out path; open_ = true }
+let path sink = sink.path
+
+let emit sink fields =
+  if not sink.open_ then invalid_arg "Sink.emit: sink is closed";
+  output_string sink.channel (to_string (Obj fields));
+  output_char sink.channel '\n'
+
+(* "paper bound" -> "paper_bound": JSON keys that double as column ids. *)
+let slug s =
+  String.map
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> c
+      | _ -> '_')
+    s
+
+let table sink ~section ?(kind = "row") ~header rows =
+  let keys = List.map slug header in
+  List.iter
+    (fun row ->
+      let rec pair ks cs =
+        match (ks, cs) with
+        | k :: ks, c :: cs -> (k, Str c) :: pair ks cs
+        | _ -> []
+      in
+      emit sink (("record", Str kind) :: ("section", Str section) :: pair keys row))
+    rows
+
+let close sink =
+  if sink.open_ then begin
+    sink.open_ <- false;
+    close_out sink.channel
+  end

@@ -1,0 +1,44 @@
+(** Structured result sink: line-oriented JSON records.
+
+    Bench sections emit one JSON object per line (JSON Lines) alongside
+    their human-readable tables, so downstream tooling can diff runs,
+    track timings, and plot series without scraping aligned text.  The
+    encoder is hand-rolled — no dependency beyond the standard library —
+    and always produces valid JSON: strings are escaped per RFC 8259 and
+    non-finite floats map to [null]. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val escape : string -> string
+(** Escapes the bytes of a string for inclusion inside JSON quotes:
+    ["\""], ["\\"] and ASCII control characters are escaped (short forms
+    for [\n], [\r], [\t], [\b], [\f]; [\u00XX] otherwise); all other
+    bytes pass through untouched, so UTF-8 payloads survive verbatim. *)
+
+val to_string : json -> string
+(** Compact single-line rendering. *)
+
+type t
+
+val create : string -> t
+(** [create path] opens (and truncates) [path] for writing. *)
+
+val path : t -> string
+
+val emit : t -> (string * json) list -> unit
+(** Writes one object as a single line. *)
+
+val table : t -> section:string -> ?kind:string -> header:string list -> string list list -> unit
+(** [table sink ~section ~header rows] emits one record per row, keyed by
+    the slugified header cells, tagged with [{"record": kind;
+    "section": section}] ([kind] defaults to ["row"]). *)
+
+val close : t -> unit
+(** Flushes and closes.  Idempotent. *)

@@ -4,6 +4,8 @@ module Paths = Bi_graph.Paths
 module Dist = Bi_prob.Dist
 module Bayesian = Bi_bayes.Bayesian
 module Measures = Bi_bayes.Measures
+module Pool = Bi_engine.Pool
+module Reduce = Bi_engine.Reduce
 
 type t = {
   graph : Graph.t;
@@ -122,6 +124,13 @@ let complete_game g pair_profile =
     Hashtbl.add g.complete_memo key c;
     c
 
+(* Agent [i]'s valid strategies: one valid action per type, in the order
+   [valid_strategy_profiles] enumerates them. *)
+let player_strategies g i =
+  Array.of_list
+    (List.of_seq
+       (Seq.map Array.of_list (Bi_ds.Combinat.product (Array.to_list g.valid.(i)))))
+
 let valid_strategy_profiles g =
   let per_player =
     List.init g.players (fun i ->
@@ -129,6 +138,33 @@ let valid_strategy_profiles g =
         List.of_seq (Seq.map Array.of_list (Bi_ds.Combinat.product choices)))
   in
   Seq.map Array.of_list (Bi_ds.Combinat.product per_player)
+
+(* Valid-profile search sharded by agent 0's strategy (the leading-
+   strategy prefix).  Shards run on the pool; each folds the product of
+   the remaining agents' strategies sequentially, and the shard partials
+   are reduced in shard order — so value, witnessing profile and
+   tie-breaking all coincide with the sequential left-to-right scan over
+   [valid_strategy_profiles], whatever the pool size. *)
+let sharded_search ?pool ~monoid ~score g =
+  let rest =
+    List.init (g.players - 1) (fun j ->
+        Array.to_list (player_strategies g (j + 1)))
+  in
+  let eval s0 =
+    Seq.fold_left
+      (fun acc tail ->
+        let profile = Array.make g.players s0 in
+        List.iteri (fun j sj -> profile.(j + 1) <- sj) tail;
+        match score profile with
+        | None -> acc
+        | Some v -> monoid.Reduce.combine acc v)
+      monoid.Reduce.empty
+      (Bi_ds.Combinat.product rest)
+  in
+  let shards = player_strategies g 0 in
+  match pool with
+  | Some pool when Pool.size pool > 1 -> Reduce.map_reduce pool ~monoid eval shards
+  | _ -> Reduce.fold monoid (Array.map eval shards)
 
 let bayesian_equilibria g =
   Seq.filter (Bayesian.is_bayesian_equilibrium g.game) (valid_strategy_profiles g)
@@ -169,15 +205,17 @@ let shortest_path_profile g =
 let equilibrium_by_dynamics ?max_steps g =
   Bayesian.best_response_dynamics ?max_steps g.game (shortest_path_profile g)
 
-let opt_c g =
+let opt_c ?pool g =
   Dist.expectation_ext
     (fun pairs ->
       let c = complete_game g pairs in
       match Complete.optimum_rooted c with
       | Some v -> v
-      | None -> Extended.of_rat (fst (Complete.optimum c)))
+      | None -> Extended.of_rat (fst (Complete.optimum ?pool c)))
     g.prior_pairs
 
+(* The memoizing [complete_game] stays on the calling domain; parallelism
+   lives inside the per-state Complete solvers. *)
 let expect_eq_c pick g =
   let exception Missing in
   try
@@ -190,13 +228,15 @@ let expect_eq_c pick g =
          g.prior_pairs)
   with Missing -> None
 
-let best_eq_c g = expect_eq_c Complete.best_equilibrium g
-let worst_eq_c g = expect_eq_c Complete.worst_equilibrium g
+let best_eq_c ?pool g = expect_eq_c (fun c -> Complete.best_equilibrium ?pool c) g
+let worst_eq_c ?pool g = expect_eq_c (fun c -> Complete.worst_equilibrium ?pool c) g
 
-let opt_p_exhaustive g =
+let opt_p_exhaustive ?pool g =
   match
-    Bi_ds.Combinat.argmin (social_cost g) ~cmp:Extended.compare
-      (valid_strategy_profiles g)
+    sharded_search ?pool
+      ~monoid:(Reduce.first_min ~cmp:Extended.compare)
+      ~score:(fun s -> Some (Some (s, social_cost g s)))
+      g
   with
   | Some (s, c) -> (c, s)
   | None -> assert false
@@ -323,35 +363,59 @@ let opt_p_branch_and_bound ?(node_budget = 5_000_000) g =
   dfs 0;
   (!incumbent, !incumbent_profile, !exhausted)
 
-let extreme_eq_p pick g =
+let eq_score g s =
+  if Bayesian.is_bayesian_equilibrium g.game s then Some (social_cost g s)
+  else None
+
+let extreme_eq_p ?pool monoid g =
   Option.map
     (fun (s, c) -> (c, s))
-    (pick (social_cost g) ~cmp:Extended.compare (bayesian_equilibria g))
+    (sharded_search ?pool ~monoid
+       ~score:(fun s -> Option.map (fun c -> Some (s, c)) (eq_score g s))
+       g)
 
-let best_eq_p g = extreme_eq_p Bi_ds.Combinat.argmin g
-let worst_eq_p g = extreme_eq_p Bi_ds.Combinat.argmax g
+let best_eq_p ?pool g = extreme_eq_p ?pool (Reduce.first_min ~cmp:Extended.compare) g
+let worst_eq_p ?pool g = extreme_eq_p ?pool (Reduce.first_max ~cmp:Extended.compare) g
 
-let measures_exhaustive g =
-  let opt_p, _ = opt_p_exhaustive g in
+(* Best and worst Bayesian equilibrium in a single sweep: the equilibrium
+   predicate dominates the cost of the scan, so fusing the two extreme
+   searches halves the work of [measures_exhaustive]. *)
+let eq_extremes ?pool g =
+  sharded_search ?pool
+    ~monoid:
+      (Reduce.both
+         (Reduce.first_min ~cmp:Extended.compare)
+         (Reduce.first_max ~cmp:Extended.compare))
+    ~score:(fun s ->
+      Option.map
+        (fun c ->
+          let cell = Some (s, c) in
+          (cell, cell))
+        (eq_score g s))
+    g
+
+let measures_exhaustive ?pool g =
+  let opt_p, _ = opt_p_exhaustive ?pool g in
+  let best, worst = eq_extremes ?pool g in
   {
     Measures.opt_p;
-    best_eq_p = Option.map fst (best_eq_p g);
-    worst_eq_p = Option.map fst (worst_eq_p g);
-    opt_c = opt_c g;
-    best_eq_c = best_eq_c g;
-    worst_eq_c = worst_eq_c g;
+    best_eq_p = Option.map snd best;
+    worst_eq_p = Option.map snd worst;
+    opt_c = opt_c ?pool g;
+    best_eq_c = best_eq_c ?pool g;
+    worst_eq_c = worst_eq_c ?pool g;
   }
 
-let lemma_3_1_bound_holds g =
-  match worst_eq_p g with
+let lemma_3_1_bound_holds ?pool g =
+  match worst_eq_p ?pool g with
   | None -> true
   | Some (worst, _) ->
-    Extended.( <= ) worst (Extended.mul (Extended.of_int g.players) (opt_c g))
+    Extended.( <= ) worst (Extended.mul (Extended.of_int g.players) (opt_c ?pool g))
 
-let lemma_3_8_bound_holds g =
-  match best_eq_p g with
+let lemma_3_8_bound_holds ?pool g =
+  match best_eq_p ?pool g with
   | None -> true
   | Some (best, _) ->
-    let opt_p, _ = opt_p_exhaustive g in
+    let opt_p, _ = opt_p_exhaustive ?pool g in
     Extended.( <= ) best
       (Extended.mul (Extended.of_rat (Rat.harmonic g.players)) opt_p)

@@ -63,15 +63,21 @@ val equilibrium_by_dynamics :
 val shortest_path_profile : t -> Bi_bayes.Bayesian.strategy_profile
 (** The profile where each agent buys a shortest path for each type. *)
 
-val measures_exhaustive : t -> Bi_bayes.Measures.report
+val measures_exhaustive : ?pool:Bi_engine.Pool.t -> t -> Bi_bayes.Measures.report
 (** All six quantities; partial-information side by exhaustive valid
     enumeration, complete-information side by per-type-profile search.
-    Exponential in all directions — small instances only. *)
+    Exponential in all directions — small instances only.  With [?pool],
+    every enumeration is sharded by the leading agent's strategy and run
+    across worker domains; results (including tie-breaking on the
+    witnessing profiles) are identical for any pool size, and the best
+    and worst Bayesian equilibria are found in one fused sweep. *)
 
-val opt_c : t -> Extended.t
-val best_eq_c : t -> Extended.t option
-val worst_eq_c : t -> Extended.t option
-val opt_p_exhaustive : t -> Extended.t * Bi_bayes.Bayesian.strategy_profile
+val opt_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t
+val best_eq_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t option
+val worst_eq_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t option
+
+val opt_p_exhaustive :
+  ?pool:Bi_engine.Pool.t -> t -> Extended.t * Bi_bayes.Bayesian.strategy_profile
 
 val opt_p_branch_and_bound :
   ?node_budget:int -> t -> Extended.t * Bi_bayes.Bayesian.strategy_profile * bool
@@ -85,12 +91,19 @@ val opt_p_branch_and_bound :
     magnitude faster than {!opt_p_exhaustive} on games whose optimum
     shares edges aggressively (the paper's constructions). *)
 
-val best_eq_p : t -> (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
-val worst_eq_p : t -> (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
+val best_eq_p :
+  ?pool:Bi_engine.Pool.t ->
+  t ->
+  (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
 
-val lemma_3_1_bound_holds : t -> bool
+val worst_eq_p :
+  ?pool:Bi_engine.Pool.t ->
+  t ->
+  (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
+
+val lemma_3_1_bound_holds : ?pool:Bi_engine.Pool.t -> t -> bool
 (** Universal bound [worst-eqP <= k * optC] (Lemma 3.1); vacuously true
     when no pure Bayesian equilibrium exists. *)
 
-val lemma_3_8_bound_holds : t -> bool
+val lemma_3_8_bound_holds : ?pool:Bi_engine.Pool.t -> t -> bool
 (** Universal bound [best-eqP <= H(k) * optP] (Lemma 3.8). *)

@@ -1,6 +1,8 @@
 open Bi_num
 module Graph = Bi_graph.Graph
 module Paths = Bi_graph.Paths
+module Pool = Bi_engine.Pool
+module Reduce = Bi_engine.Reduce
 
 type t = {
   graph : Graph.t;
@@ -75,8 +77,41 @@ let profile_space g =
   Bi_ds.Combinat.product_arrays
     (Array.map (fun tbl -> Array.init (Array.length tbl) Fun.id) g.path_table)
 
-let optimum g =
-  match Bi_ds.Combinat.argmin (social_cost g) ~cmp:Rat.compare (profile_space g) with
+(* Profile search sharded by agent 0's path index (the leading-strategy
+   prefix): each shard folds the product of the remaining agents' choices
+   sequentially, and shards are reduced in index order, so the winner —
+   value and profile alike — is the one the plain left-to-right scan over
+   [profile_space] would pick, for any pool size. *)
+let sharded_search ?pool ~monoid ~score g =
+  let k = players g in
+  let rest =
+    Array.map
+      (fun tbl -> Array.init (Array.length tbl) Fun.id)
+      (Array.sub g.path_table 1 (k - 1))
+  in
+  let eval a0 =
+    Seq.fold_left
+      (fun acc tail ->
+        let profile = Array.make k a0 in
+        Array.blit tail 0 profile 1 (k - 1);
+        match score profile with
+        | None -> acc
+        | Some v -> monoid.Reduce.combine acc v)
+      monoid.Reduce.empty
+      (Bi_ds.Combinat.product_arrays rest)
+  in
+  let shards = Array.init (Array.length g.path_table.(0)) Fun.id in
+  match pool with
+  | Some pool when Pool.size pool > 1 -> Reduce.map_reduce pool ~monoid eval shards
+  | _ -> Reduce.fold monoid (Array.map eval shards)
+
+let optimum ?pool g =
+  match
+    sharded_search ?pool
+      ~monoid:(Reduce.first_min ~cmp:Rat.compare)
+      ~score:(fun p -> Some (Some (p, social_cost g p)))
+      g
+  with
   | Some (a, c) -> (c, a)
   | None -> assert false
 
@@ -143,15 +178,21 @@ let is_nash g profile =
 
 let nash_equilibria g = Seq.filter (is_nash g) (profile_space g)
 
-let best_equilibrium g =
-  Option.map
-    (fun (a, c) -> (c, a))
-    (Bi_ds.Combinat.argmin (social_cost g) ~cmp:Rat.compare (nash_equilibria g))
+let nash_score g p = if is_nash g p then Some (Some (p, social_cost g p)) else None
 
-let worst_equilibrium g =
+let best_equilibrium ?pool g =
   Option.map
     (fun (a, c) -> (c, a))
-    (Bi_ds.Combinat.argmax (social_cost g) ~cmp:Rat.compare (nash_equilibria g))
+    (sharded_search ?pool
+       ~monoid:(Reduce.first_min ~cmp:Rat.compare)
+       ~score:(nash_score g) g)
+
+let worst_equilibrium ?pool g =
+  Option.map
+    (fun (a, c) -> (c, a))
+    (sharded_search ?pool
+       ~monoid:(Reduce.first_max ~cmp:Rat.compare)
+       ~score:(nash_score g) g)
 
 let equilibrium_by_dynamics ?(max_steps = 100_000) g start =
   let profile = Array.copy start in
@@ -177,9 +218,9 @@ let equilibrium_by_dynamics ?(max_steps = 100_000) g start =
   in
   go 0
 
-let price_of_stability_bound_holds g =
-  match best_equilibrium g with
+let price_of_stability_bound_holds ?pool g =
+  match best_equilibrium ?pool g with
   | None -> false
   | Some (best_eq, _) ->
-    let opt, _ = optimum g in
+    let opt, _ = optimum ?pool g in
     Rat.( <= ) best_eq (Rat.mul (Rat.harmonic (players g)) opt)

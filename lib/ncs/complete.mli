@@ -42,8 +42,11 @@ val potential : t -> int array -> Rat.t
 
 val to_strategic : t -> Bi_game.Strategic.t
 
-val optimum : t -> Rat.t * int array
-(** Social optimum over path profiles, by exhaustive product search. *)
+val optimum : ?pool:Bi_engine.Pool.t -> t -> Rat.t * int array
+(** Social optimum over path profiles, by exhaustive product search.
+    With [?pool], the profile space is sharded by agent 0's path index
+    and searched in parallel; the result (value and witnessing profile)
+    is identical to the sequential scan for any pool size. *)
 
 val optimum_rooted : t -> Extended.t option
 (** Exact optimum via the Steiner subset-DP when all agents share a
@@ -59,14 +62,17 @@ val best_response : t -> int array -> int -> int
 val is_nash : t -> int array -> bool
 val nash_equilibria : t -> int array Seq.t
 
-val best_equilibrium : t -> (Rat.t * int array) option
-val worst_equilibrium : t -> (Rat.t * int array) option
+val best_equilibrium : ?pool:Bi_engine.Pool.t -> t -> (Rat.t * int array) option
+val worst_equilibrium : ?pool:Bi_engine.Pool.t -> t -> (Rat.t * int array) option
+(** Extreme Nash equilibria; parallel over leading-strategy shards when
+    [?pool] is given, deterministically (first-wins tie-breaking matches
+    the sequential enumeration). *)
 
 val equilibrium_by_dynamics : ?max_steps:int -> t -> int array -> int array option
 (** Iterated exact best responses; the Rosenthal potential strictly
     decreases at every move, so this reaches a Nash equilibrium (or
     gives up after [max_steps], default [100_000]). *)
 
-val price_of_stability_bound_holds : t -> bool
+val price_of_stability_bound_holds : ?pool:Bi_engine.Pool.t -> t -> bool
 (** Checks [best-eq <= H(k) * opt] (Anshelevich et al., used by the
     paper's Lemma 3.8 in its complete-information form). *)

@@ -1,0 +1,306 @@
+(* Tests for the parallel evaluation engine: pool/sequential agreement on
+   every construction at small k, order-independence (and determinism) of
+   the monoid reductions, JSON escaping round-trips, and pool plumbing
+   (exception propagation, reuse, nesting). *)
+
+open Bi_num
+module Pool = Bi_engine.Pool
+module Reduce = Bi_engine.Reduce
+module Sink = Bi_engine.Sink
+module Complete = Bi_ncs.Complete
+module Bncs = Bi_ncs.Bayesian_ncs
+module Measures = Bi_bayes.Measures
+module Graph = Bi_graph.Graph
+
+let ext = Alcotest.testable Extended.pp Extended.equal
+let ext_opt = Alcotest.option ext
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* --- (a) pool results = sequential results, every construction, small k --- *)
+
+let constructions =
+  [
+    ("anshelevich k=3", fun () -> Bi_constructions.Anshelevich_game.game 3);
+    ("anshelevich k=4", fun () -> Bi_constructions.Anshelevich_game.game 4);
+    ("gworst-bliss k=3", fun () -> Bi_constructions.Gworst_game.bliss_game 3);
+    ("gworst-curse k=3", fun () -> Bi_constructions.Gworst_game.curse_game 3);
+    ("diamond level 1", fun () -> snd (Bi_constructions.Diamond_game.game 1));
+  ]
+
+let check_report name seq par =
+  let field fname get = Alcotest.check ext_opt (name ^ " " ^ fname) (get seq) (get par) in
+  Alcotest.check ext (name ^ " optP") seq.Measures.opt_p par.Measures.opt_p;
+  Alcotest.check ext (name ^ " optC") seq.Measures.opt_c par.Measures.opt_c;
+  field "best-eqP" (fun r -> r.Measures.best_eq_p);
+  field "worst-eqP" (fun r -> r.Measures.worst_eq_p);
+  field "best-eqC" (fun r -> r.Measures.best_eq_c);
+  field "worst-eqC" (fun r -> r.Measures.worst_eq_c)
+
+let test_measures_pool_equals_sequential () =
+  Pool.with_pool 4 (fun pool ->
+      List.iter
+        (fun (name, make) ->
+          let game = make () in
+          check_report name (Bncs.measures_exhaustive game)
+            (Bncs.measures_exhaustive ~pool game))
+        constructions)
+
+let test_profiles_pool_equals_sequential () =
+  (* Not only the values: the witnessing profiles must match too, i.e.
+     parallel tie-breaking is the sequential first-wins one. *)
+  Pool.with_pool 3 (fun pool ->
+      List.iter
+        (fun (name, make) ->
+          let game = make () in
+          let c_seq, s_seq = Bncs.opt_p_exhaustive game in
+          let c_par, s_par = Bncs.opt_p_exhaustive ~pool game in
+          Alcotest.check ext (name ^ " optP value") c_seq c_par;
+          Alcotest.(check bool) (name ^ " optP profile") true (s_seq = s_par);
+          (match (Bncs.worst_eq_p game, Bncs.worst_eq_p ~pool game) with
+           | Some (v1, p1), Some (v2, p2) ->
+             Alcotest.check ext (name ^ " worst-eqP value") v1 v2;
+             Alcotest.(check bool) (name ^ " worst-eqP profile") true (p1 = p2)
+           | None, None -> ()
+           | _ -> Alcotest.fail (name ^ ": equilibrium existence disagrees")))
+        [ List.nth constructions 0; List.nth constructions 2; List.nth constructions 3 ])
+
+let complete_fixture () =
+  (* Two agents, parallel edges plus a detour: several ties to break. *)
+  let graph =
+    Graph.make Undirected ~n:3
+      [ (0, 1, Rat.one); (0, 1, Rat.one); (0, 2, Rat.one); (2, 1, Rat.one) ]
+  in
+  Complete.make graph [| (0, 1); (0, 1) |]
+
+let test_complete_pool_equals_sequential () =
+  Pool.with_pool 4 (fun pool ->
+      let g = complete_fixture () in
+      let c_seq, a_seq = Complete.optimum g in
+      let c_par, a_par = Complete.optimum ~pool g in
+      Alcotest.check rat "optimum value" c_seq c_par;
+      Alcotest.(check bool) "optimum profile" true (a_seq = a_par);
+      List.iter
+        (fun (name, pick) ->
+          match (pick ?pool:None g, pick ?pool:(Some pool) g) with
+          | Some (v1, p1), Some (v2, p2) ->
+            Alcotest.check rat (name ^ " value") v1 v2;
+            Alcotest.(check bool) (name ^ " profile") true (p1 = p2)
+          | None, None -> ()
+          | _ -> Alcotest.fail (name ^ ": existence disagrees"))
+        [
+          ("best equilibrium", fun ?pool g -> Complete.best_equilibrium ?pool g);
+          ("worst equilibrium", fun ?pool g -> Complete.worst_equilibrium ?pool g);
+        ])
+
+(* --- (b) reductions are order-independent and deterministic --- *)
+
+let test_reduce_order_independence () =
+  let rng = Random.State.make [| 0xbeef |] in
+  let xs =
+    Array.init 257 (fun _ ->
+        Rat.of_ints (Random.State.int rng 2001 - 1000) (1 + Random.State.int rng 97))
+  in
+  let expected = Array.fold_left Rat.add Rat.zero xs in
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          List.iter
+            (fun chunk ->
+              let got = Reduce.map_reduce pool ~chunk ~monoid:Reduce.rat_sum Fun.id xs in
+              Alcotest.check rat
+                (Printf.sprintf "rat sum, pool %d chunk %d" size chunk)
+                expected got)
+            [ 1; 3; 7; 64; 1000 ]))
+    [ 1; 2; 4 ]
+
+let test_first_min_tie_breaking () =
+  (* Duplicate minima: the earliest index must win under any schedule. *)
+  let xs = Array.init 100 (fun i -> (i, i mod 5)) in
+  let monoid = Reduce.first_min ~cmp:Int.compare in
+  let expected = Reduce.fold monoid (Array.map Option.some xs) in
+  (match expected with
+   | Some (0, 0) -> ()
+   | _ -> Alcotest.fail "sequential first_min should pick index 0");
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          for chunk = 1 to 9 do
+            let got = Reduce.map_reduce pool ~chunk ~monoid Option.some xs in
+            Alcotest.(check bool)
+              (Printf.sprintf "first_min pool %d chunk %d" size chunk)
+              true (got = expected)
+          done))
+    [ 2; 4 ];
+  let m_max = Reduce.first_max ~cmp:Int.compare in
+  let expected_max = Reduce.fold m_max (Array.map Option.some xs) in
+  (match expected_max with
+   | Some (4, 4) -> () (* first element achieving the max value 4 *)
+   | _ -> Alcotest.fail "sequential first_max should pick index 4");
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.(check bool) "first_max parallel" true
+        (Reduce.map_reduce pool ~chunk:3 ~monoid:m_max Option.some xs = expected_max))
+
+let test_both_monoid () =
+  let xs = Array.init 50 (fun i -> i) in
+  let monoid = Reduce.both Reduce.int_sum (Reduce.first_max ~cmp:Int.compare) in
+  Pool.with_pool 3 (fun pool ->
+      let total, best =
+        Reduce.map_reduce pool ~chunk:4 ~monoid (fun i -> (i, Some (i, i * i))) xs
+      in
+      Alcotest.(check int) "sum component" 1225 total;
+      Alcotest.(check bool) "argmax component" true (best = Some (49, 2401)))
+
+(* --- (c) JSON encoder round-trips escaping --- *)
+
+(* Minimal JSON string decoder: the inverse of Sink.escape over the
+   encoder's output language. *)
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '\\' then begin
+      (match s.[i + 1] with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'u' ->
+         Buffer.add_char buf
+           (Char.chr (int_of_string ("0x" ^ String.sub s (i + 2) 4)))
+       | c -> Alcotest.fail (Printf.sprintf "unexpected escape \\%c" c));
+      go (i + if s.[i + 1] = 'u' then 6 else 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let adversarial_strings =
+  [
+    "";
+    "plain";
+    "with \"quotes\" inside";
+    "back\\slash \\\" mix";
+    "newline\nand\ttab\rand\bbell\007";
+    String.init 32 Char.chr;
+    "utf-8 séries: Gâteau — ≤ Ω(k) 🎲";
+    "</script><script>alert(1)</script>";
+    "trailing backslash \\";
+    String.make 10_000 '"';
+  ]
+
+let test_json_escape_round_trip () =
+  List.iter
+    (fun s ->
+      let encoded = Sink.escape s in
+      (* No raw control bytes or bare quotes may survive encoding. *)
+      String.iter
+        (fun c ->
+          if Char.code c < 0x20 then
+            Alcotest.fail "control byte leaked through escaping")
+        encoded;
+      Alcotest.(check string) "round trip" s (unescape encoded))
+    adversarial_strings
+
+let test_json_to_string () =
+  let j =
+    Sink.Obj
+      [
+        ("name", Sink.Str "tab\there");
+        ("xs", Sink.List [ Sink.Int 1; Sink.Float 0.5; Sink.Null; Sink.Bool true ]);
+        ("nan", Sink.Float Float.nan);
+        ("inf", Sink.Float Float.infinity);
+      ]
+  in
+  Alcotest.(check string) "rendering"
+    "{\"name\":\"tab\\there\",\"xs\":[1,0.5,null,true],\"nan\":null,\"inf\":null}"
+    (Sink.to_string j);
+  (* A sink file is one valid JSON object per line. *)
+  let path = Filename.temp_file "bi_sink" ".json" in
+  let sink = Sink.create path in
+  Sink.emit sink [ ("record", Sink.Str "row"); ("k", Sink.Int 3) ];
+  Sink.table sink ~section:"t" ~header:[ "paper bound"; "verdict" ]
+    [ [ "O(k)"; "PASS" ]; [ "O(1)"; "FAIL" ] ];
+  Sink.close sink;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "line count" 3 (List.length lines);
+  Alcotest.(check bool) "keys slugified" true
+    (List.exists
+       (fun l ->
+         l = "{\"record\":\"row\",\"section\":\"t\",\"paper_bound\":\"O(k)\",\"verdict\":\"PASS\"}")
+       lines);
+  Sys.remove path
+
+(* --- pool plumbing --- *)
+
+exception Boom
+
+let test_pool_exception_propagation () =
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.check_raises "exception reaches caller" Boom (fun () ->
+          Pool.parallel_for pool 100 (fun lo _ -> if lo > 50 then raise Boom));
+      (* The pool survives a failed job. *)
+      let out = Pool.map_array pool (fun x -> x * x) (Array.init 10 Fun.id) in
+      Alcotest.(check bool) "reusable after failure" true
+        (out = Array.init 10 (fun i -> i * i)))
+
+let test_pool_nested_and_empty () =
+  Pool.with_pool 2 (fun pool ->
+      Pool.parallel_for pool 0 (fun _ _ -> Alcotest.fail "empty range ran");
+      (* Nested parallel ops degrade to sequential instead of deadlocking. *)
+      let out =
+        Pool.map_array pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array pool (fun j -> (i * 10) + j) (Array.init 5 Fun.id)))
+          (Array.init 8 Fun.id)
+      in
+      Alcotest.(check bool) "nested result" true
+        (out = Array.init 8 (fun i -> (i * 50) + 10)))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool-vs-sequential",
+        [
+          Alcotest.test_case "measures agree on all constructions" `Slow
+            test_measures_pool_equals_sequential;
+          Alcotest.test_case "witness profiles agree" `Slow
+            test_profiles_pool_equals_sequential;
+          Alcotest.test_case "complete-information solvers agree" `Quick
+            test_complete_pool_equals_sequential;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "sum is schedule-independent" `Quick
+            test_reduce_order_independence;
+          Alcotest.test_case "first-wins tie-breaking" `Quick
+            test_first_min_tie_breaking;
+          Alcotest.test_case "fused pair reduction" `Quick test_both_monoid;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "escape round-trips" `Quick test_json_escape_round_trip;
+          Alcotest.test_case "rendering and line records" `Quick test_json_to_string;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exceptions propagate, pool survives" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "nested and empty ranges" `Quick
+            test_pool_nested_and_empty;
+        ] );
+    ]
