@@ -89,9 +89,7 @@ let () =
       List.iter
         (fun name ->
           let run = List.assoc name sections in
-          let t0 = Unix.gettimeofday () in
-          run ~pool ~sink;
-          let dt = Unix.gettimeofday () -. t0 in
+          let (), dt = Engine.Timer.timed (fun () -> run ~pool ~sink) in
           Printf.printf "[%s: %.2fs at jobs = %d]\n\n" name dt jobs;
           Sink.emit sink
             [

@@ -46,11 +46,69 @@ let bigint_test =
   Test.make ~name:"bigint divmod 60!/40!"
     (Staged.stage (fun () -> ignore (Bigint.divmod a b)))
 
+(* Arithmetic kernels: the solvers spend their inner loops in Rat.add and
+   Rat.compare on tiny values (per-edge shared costs), with occasional
+   large operands from harmonic sums and powers.  Both regimes are
+   measured so the fast-path/big split stays visible in the trajectory. *)
+
+let small_rats = Array.init 24 (fun i -> Rat.of_ints 1 (i + 1))
+
+let rat_add_small_test =
+  Test.make ~name:"rat add, small operands"
+    (Staged.stage (fun () ->
+         ignore (Array.fold_left Rat.add Rat.zero small_rats)))
+
+let large_a = Rat.pow (Rat.of_ints 7 3) 40
+let large_b = Rat.pow (Rat.of_ints 11 5) 35
+
+let rat_add_large_test =
+  Test.make ~name:"rat add, large operands"
+    (Staged.stage (fun () ->
+         ignore (Rat.add (Rat.add large_a large_b) (Rat.add large_b large_a))))
+
+let rat_cmp_small_test =
+  let x = Rat.of_ints 355 113 and y = Rat.of_ints 22 7 in
+  let u = Rat.of_ints 5 6 and v = Rat.of_ints 13 15 in
+  Test.make ~name:"rat compare, small operands"
+    (Staged.stage (fun () ->
+         ignore (Rat.compare x y);
+         ignore (Rat.compare u v);
+         ignore (Rat.compare x u)))
+
+let rat_cmp_large_test =
+  let x = Rat.pow (Rat.of_ints 7 3) 40 and y = Rat.pow (Rat.of_ints 15 7) 38 in
+  Test.make ~name:"rat compare, large operands"
+    (Staged.stage (fun () -> ignore (Rat.compare x y)))
+
+(* Per-profile cost kernel: social cost of every profile of a 4-agent
+   complete-information NCS game (4 paths each: two parallel edges and
+   two detours) — the innermost evaluation of the exhaustive solvers. *)
+let profile_cost_game =
+  let graph =
+    Graphs.Graph.make Undirected ~n:4
+      [
+        (0, 1, Rat.one); (0, 1, Rat.of_ints 3 2); (0, 2, Rat.of_ints 1 2);
+        (2, 1, Rat.one); (0, 3, Rat.of_ints 2 3); (3, 1, Rat.of_ints 1 3);
+      ]
+  in
+  Ncs.Complete.make graph [| (0, 1); (0, 1); (0, 1); (0, 1) |]
+
+let profile_cost_test =
+  Test.make ~name:"profile cost, 4 agents x 4 paths"
+    (Staged.stage (fun () ->
+         ignore
+           (Seq.fold_left
+              (fun acc p -> Rat.add acc (Ncs.Complete.social_cost profile_cost_game p))
+              Rat.zero
+              (Ncs.Complete.profile_space profile_cost_game))))
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"kernels"
       [
-        bigint_test; dijkstra_test; steiner_test; equilibria_test;
+        bigint_test; rat_add_small_test; rat_add_large_test;
+        rat_cmp_small_test; rat_cmp_large_test; profile_cost_test;
+        dijkstra_test; steiner_test; equilibria_test;
         fictitious_play_test; frt_test;
       ]
   in
@@ -74,6 +132,41 @@ let img (window, results) =
   Bechamel_notty.Multiple.image_of_ols_results ~rect:window
     ~predictor:Measure.run results
 
+(* Persist the per-kernel OLS estimates as JSON lines so the bench
+   trajectory has machine-readable points to compare successive PRs
+   against (BENCH_micro.json, sibling of BENCH_results.json). *)
+let persist_estimates results =
+  let micro_sink = Engine.Sink.create "BENCH_micro.json" in
+  Engine.Sink.emit micro_sink
+    [ ("record", Str "run"); ("suite", Str "micro kernels") ];
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+   | None -> ()
+   | Some by_name ->
+     let rows =
+       Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
+     in
+     List.iter
+       (fun (name, ols) ->
+         let ns_per_run =
+           match Analyze.OLS.estimates ols with
+           | Some (e :: _) -> Engine.Sink.Float e
+           | _ -> Engine.Sink.Null
+         in
+         let r2 =
+           match Analyze.OLS.r_square ols with
+           | Some r -> Engine.Sink.Float r
+           | None -> Engine.Sink.Null
+         in
+         Engine.Sink.emit micro_sink
+           [
+             ("record", Str "micro");
+             ("name", Str name);
+             ("ns_per_run", ns_per_run);
+             ("r_square", r2);
+           ])
+       (List.sort compare rows));
+  Engine.Sink.close micro_sink
+
 let run ~pool:_ ~sink:_ =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_endline "";
@@ -84,4 +177,6 @@ let run ~pool:_ ~sink:_ =
     | None -> { Bechamel_notty.w = 100; h = 1 }
   in
   img (window, results) |> Notty_unix.eol |> Notty_unix.output_image;
+  persist_estimates results;
+  print_endline "(per-kernel OLS estimates -> BENCH_micro.json)";
   print_endline ""

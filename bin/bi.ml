@@ -11,7 +11,9 @@ module Bncs = Ncs.Bayesian_ncs
 module Measures = Bayes.Measures
 
 let print_measures ~pool game =
-  let report = Bncs.measures_exhaustive ~pool game in
+  let report, solve_dt =
+    Engine.Timer.timed (fun () -> Bncs.measures_exhaustive ~pool game)
+  in
   print_endline
     (Report.table ~header:[ "quantity"; "value" ] (Report.measures_rows report));
   let ratios = Measures.ratios_of_report report in
@@ -26,7 +28,8 @@ let print_measures ~pool game =
        ]);
   print_newline ();
   Printf.printf "observation 2.2 (optC <= optP <= best-eqP <= worst-eqP): %s\n"
-    (Report.verdict (Measures.observation_2_2_holds report))
+    (Report.verdict (Measures.observation_2_2_holds report));
+  solve_dt
 
 let build_construction name k =
   match name with
@@ -44,8 +47,14 @@ let build_construction name k =
 let construction name k jobs =
   Printf.printf "construction %s, parameter %d\n\n" name k;
   Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
-      try print_measures ~pool (build_construction name k) with
-      | Invalid_argument msg ->
+      try
+        let game, build_dt =
+          Engine.Timer.timed (fun () -> build_construction name k)
+        in
+        let solve_dt = print_measures ~pool game in
+        Format.printf "@.[build: %a; solve: %a]@." Engine.Timer.pp_seconds
+          build_dt Engine.Timer.pp_seconds solve_dt
+      with Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 2);
   0

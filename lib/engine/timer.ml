@@ -1,0 +1,11 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+let elapsed t0 = Unix.gettimeofday () -. t0
+
+let timed f =
+  let t0 = start () in
+  let x = f () in
+  (x, elapsed t0)
+
+let pp_seconds fmt dt = Format.fprintf fmt "%.2fs" dt

@@ -1,0 +1,19 @@
+(** Wall-clock section timing.
+
+    One shared stopwatch for everything that reports elapsed time — the
+    bench harness sections and the CLI construction runs — so durations
+    are measured and formatted the same way everywhere. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed : t -> float
+(** Seconds of wall-clock time since [start]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and returns its result with the wall-clock
+    seconds it took.  Exceptions from [f] propagate. *)
+
+val pp_seconds : Format.formatter -> float -> unit
+(** Renders a duration as [12.34s]. *)

@@ -16,15 +16,28 @@ type t = {
   game : Bayesian.t;
   prior_pairs : (int * int) array Dist.t;
   complete_memo : ((int * int) list, Complete.t) Hashtbl.t;
+  (* Solver-side precomputation: the exhaustive searches evaluate every
+     valid strategy profile, so paths are kept as int arrays, validity as
+     a table, and the prior support as an indexed array with, per (agent,
+     type), the support states where that type is realized. *)
+  edge_arrays : int array array array; (* player -> action -> edge ids *)
+  edge_cost : Rat.t array;
+  valid_tbl : bool array array array; (* player -> type -> action *)
+  support_w : (int array * Rat.t) array; (* lowered prior, Dist order *)
+  states_by_type : int array array array; (* player -> type -> state idxs *)
 }
 
 let dedup_keep_order xs =
-  let rec go seen acc = function
-    | [] -> List.rev acc
-    | x :: rest ->
-      if List.mem x seen then go seen acc rest else go (x :: seen) (x :: acc) rest
-  in
-  go [] [] xs
+  let seen = Hashtbl.create 64 in
+  List.rev
+    (List.fold_left
+       (fun acc x ->
+         if Hashtbl.mem seen x then acc
+         else begin
+           Hashtbl.add seen x ();
+           x :: acc
+         end)
+       [] xs)
 
 let make graph ~prior =
   let support = Dist.support prior in
@@ -73,14 +86,14 @@ let make graph ~prior =
               (List.init (Array.length actions.(i)) Fun.id))
           types.(i))
   in
-  let type_index i pair =
-    let rec go ti =
-      if ti >= Array.length types.(i) then assert false
-      else if types.(i).(ti) = pair then ti
-      else go (ti + 1)
-    in
-    go 0
+  (* Pair -> type index, hashed (types are deduplicated, so first = only). *)
+  let type_tbl =
+    Array.init players (fun i ->
+        let h = Hashtbl.create (Array.length types.(i)) in
+        Array.iteri (fun ti pair -> Hashtbl.add h pair ti) types.(i);
+        h)
   in
+  let type_index i pair = Hashtbl.find type_tbl.(i) pair in
   let prior_types =
     Dist.map (fun t -> Array.mapi type_index t) prior
   in
@@ -105,8 +118,30 @@ let make graph ~prior =
       ~n_actions:(Array.map Array.length actions)
       ~prior:prior_types ~cost
   in
+  let edge_arrays = Array.map (Array.map Array.of_list) actions in
+  let edge_cost = Array.init (Graph.n_edges graph) (Graph.cost graph) in
+  let valid_tbl =
+    Array.init players (fun i ->
+        Array.map
+          (fun valid_ais ->
+            let row = Array.make (Array.length actions.(i)) false in
+            List.iter (fun ai -> row.(ai) <- true) valid_ais;
+            row)
+          valid.(i))
+  in
+  let support_w = Array.of_list (Dist.to_list prior_types) in
+  let states_by_type =
+    Array.init players (fun i ->
+        Array.init (Array.length types.(i)) (fun ti ->
+            let idxs = ref [] in
+            Array.iteri
+              (fun sidx (t, _) -> if t.(i) = ti then idxs := sidx :: !idxs)
+              support_w;
+            Array.of_list (List.rev !idxs)))
+  in
   { graph; players; types; actions; valid; game;
-    prior_pairs = prior; complete_memo = Hashtbl.create 32 }
+    prior_pairs = prior; complete_memo = Hashtbl.create 32;
+    edge_arrays; edge_cost; valid_tbl; support_w; states_by_type }
 
 let graph g = g.graph
 let players g = g.players
@@ -123,6 +158,145 @@ let complete_game g pair_profile =
     let c = Complete.make g.graph pair_profile in
     Hashtbl.add g.complete_memo key c;
     c
+
+(* Incremental profile evaluation.  [loads] is a caller-owned scratch
+   matrix with one load vector per prior-support state; it is filled once
+   per strategy profile, after which social costs read the loaded edges
+   directly and the equilibrium predicate prices deviations as deltas
+   (remove the deviator's path from her type's states, cost each
+   candidate at load + 1, restore).  All quantities stay exact, so every
+   value and comparison agrees with the generic [Bayesian] evaluation. *)
+
+let make_loads g =
+  Array.make_matrix (Array.length g.support_w) (Graph.n_edges g.graph) 0
+
+(* Fill the per-state load vectors for profile [s].  Returns false when
+   some realized action fails to connect its type's terminals; callers
+   then fall back to the generic evaluation, which prices those states at
+   infinity.  (Profiles from [valid_strategy_profiles] always pass.) *)
+let fill_loads g loads s =
+  let ok = ref true in
+  Array.iteri
+    (fun sidx (t, _) ->
+      let load = loads.(sidx) in
+      Array.fill load 0 (Array.length load) 0;
+      Array.iteri
+        (fun i ti ->
+          let ai = s.(i).(ti) in
+          if not g.valid_tbl.(i).(ti).(ai) then ok := false;
+          let es = g.edge_arrays.(i).(ai) in
+          for k = 0 to Array.length es - 1 do
+            let e = es.(k) in
+            load.(e) <- load.(e) + 1
+          done)
+        t)
+    g.support_w;
+  !ok
+
+(* Expected union cost: per state, every player pays her shared costs,
+   which telescope to the plain cost of the loaded edge set. *)
+let expected_union_cost g loads =
+  let acc = ref Rat.zero in
+  Array.iteri
+    (fun sidx (_, w) ->
+      let load = loads.(sidx) in
+      let state = ref Rat.zero in
+      for e = 0 to Array.length load - 1 do
+        if load.(e) > 0 then state := Rat.add !state g.edge_cost.(e)
+      done;
+      acc := Rat.add !acc (Rat.mul w !state))
+    g.support_w;
+  !acc
+
+let path_cost_loaded g load es =
+  let acc = ref Rat.zero in
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) load.(e))
+  done;
+  !acc
+
+let deviation_cost_loaded g load es =
+  let acc = ref Rat.zero in
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) (load.(e) + 1))
+  done;
+  !acc
+
+let add_path_loaded load es =
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    load.(e) <- load.(e) + 1
+  done
+
+let remove_path_loaded load es =
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    load.(e) <- load.(e) - 1
+  done
+
+(* Equilibrium predicate against filled loads, for profiles valid on the
+   whole support.  Interim costs are compared with unnormalized
+   conditional weights (the prior weights of the states where (i, ti) is
+   realized): dividing by the positive marginal rescales both sides of
+   every comparison, so the verdict matches the generic predicate.
+   Invalid deviations carry infinite interim cost there and can never
+   improve on a finite current cost, so they are skipped.  The loads are
+   restored before returning. *)
+let is_eq_loaded g loads s =
+  let rec player i =
+    if i >= g.players then true else typ i 0
+  and typ i ti =
+    if ti >= Array.length g.types.(i) then player (i + 1)
+    else begin
+      let states = g.states_by_type.(i).(ti) in
+      (* No support state realizes (i, ti): no interim constraint. *)
+      if Array.length states = 0 then typ i (ti + 1)
+      else begin
+        let ai = s.(i).(ti) in
+        let mine = g.edge_arrays.(i).(ai) in
+        let current = ref Rat.zero in
+        Array.iter
+          (fun sidx ->
+            let _, w = g.support_w.(sidx) in
+            current :=
+              Rat.add !current (Rat.mul w (path_cost_loaded g loads.(sidx) mine)))
+          states;
+        Array.iter (fun sidx -> remove_path_loaded loads.(sidx) mine) states;
+        let improving = ref false in
+        let nact = Array.length g.edge_arrays.(i) in
+        let ai' = ref 0 in
+        while (not !improving) && !ai' < nact do
+          let a = !ai' in
+          if a <> ai && g.valid_tbl.(i).(ti).(a) then begin
+            let cand = g.edge_arrays.(i).(a) in
+            let c = ref Rat.zero in
+            Array.iter
+              (fun sidx ->
+                let _, w = g.support_w.(sidx) in
+                c :=
+                  Rat.add !c
+                    (Rat.mul w (deviation_cost_loaded g loads.(sidx) cand)))
+              states;
+            if Rat.( < ) !c !current then improving := true
+          end;
+          incr ai'
+        done;
+        Array.iter (fun sidx -> add_path_loaded loads.(sidx) mine) states;
+        if !improving then false else typ i (ti + 1)
+      end
+    end
+  in
+  player 0
+
+let is_equilibrium_with g loads s =
+  if fill_loads g loads s then is_eq_loaded g loads s
+  else Bayesian.is_bayesian_equilibrium g.game s
+
+let social_cost_with g loads s =
+  if fill_loads g loads s then Extended.of_rat (expected_union_cost g loads)
+  else Bayesian.social_cost g.game s
 
 (* Agent [i]'s valid strategies: one valid action per type, in the order
    [valid_strategy_profiles] enumerates them. *)
@@ -144,18 +318,20 @@ let valid_strategy_profiles g =
    the remaining agents' strategies sequentially, and the shard partials
    are reduced in shard order — so value, witnessing profile and
    tie-breaking all coincide with the sequential left-to-right scan over
-   [valid_strategy_profiles], whatever the pool size. *)
+   [valid_strategy_profiles], whatever the pool size.  Each shard owns
+   one scratch load matrix handed to its scoring function. *)
 let sharded_search ?pool ~monoid ~score g =
   let rest =
     List.init (g.players - 1) (fun j ->
         Array.to_list (player_strategies g (j + 1)))
   in
   let eval s0 =
+    let loads = make_loads g in
     Seq.fold_left
       (fun acc tail ->
         let profile = Array.make g.players s0 in
         List.iteri (fun j sj -> profile.(j + 1) <- sj) tail;
-        match score profile with
+        match score loads profile with
         | None -> acc
         | Some v -> monoid.Reduce.combine acc v)
       monoid.Reduce.empty
@@ -167,9 +343,12 @@ let sharded_search ?pool ~monoid ~score g =
   | _ -> Reduce.fold monoid (Array.map eval shards)
 
 let bayesian_equilibria g =
-  Seq.filter (Bayesian.is_bayesian_equilibrium g.game) (valid_strategy_profiles g)
+  let loads = make_loads g in
+  Seq.filter (is_equilibrium_with g loads) (valid_strategy_profiles g)
 
-let social_cost g s = Bayesian.social_cost g.game s
+let social_cost g s =
+  let loads = make_loads g in
+  social_cost_with g loads s
 
 let bayesian_potential g s =
   Dist.expectation
@@ -235,7 +414,7 @@ let opt_p_exhaustive ?pool g =
   match
     sharded_search ?pool
       ~monoid:(Reduce.first_min ~cmp:Extended.compare)
-      ~score:(fun s -> Some (Some (s, social_cost g s)))
+      ~score:(fun loads s -> Some (Some (s, social_cost_with g loads s)))
       g
   with
   | Some (s, c) -> (c, s)
@@ -363,15 +542,26 @@ let opt_p_branch_and_bound ?(node_budget = 5_000_000) g =
   dfs 0;
   (!incumbent, !incumbent_profile, !exhausted)
 
-let eq_score g s =
-  if Bayesian.is_bayesian_equilibrium g.game s then Some (social_cost g s)
+(* Equilibrium scoring against a shard-owned load matrix: one fill per
+   profile serves the predicate (delta deviations) and the social cost
+   (loaded-edge sums).  Profiles invalid somewhere on the support fall
+   back to the generic evaluation; [valid_strategy_profiles] never
+   produces one. *)
+let eq_score_loaded g loads s =
+  if fill_loads g loads s then begin
+    if is_eq_loaded g loads s then Some (Extended.of_rat (expected_union_cost g loads))
+    else None
+  end
+  else if Bayesian.is_bayesian_equilibrium g.game s then
+    Some (Bayesian.social_cost g.game s)
   else None
 
 let extreme_eq_p ?pool monoid g =
   Option.map
     (fun (s, c) -> (c, s))
     (sharded_search ?pool ~monoid
-       ~score:(fun s -> Option.map (fun c -> Some (s, c)) (eq_score g s))
+       ~score:(fun loads s ->
+         Option.map (fun c -> Some (s, c)) (eq_score_loaded g loads s))
        g)
 
 let best_eq_p ?pool g = extreme_eq_p ?pool (Reduce.first_min ~cmp:Extended.compare) g
@@ -386,12 +576,12 @@ let eq_extremes ?pool g =
       (Reduce.both
          (Reduce.first_min ~cmp:Extended.compare)
          (Reduce.first_max ~cmp:Extended.compare))
-    ~score:(fun s ->
+    ~score:(fun loads s ->
       Option.map
         (fun c ->
           let cell = Some (s, c) in
           (cell, cell))
-        (eq_score g s))
+        (eq_score_loaded g loads s))
     g
 
 let measures_exhaustive ?pool g =

@@ -8,6 +8,8 @@ type t = {
   graph : Graph.t;
   pairs : (int * int) array;
   path_table : int list array array; (* agent -> action index -> edge ids *)
+  edge_arrays : int array array array; (* path_table with paths as int arrays *)
+  edge_cost : Rat.t array; (* edge id -> cost, avoids Graph.cost lookups *)
 }
 
 let make graph pairs =
@@ -26,7 +28,9 @@ let make graph pairs =
         Array.of_list ps)
       pairs
   in
-  { graph; pairs; path_table }
+  let edge_arrays = Array.map (Array.map Array.of_list) path_table in
+  let edge_cost = Array.init (Graph.n_edges graph) (Graph.cost graph) in
+  { graph; pairs; path_table; edge_arrays; edge_cost }
 
 let graph g = g.graph
 let players g = Array.length g.pairs
@@ -35,36 +39,103 @@ let paths g i = Array.to_list g.path_table.(i)
 
 let action_edges g profile i = g.path_table.(i).(profile.(i))
 
-let loads g profile =
-  let load = Array.make (Graph.n_edges g.graph) 0 in
+(* Load-vector plumbing.  The exhaustive solvers evaluate millions of
+   profiles, so cost queries are phrased against a caller-owned load
+   vector that is filled once per profile and adjusted by deltas for
+   deviations, instead of being rebuilt per (player, profile) query. *)
+
+let fill_loads g load profile =
+  Array.fill load 0 (Array.length load) 0;
   Array.iteri
     (fun i ai ->
-      List.iter (fun e -> load.(e) <- load.(e) + 1) g.path_table.(i).(ai))
-    profile;
+      let es = g.edge_arrays.(i).(ai) in
+      for k = 0 to Array.length es - 1 do
+        let e = es.(k) in
+        load.(e) <- load.(e) + 1
+      done)
+    profile
+
+let add_path_loads load es =
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    load.(e) <- load.(e) + 1
+  done
+
+let remove_path_loads load es =
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    load.(e) <- load.(e) - 1
+  done
+
+(* Shared cost of a path under [load]; every edge of the path must
+   already be counted in [load]. *)
+let path_cost_under g load es =
+  let acc = ref Rat.zero in
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) load.(e))
+  done;
+  !acc
+
+(* Shared cost the deviating agent would pay on candidate path [es]
+   when [load] counts everyone else (the deviator joins each edge). *)
+let deviation_cost_under g load es =
+  let acc = ref Rat.zero in
+  for k = 0 to Array.length es - 1 do
+    let e = es.(k) in
+    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) (load.(e) + 1))
+  done;
+  !acc
+
+let social_cost_of_loads g load =
+  let acc = ref Rat.zero in
+  for e = 0 to Array.length load - 1 do
+    if load.(e) > 0 then acc := Rat.add !acc g.edge_cost.(e)
+  done;
+  !acc
+
+(* Nash test against a filled load vector: agent [i]'s deviation to any
+   other path is costed as a delta — her current path leaves the loads,
+   the candidate joins them — and the loads are restored before return. *)
+let is_nash_under g load profile =
+  let k = Array.length g.pairs in
+  let rec player i =
+    if i >= k then true
+    else begin
+      let table = g.edge_arrays.(i) in
+      let mine = table.(profile.(i)) in
+      let current = path_cost_under g load mine in
+      remove_path_loads load mine;
+      let rec scan j =
+        if j >= Array.length table then true
+        else if j = profile.(i) then scan (j + 1)
+        else if Rat.( < ) (deviation_cost_under g load table.(j)) current then false
+        else scan (j + 1)
+      in
+      let ok = scan 0 in
+      add_path_loads load mine;
+      ok && player (i + 1)
+    end
+  in
+  player 0
+
+let loads g profile =
+  let load = Array.make (Graph.n_edges g.graph) 0 in
+  fill_loads g load profile;
   load
 
 let player_cost g profile i =
   let load = loads g profile in
-  Rat.sum
-    (List.map
-       (fun e -> Rat.div_int (Graph.cost g.graph e) load.(e))
-       (action_edges g profile i))
+  path_cost_under g load g.edge_arrays.(i).(profile.(i))
 
-let social_cost g profile =
-  let load = loads g profile in
-  let acc = ref Rat.zero in
-  Array.iteri
-    (fun e l -> if l > 0 then acc := Rat.add !acc (Graph.cost g.graph e))
-    load;
-  !acc
+let social_cost g profile = social_cost_of_loads g (loads g profile)
 
 let potential g profile =
   let load = loads g profile in
   let acc = ref Rat.zero in
   Array.iteri
     (fun e l ->
-      if l > 0 then
-        acc := Rat.add !acc (Rat.mul (Graph.cost g.graph e) (Rat.harmonic l)))
+      if l > 0 then acc := Rat.add !acc (Rat.mul g.edge_cost.(e) (Rat.harmonic l)))
     load;
   !acc
 
@@ -81,20 +152,24 @@ let profile_space g =
    prefix): each shard folds the product of the remaining agents' choices
    sequentially, and shards are reduced in index order, so the winner —
    value and profile alike — is the one the plain left-to-right scan over
-   [profile_space] would pick, for any pool size. *)
+   [profile_space] would pick, for any pool size.  Each shard owns one
+   scratch load vector, filled per profile and delta-adjusted for
+   deviation checks. *)
 let sharded_search ?pool ~monoid ~score g =
   let k = players g in
+  let n_edges = Graph.n_edges g.graph in
   let rest =
     Array.map
       (fun tbl -> Array.init (Array.length tbl) Fun.id)
       (Array.sub g.path_table 1 (k - 1))
   in
   let eval a0 =
+    let load = Array.make n_edges 0 in
     Seq.fold_left
       (fun acc tail ->
         let profile = Array.make k a0 in
         Array.blit tail 0 profile 1 (k - 1);
-        match score profile with
+        match score load profile with
         | None -> acc
         | Some v -> monoid.Reduce.combine acc v)
       monoid.Reduce.empty
@@ -109,7 +184,9 @@ let optimum ?pool g =
   match
     sharded_search ?pool
       ~monoid:(Reduce.first_min ~cmp:Rat.compare)
-      ~score:(fun p -> Some (Some (p, social_cost g p)))
+      ~score:(fun load p ->
+        fill_loads g load p;
+        Some (Some (p, social_cost_of_loads g load)))
       g
   with
   | Some (a, c) -> (c, a)
@@ -164,21 +241,17 @@ let best_response g profile i =
        !best)
 
 let is_nash g profile =
-  let k = players g in
-  let rec go i =
-    if i >= k then true
-    else begin
-      let j = best_response g profile i in
-      let deviated = Array.copy profile in
-      deviated.(i) <- j;
-      Rat.( <= ) (player_cost g profile i) (player_cost g deviated i) && go (i + 1)
-    end
-  in
-  go 0
+  let load = loads g profile in
+  is_nash_under g load profile
 
 let nash_equilibria g = Seq.filter (is_nash g) (profile_space g)
 
-let nash_score g p = if is_nash g p then Some (Some (p, social_cost g p)) else None
+(* Equilibrium scoring for the sharded searches: one load fill per
+   profile serves both the Nash predicate (delta deviations) and the
+   social cost (union of loaded edges). *)
+let nash_score g load p =
+  fill_loads g load p;
+  if is_nash_under g load p then Some (Some (p, social_cost_of_loads g load)) else None
 
 let best_equilibrium ?pool g =
   Option.map

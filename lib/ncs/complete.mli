@@ -42,6 +42,10 @@ val potential : t -> int array -> Rat.t
 
 val to_strategic : t -> Bi_game.Strategic.t
 
+val profile_space : t -> int array Seq.t
+(** Every path profile, in the lexicographic order the exhaustive
+    solvers scan. *)
+
 val optimum : ?pool:Bi_engine.Pool.t -> t -> Rat.t * int array
 (** Social optimum over path profiles, by exhaustive product search.
     With [?pool], the profile space is sharded by agent 0's path index

@@ -1,38 +1,25 @@
-(* Little-endian magnitude in base 10^4; canonical form has no leading
-   zero limbs and sign 0 exactly for the empty magnitude. *)
+(* Two-tier representation: values that fit a native [int] live in the
+   [Small] constructor and run on machine-word arithmetic with
+   overflow-checked promotion; everything else is a sign plus a
+   little-endian magnitude in base 10^4 ([Big]).  The representation is
+   canonical — [Big] is used exactly for values outside the native [int]
+   range — so structural equality of equal values still holds and the
+   fast paths never need to inspect magnitudes.  [force_big] (test hook)
+   deliberately breaks canonicity; every operation therefore accepts
+   non-canonical [Big] inputs and re-canonicalizes its output. *)
 
 let base = 10_000
 let base_digits = 4
 
-type t = { sign : int; mag : int array }
+type t =
+  | Small of int
+  | Big of { sign : int; mag : int array }
 
-let zero = { sign = 0; mag = [||] }
-
-let normalize sign mag =
-  let n = Array.length mag in
-  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
-  let hi = top (n - 1) in
-  if hi < 0 then zero
-  else if hi = n - 1 then { sign; mag }
-  else { sign; mag = Array.sub mag 0 (hi + 1) }
-
-let of_int n =
-  if n = 0 then zero
-  else begin
-    let sign = if n < 0 then -1 else 1 in
-    (* min_int negation overflows, so accumulate on negative values. *)
-    let rec limbs acc n = if n = 0 then acc else limbs (-(n mod base) :: acc) (n / base) in
-    let ds = List.rev (limbs [] (if n < 0 then n else -n)) in
-    { sign; mag = Array.of_list ds }
-  end
-
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
-let sign x = x.sign
-let is_zero x = x.sign = 0
-let neg x = { x with sign = -x.sign }
-let abs x = { x with sign = Stdlib.abs x.sign }
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
+let of_int n = Small n
 
 (* Magnitude-level primitives.  All take/return little-endian arrays. *)
 
@@ -112,77 +99,271 @@ let mul_mag_small a m =
     r
   end
 
-(* Long division of magnitudes: processes dividend limbs from most
-   significant to least, maintaining a remainder smaller than the
-   divisor.  Each quotient limb is found by binary search, which is
-   trivially correct and fast enough at base 10^4. *)
+let strip_mag a =
+  let n = effective_len a in
+  if n = Array.length a then a else Array.sub a 0 n
+
+(* Long division of magnitudes, most significant dividend limb first,
+   maintaining a remainder smaller than the divisor.  Single-limb
+   divisors divide directly in machine words; longer divisors estimate
+   each quotient limb from the top three remainder limbs over the top
+   two divisor limbs (error at most ~2 either way, fixed by cheap
+   add/sub corrections) instead of the former 14-step binary search. *)
 let divmod_mag a b =
   let la = Array.length a in
+  let lb = effective_len b in
   let q = Array.make (Stdlib.max la 1) 0 in
-  let rem = ref [||] in
-  for i = la - 1 downto 0 do
-    (* rem := rem * base + a.(i) *)
-    let shifted =
-      let lr = Array.length !rem in
-      let r = Array.make (lr + 1) 0 in
-      Array.blit !rem 0 r 1 lr;
-      r.(0) <- a.(i);
-      r
-    in
-    let rem' = (normalize 1 shifted).mag in
-    (* binary search for the largest d with d * b <= rem' *)
-    let lo = ref 0 and hi = ref (base - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi + 1) / 2 in
-      if cmp_mag (mul_mag_small b mid) rem' <= 0 then lo := mid else hi := mid - 1
+  if lb = 1 then begin
+    let b0 = b.(0) in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let v = (!r * base) + a.(i) in
+      q.(i) <- v / b0;
+      r := v mod b0
     done;
-    q.(i) <- !lo;
-    rem := (normalize 1 (sub_mag rem' (mul_mag_small b !lo))).mag
-  done;
-  (q, !rem)
+    (q, if !r = 0 then [||] else [| !r |])
+  end
+  else begin
+    let bhi2 = (b.(lb - 1) * base) + b.(lb - 2) in
+    let rem = ref [||] in
+    for i = la - 1 downto 0 do
+      (* rem := rem * base + a.(i) *)
+      let rem' =
+        let lr = Array.length !rem in
+        let r = Array.make (lr + 1) 0 in
+        Array.blit !rem 0 r 1 lr;
+        r.(0) <- a.(i);
+        strip_mag r
+      in
+      if cmp_mag rem' b < 0 then begin
+        q.(i) <- 0;
+        rem := rem'
+      end
+      else begin
+        let lr = effective_len rem' in
+        let limb j = if j < lr then rem'.(j) else 0 in
+        (* Top limbs of rem' aligned with b's top two limbs: rem' has
+           lb or lb+1 effective limbs because rem < b before the shift. *)
+        let num =
+          if lr = lb then (limb (lb - 1) * base) + limb (lb - 2)
+          else (((limb lb * base) + limb (lb - 1)) * base) + limb (lb - 2)
+        in
+        let qhat = ref (Stdlib.min (num / bhi2) (base - 1)) in
+        if !qhat = 0 then qhat := 1;
+        let prod = ref (mul_mag_small b !qhat) in
+        while cmp_mag !prod rem' > 0 do
+          decr qhat;
+          prod := sub_mag !prod b
+        done;
+        let continue = ref true in
+        while !continue do
+          let prod' = add_mag !prod b in
+          if cmp_mag prod' rem' <= 0 then begin
+            incr qhat;
+            prod := prod'
+          end
+          else continue := false
+        done;
+        q.(i) <- !qhat;
+        rem := strip_mag (sub_mag rem' !prod)
+      end
+    done;
+    (q, !rem)
+  end
+
+(* Representation plumbing: [parts] views any value as sign + magnitude;
+   [of_parts] rebuilds the canonical form, demoting to [Small] whenever
+   the value fits a native [int]. *)
+
+(* Magnitude limbs of [-n] for [n <= 0] (negative domain so that
+   [min_int] needs no special case). *)
+let mag_of_nonpos n =
+  let rec limbs acc n = if n = 0 then acc else limbs (-(n mod base) :: acc) (n / base) in
+  Array.of_list (List.rev (limbs [] n))
+
+let parts = function
+  | Small 0 -> (0, [||])
+  | Small n -> ((if n < 0 then -1 else 1), mag_of_nonpos (if n < 0 then n else -n))
+  | Big { sign; mag } -> (sign, mag)
+
+(* [Some v] when [sign * mag] fits a native [int]; accumulates in the
+   negative range to keep [min_int] representable. *)
+let fits_int sign mag =
+  (* Six or more significant limbs exceed 10^20 > 2^63: never fits. *)
+  if effective_len mag > 5 then None
+  else
+  let rec go i acc =
+    if i < 0 then Some acc
+    else begin
+      let limb = mag.(i) in
+      if acc < (Stdlib.min_int + limb) / base then None
+      else go (i - 1) ((acc * base) - limb)
+    end
+  in
+  match go (Array.length mag - 1) 0 with
+  | None -> None
+  | Some negv ->
+    if sign >= 0 then (if negv = Stdlib.min_int then None else Some (-negv))
+    else Some negv
+
+let of_parts sign mag =
+  let mag = strip_mag mag in
+  if Array.length mag = 0 then zero
+  else begin
+    match fits_int sign mag with
+    | Some v -> Small v
+    | None -> Big { sign; mag }
+  end
+
+let force_big x =
+  match x with
+  | Big _ -> x
+  | Small _ ->
+    let sign, mag = parts x in
+    Big { sign; mag }
+
+let sign = function
+  | Small n -> Stdlib.compare n 0
+  | Big b -> b.sign
+
+let is_zero = function
+  | Small n -> n = 0
+  | Big b -> b.sign = 0
+
+let neg = function
+  | Small n ->
+    if n = Stdlib.min_int then Big { sign = 1; mag = mag_of_nonpos n } else Small (-n)
+  | Big b -> Big { sign = -b.sign; mag = b.mag }
+
+let abs = function
+  | Small n ->
+    if n >= 0 then Small n
+    else if n = Stdlib.min_int then Big { sign = 1; mag = mag_of_nonpos n }
+    else Small (-n)
+  | Big b -> Big { sign = Stdlib.abs b.sign; mag = b.mag }
 
 let compare x y =
-  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
-  else if x.sign >= 0 then cmp_mag x.mag y.mag
-  else cmp_mag y.mag x.mag
+  match x, y with
+  | Small a, Small b -> Stdlib.compare (a : int) b
+  | _ ->
+    let sx, mx = parts x and sy, my = parts y in
+    if sx <> sy then Stdlib.compare sx sy
+    else if sx >= 0 then cmp_mag mx my
+    else cmp_mag my mx
 
 let equal x y = compare x y = 0
 let min x y = if compare x y <= 0 then x else y
 let max x y = if compare x y >= 0 then x else y
 
-let add x y =
-  if x.sign = 0 then y
-  else if y.sign = 0 then x
-  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+let add_parts (s1, m1) (s2, m2) =
+  if s1 = 0 then of_parts s2 m2
+  else if s2 = 0 then of_parts s1 m1
+  else if s1 = s2 then of_parts s1 (add_mag m1 m2)
   else begin
-    match cmp_mag x.mag y.mag with
+    match cmp_mag m1 m2 with
     | 0 -> zero
-    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
-    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+    | c when c > 0 -> of_parts s1 (sub_mag m1 m2)
+    | _ -> of_parts s2 (sub_mag m2 m1)
   end
 
-let sub x y = add x (neg y)
+let add x y =
+  match x, y with
+  | Small a, Small b ->
+    let s = a + b in
+    (* Same-sign operands whose sum flips sign overflowed. *)
+    if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then add_parts (parts x) (parts y)
+    else Small s
+  | _ -> add_parts (parts x) (parts y)
+
+let sub x y =
+  match x, y with
+  | Small a, Small b when b <> Stdlib.min_int ->
+    let s = a - b in
+    if (a >= 0) <> (b >= 0) && (s >= 0) <> (a >= 0) then add_parts (parts x) (parts (neg y))
+    else Small s
+  | _ ->
+    let s2, m2 = parts y in
+    add_parts (parts x) (-s2, m2)
 
 let mul x y =
-  if x.sign = 0 || y.sign = 0 then zero
-  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+  match x, y with
+  | Small a, Small b when a <> Stdlib.min_int && b <> Stdlib.min_int ->
+    if a = 0 || b = 0 then zero
+    else begin
+      let p = a * b in
+      (* For b <> 0, an overflowed product p differs from a*b by a
+         nonzero multiple of 2^63, which truncated division detects. *)
+      if p / b = a then Small p
+      else
+        let s1, m1 = parts x and s2, m2 = parts y in
+        of_parts (s1 * s2) (mul_mag m1 m2)
+    end
+  | _ ->
+    let s1, m1 = parts x and s2, m2 = parts y in
+    if s1 = 0 || s2 = 0 then zero else of_parts (s1 * s2) (mul_mag m1 m2)
+
+(* compare (a*b) (c*d) without materializing the products.  Rational
+   comparison cross-multiplies, so this is its hot path: when all four
+   operands fit 31 bits the products fit 62 and native comparison
+   suffices with no allocation at all. *)
+let compare_products a b c d =
+  let lim = 1 lsl 31 in
+  match a, b, c, d with
+  | Small a, Small b, Small c, Small d
+    when a > -lim && a < lim && b > -lim && b < lim && c > -lim && c < lim
+         && d > -lim && d < lim ->
+    Stdlib.compare (a * b) (c * d)
+  | _ -> compare (mul a b) (mul c d)
+
+(* compare (a/b) (c/d) for positive denominators b, d — the whole of
+   rational comparison in one call, so the solvers' innermost comparisons
+   pay a single cross-module invocation and, on machine-word operands,
+   no allocation. *)
+let compare_fractions a b c d =
+  match a, b, c, d with
+  | Small sa, Small sb, Small sc, Small sd ->
+    if sb = sd then Stdlib.compare (sa : int) sc
+    else begin
+      let lim = 1 lsl 31 in
+      if sa > -lim && sa < lim && sb < lim && sc > -lim && sc < lim && sd < lim
+      then Stdlib.compare (sa * sd) (sc * sb)
+      else compare (mul a d) (mul c b)
+    end
+  | _ ->
+    if equal b d then compare a c
+    else begin
+      let sa = sign a and sc = sign c in
+      if sa <> sc then Stdlib.compare sa sc else compare_products a d c b
+    end
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else begin
-    let q_mag, r_mag = divmod_mag a.mag b.mag in
-    let q = normalize (a.sign * b.sign) q_mag in
-    let r = normalize a.sign r_mag in
-    (q, r)
-  end
+  match a, b with
+  | Small x, Small y when y <> 0 && not (x = Stdlib.min_int && y = -1) ->
+    (Small (x / y), Small (x mod y))
+  | _ ->
+    let sb, mb = parts b in
+    if sb = 0 then raise Division_by_zero
+    else begin
+      let sa, ma = parts a in
+      if sa = 0 then (zero, zero)
+      else begin
+        let q_mag, r_mag = divmod_mag ma mb in
+        (of_parts (sa * sb) q_mag, of_parts sa r_mag)
+      end
+    end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let gcd a b =
+  match a, b with
+  | Small x, Small y when x <> Stdlib.min_int && y <> Stdlib.min_int ->
+    Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+    let rec go a b = if is_zero b then abs a else go b (rem a b) in
+    go a b
 
 let pow x n =
   if n < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -193,44 +374,37 @@ let pow x n =
   in
   go one x n
 
-let mul_int x m = mul x (of_int m)
-let add_int x m = add x (of_int m)
+let mul_int x m = mul x (Small m)
+let add_int x m = add x (Small m)
 
-let to_int_opt x =
-  (* Reconstruct while watching for overflow on negative accumulation. *)
-  let rec go i acc =
-    if i < 0 then Some acc
-    else begin
-      let limb = x.mag.(i) in
-      if acc < (Stdlib.min_int + limb) / base then None
-      else go (i - 1) ((acc * base) - limb)
-    end
-  in
-  match go (Array.length x.mag - 1) 0 with
-  | None -> None
-  | Some negv ->
-    if x.sign >= 0 then (if negv = Stdlib.min_int then None else Some (-negv))
-    else Some negv
+let to_int_opt = function
+  | Small n -> Some n
+  | Big { sign; mag } -> fits_int sign mag
 
-let to_float x =
-  let v = ref 0.0 in
-  for i = Array.length x.mag - 1 downto 0 do
-    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
-  done;
-  if x.sign < 0 then -. !v else !v
+let to_float = function
+  | Small n -> float_of_int n
+  | Big { sign; mag } ->
+    let v = ref 0.0 in
+    for i = Array.length mag - 1 downto 0 do
+      v := (!v *. float_of_int base) +. float_of_int mag.(i)
+    done;
+    if sign < 0 then -. !v else !v
 
 let to_string x =
-  if x.sign = 0 then "0"
-  else begin
-    let n = Array.length x.mag in
-    let buf = Buffer.create (n * base_digits + 1) in
-    if x.sign < 0 then Buffer.add_char buf '-';
-    Buffer.add_string buf (string_of_int x.mag.(n - 1));
-    for i = n - 2 downto 0 do
-      Buffer.add_string buf (Printf.sprintf "%04d" x.mag.(i))
-    done;
-    Buffer.contents buf
-  end
+  match x with
+  | Small n -> string_of_int n
+  | Big b ->
+    if b.sign = 0 then "0"
+    else begin
+      let n = Array.length b.mag in
+      let buf = Buffer.create ((n * base_digits) + 1) in
+      if b.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int b.mag.(n - 1));
+      for i = n - 2 downto 0 do
+        Buffer.add_string buf (Printf.sprintf "%04d" b.mag.(i))
+      done;
+      Buffer.contents buf
+    end
 
 let of_string s =
   let len = String.length s in
@@ -255,7 +429,7 @@ let of_string s =
     done;
     mag.(limb) <- !v
   done;
-  normalize (if negative then -1 else 1) mag
+  of_parts (if negative then -1 else 1) mag
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 

@@ -1,13 +1,19 @@
 (** Arbitrary-precision signed integers.
 
-    A value is a sign and a little-endian magnitude in base 10{^4}.  The
-    representation is canonical: the magnitude never has leading zero
-    limbs and the magnitude of zero is empty.  All operations are pure.
+    Values that fit a native [int] are stored as machine words and
+    add/sub/mul/divmod/gcd/compare on them run on native arithmetic with
+    overflow-checked promotion; larger values fall back to a sign and a
+    little-endian magnitude in base 10{^4}.  The representation is
+    canonical — the limb form is used exactly for values outside the
+    native [int] range, magnitudes carry no leading zero limbs — so
+    structurally equal values are numerically equal.  All operations are
+    pure.
 
-    The implementation favours obvious correctness over speed (schoolbook
-    multiplication, binary-search long division): the reproduction needs
-    exact arithmetic on numbers of at most a few hundred digits, where
-    these algorithms are more than fast enough. *)
+    The limb tier favours obvious correctness over speed (schoolbook
+    multiplication, estimate-and-correct long division): the reproduction
+    needs exact arithmetic on numbers of at most a few hundred digits,
+    where these algorithms are more than fast enough — the hot loops of
+    the solvers stay on the machine-word tier. *)
 
 type t
 
@@ -56,6 +62,18 @@ val mul_int : t -> int -> t
 val add_int : t -> int -> t
 
 val compare : t -> t -> int
+
+(** [compare_products a b c d] is [compare (mul a b) (mul c d)], without
+    allocating the products when all operands fit 31 bits (the hot path
+    of rational comparison). *)
+val compare_products : t -> t -> t -> t -> int
+
+(** [compare_fractions a b c d] compares [a/b] to [c/d] for {e positive}
+    denominators [b] and [d]: equal denominators compare numerators
+    directly, and otherwise the cross products are compared without
+    allocation whenever all operands fit 31 bits.  Behaviour is
+    unspecified for non-positive denominators. *)
+val compare_fractions : t -> t -> t -> t -> int
 val equal : t -> t -> bool
 val is_zero : t -> bool
 
@@ -63,6 +81,14 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
+
+val force_big : t -> t
+(** [force_big x] is [x] re-encoded in the limb representation even when
+    it fits the machine-word fast path.  Observationally identical to
+    [x] under every operation of this module; it exists so the test
+    suite can drive each operation through the all-big code path and
+    compare against the fast path.  Do not use structural equality on
+    the result. *)
 
 val factorial : int -> t
 (** [factorial n] for [n >= 0]. *)

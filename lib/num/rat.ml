@@ -20,22 +20,62 @@ let of_ints n d = make (B.of_int n) (B.of_int d)
 let num x = x.num
 let den x = x.den
 
-let add x y = make (B.add (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
-let sub x y = make (B.sub (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
-let mul x y = make (B.mul x.num y.num) (B.mul x.den y.den)
-let div x y = make (B.mul x.num y.den) (B.mul x.den y.num)
+(* Addition via gcd of the denominators (Knuth 4.5.1): for reduced
+   operands with [g = gcd(b, d)], the candidate numerator [a*(d/g) +
+   c*(b/g)] shares factors with the denominator only inside [g], so one
+   small gcd re-reduces the sum instead of a gcd over the full products.
+   When the denominators are coprime the sum is already reduced. *)
+let add x y =
+  if B.is_zero x.num then y
+  else if B.is_zero y.num then x
+  else begin
+    let g = B.gcd x.den y.den in
+    if B.equal g B.one then begin
+      let num = B.add (B.mul x.num y.den) (B.mul y.num x.den) in
+      if B.is_zero num then zero else { num; den = B.mul x.den y.den }
+    end
+    else begin
+      let xd = B.div x.den g and yd = B.div y.den g in
+      let num = B.add (B.mul x.num yd) (B.mul y.num xd) in
+      if B.is_zero num then zero
+      else begin
+        let g2 = B.gcd num g in
+        if B.equal g2 B.one then { num; den = B.mul xd y.den }
+        else { num = B.div num g2; den = B.mul xd (B.div y.den g2) }
+      end
+    end
+  end
+
 let neg x = { x with num = B.neg x.num }
 let abs x = { x with num = B.abs x.num }
+let sub x y = add x (neg y)
+
+(* Cross-gcd multiplication: cancel gcd(num, other den) on both
+   diagonals first; the product of the reduced parts is reduced. *)
+let mul x y =
+  if B.is_zero x.num || B.is_zero y.num then zero
+  else begin
+    let g1 = B.gcd x.num y.den in
+    let g2 = B.gcd y.num x.den in
+    {
+      num = B.mul (B.div x.num g1) (B.div y.num g2);
+      den = B.mul (B.div x.den g2) (B.div y.den g1);
+    }
+  end
 
 let inv x =
-  if B.is_zero x.num then raise Division_by_zero;
-  make x.den x.num
+  if B.is_zero x.num then raise Division_by_zero
+  else if Stdlib.( < ) (B.sign x.num) 0 then { num = B.neg x.den; den = B.neg x.num }
+  else { num = x.den; den = x.num }
 
-let mul_int x n = make (B.mul_int x.num n) x.den
-let div_int x n = make x.num (B.mul_int x.den n)
+let div x y = mul x (inv y)
+let mul_int x n = mul x (of_int n)
+let div_int x n = div x (of_int n)
 
-(* Denominators are positive, so cross-multiplication preserves order. *)
-let compare x y = B.compare (B.mul x.num y.den) (B.mul y.num x.den)
+(* Denominators are positive, so one fused Bigint call compares the
+   fractions (equal-denominator and machine-word cross-product shortcuts
+   live on the other side of the module boundary). *)
+let compare x y = B.compare_fractions x.num x.den y.num y.den
 let equal x y = compare x y = 0
 let ( < ) x y = compare x y < 0
 let ( <= ) x y = compare x y <= 0

@@ -283,6 +283,60 @@ let prop_bayesian_dynamics_reach_equilibrium =
       | Some s -> Bayesian.is_bayesian_equilibrium (Bncs.game g) s
       | None -> false)
 
+(* The solvers evaluate deviations incrementally (delta against a load
+   vector built once per profile); these properties pin that evaluation
+   to the from-scratch definition on random instances. *)
+let prop_incremental_nash_matches_scratch =
+  QCheck2.Test.make ~name:"incremental Nash predicate = from-scratch deviation scan"
+    ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_complete seed in
+      let rng = Random.State.make [| seed + 7 |] in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let profile =
+          Array.init (Complete.players g) (fun i ->
+              Random.State.int rng (List.length (Complete.paths g i)))
+        in
+        let scratch_nash =
+          let no_improvement i =
+            let current = Complete.player_cost g profile i in
+            List.for_all
+              (fun j ->
+                let p = Array.copy profile in
+                p.(i) <- j;
+                Rat.( <= ) current (Complete.player_cost g p i))
+              (List.init (List.length (Complete.paths g i)) Fun.id)
+          in
+          List.for_all no_improvement
+            (List.init (Complete.players g) Fun.id)
+        in
+        if Complete.is_nash g profile <> scratch_nash then ok := false
+      done;
+      !ok)
+
+let prop_bayesian_fast_eval_matches_generic =
+  QCheck2.Test.make
+    ~name:"incremental Bayesian predicate & social cost = generic evaluation"
+    ~count:20
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_bayesian_ncs seed in
+      let game = Bncs.game g in
+      let fast_eqs = List.of_seq (Bncs.bayesian_equilibria g) in
+      let generic_eqs =
+        List.of_seq
+          (Seq.filter
+             (Bayesian.is_bayesian_equilibrium game)
+             (Bncs.valid_strategy_profiles g))
+      in
+      fast_eqs = generic_eqs
+      && Seq.for_all
+           (fun s ->
+             Extended.equal (Bncs.social_cost g s) (Bayesian.social_cost game s))
+           (Bncs.valid_strategy_profiles g))
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -293,6 +347,8 @@ let qtests =
       prop_bayesian_ncs_lemma31;
       prop_bayesian_ncs_lemma38;
       prop_bayesian_dynamics_reach_equilibrium;
+      prop_incremental_nash_matches_scratch;
+      prop_bayesian_fast_eval_matches_generic;
     ]
 
 let () =

@@ -144,6 +144,124 @@ let prop_gcd_divides =
       Bigint.is_zero (Bigint.rem (Bigint.of_int a) g)
       && Bigint.is_zero (Bigint.rem (Bigint.of_int b) g))
 
+(* --- Fast path vs all-big oracle ---
+
+   Every arithmetic operation has a machine-word fast path and a limb
+   path; [Bigint.force_big] re-encodes a value in the limb representation
+   without changing it, so running each law on all four promotion
+   combinations (fast/fast, big/big, and mixed) checks that the two
+   tiers agree — including on the overflow boundaries where the fast
+   path must promote.  Agreement is checked by [Bigint.equal] and by
+   [to_string], whose rendering also differs between the tiers. *)
+
+let boundary_int =
+  QCheck2.Gen.(
+    oneof
+      [
+        int_range (-10_000) 10_000;
+        map (fun d -> max_int - d) (int_range 0 3);
+        map (fun d -> min_int + d) (int_range 0 3);
+        (* Straddle the 10^4 and 10^8 limb boundaries. *)
+        map2 (fun s d -> if s then 9_999 + d else -9_999 - d) bool (int_range (-2) 2);
+        map2
+          (fun s d -> if s then 99_999_999 + d else -99_999_999 - d)
+          bool (int_range (-2) 2);
+        int;
+      ])
+
+let mixed_bigint_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Bigint.of_int boundary_int;
+        map2
+          (fun neg s ->
+            let x = Bigint.of_string s in
+            if neg then Bigint.neg x else x)
+          bool
+          (string_size ~gen:(char_range '0' '9') (int_range 1 45));
+      ])
+
+let agree r r' = Bigint.equal r r' && String.equal (Bigint.to_string r) (Bigint.to_string r')
+
+let prop_tier2 name f =
+  QCheck2.Test.make ~name:(name ^ ": fast path agrees with all-big path")
+    ~count:1200
+    QCheck2.Gen.(pair mixed_bigint_gen mixed_bigint_gen)
+    (fun (x, y) ->
+      let bx = Bigint.force_big x and by = Bigint.force_big y in
+      let r = f x y in
+      List.for_all (fun r' -> agree r r') [ f bx by; f bx y; f x by ])
+
+let prop_tier_add = prop_tier2 "add" Bigint.add
+let prop_tier_sub = prop_tier2 "sub" Bigint.sub
+let prop_tier_mul = prop_tier2 "mul" Bigint.mul
+let prop_tier_gcd = prop_tier2 "gcd" Bigint.gcd
+
+let prop_tier_divmod =
+  QCheck2.Test.make ~name:"divmod: fast path agrees with all-big path" ~count:1200
+    QCheck2.Gen.(pair mixed_bigint_gen mixed_bigint_gen)
+    (fun (x, y) ->
+      QCheck2.assume (not (Bigint.is_zero y));
+      let bx = Bigint.force_big x and by = Bigint.force_big y in
+      let q, r = Bigint.divmod x y in
+      List.for_all
+        (fun (q', r') -> agree q q' && agree r r')
+        [ Bigint.divmod bx by; Bigint.divmod bx y; Bigint.divmod x by ])
+
+let prop_tier_compare =
+  QCheck2.Test.make ~name:"compare: fast path agrees with all-big path" ~count:1200
+    QCheck2.Gen.(pair mixed_bigint_gen mixed_bigint_gen)
+    (fun (x, y) ->
+      let bx = Bigint.force_big x and by = Bigint.force_big y in
+      let s v = Stdlib.compare v 0 in
+      let c = s (Bigint.compare x y) in
+      c = s (Bigint.compare bx by)
+      && c = s (Bigint.compare bx y)
+      && c = s (Bigint.compare x by))
+
+let prop_tier_compare_products =
+  QCheck2.Test.make ~name:"compare_products = compare of products, all tiers"
+    ~count:1200
+    QCheck2.Gen.(quad mixed_bigint_gen mixed_bigint_gen mixed_bigint_gen mixed_bigint_gen)
+    (fun (a, b, c, d) ->
+      let s v = Stdlib.compare v 0 in
+      let expected = s (Bigint.compare (Bigint.mul a b) (Bigint.mul c d)) in
+      s (Bigint.compare_products a b c d) = expected
+      && s
+           (Bigint.compare_products (Bigint.force_big a) b c
+              (Bigint.force_big d))
+         = expected)
+
+let prop_tier_compare_fractions =
+  QCheck2.Test.make ~name:"compare_fractions = cross-product comparison, all tiers"
+    ~count:1200
+    QCheck2.Gen.(
+      quad mixed_bigint_gen
+        (map Bigint.abs mixed_bigint_gen)
+        mixed_bigint_gen
+        (map Bigint.abs mixed_bigint_gen))
+    (fun (a, b, c, d) ->
+      QCheck2.assume (not (Bigint.is_zero b) && not (Bigint.is_zero d));
+      let s v = Stdlib.compare v 0 in
+      let expected = s (Bigint.compare (Bigint.mul a d) (Bigint.mul c b)) in
+      s (Bigint.compare_fractions a b c d) = expected
+      && s
+           (Bigint.compare_fractions (Bigint.force_big a) (Bigint.force_big b)
+              (Bigint.force_big c) (Bigint.force_big d))
+         = expected)
+
+let prop_tier_unary =
+  QCheck2.Test.make ~name:"neg/abs/sign/to_int_opt agree across tiers" ~count:1200
+    mixed_bigint_gen
+    (fun x ->
+      let bx = Bigint.force_big x in
+      agree (Bigint.neg x) (Bigint.neg bx)
+      && agree (Bigint.abs x) (Bigint.abs bx)
+      && Bigint.sign x = Bigint.sign bx
+      && Bigint.to_int_opt x = Bigint.to_int_opt bx
+      && String.equal (Bigint.to_string x) (Bigint.to_string bx))
+
 (* --- Rational unit tests --- *)
 
 let test_rat_normalization () =
@@ -236,6 +354,12 @@ let qtests =
       prop_rat_field; prop_rat_add_comm; prop_rat_order_total;
       prop_rat_float_consistent ]
 
+let tier_qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tier_add; prop_tier_sub; prop_tier_mul; prop_tier_gcd;
+      prop_tier_divmod; prop_tier_compare; prop_tier_compare_products;
+      prop_tier_compare_fractions; prop_tier_unary ]
+
 let () =
   Alcotest.run "bi_num"
     [
@@ -262,4 +386,5 @@ let () =
         ] );
       ("extended", [ Alcotest.test_case "infinity arithmetic" `Quick test_extended ]);
       ("properties", qtests);
+      ("representation-tiers", tier_qtests);
     ]
