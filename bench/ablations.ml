@@ -139,7 +139,7 @@ let fictitious_play () =
   print_endline "The certified bracket narrows roughly like O(1/sqrt(T)).";
   print_endline ""
 
-let run ~pool ~sink =
+let run ~pool ~sink ~cache:_ =
   print_endline "=== Ablations ===";
   print_endline "";
   visibility ();

@@ -37,7 +37,7 @@ let check ~pool ~label games =
     ];
   ]
 
-let run ~pool ~sink =
+let run ~pool ~sink ~cache:_ =
   print_endline "=== Universal laws on random Bayesian NCS corpora ===";
   print_endline "";
   let rows =

@@ -10,8 +10,11 @@ module Rat = Num.Rat
 
 (* A small random Bayesian NCS game.  All sources coincide so that the
    complete-information optimum can be cross-checked by the Steiner DP;
-   destinations and presence vary per type profile. *)
-let random_game ~directed seed =
+   destinations and presence vary per type profile.  The description
+   (graph + prior) is built separately from the game so the cache-aware
+   harness can fingerprint an instance — and skip [Bncs.make] on a warm
+   run — without paying for the game build. *)
+let random_description ~directed seed =
   let rng = Random.State.make [| seed |] in
   let n = 3 + Random.State.int rng 3 in
   let graph =
@@ -42,7 +45,20 @@ let random_game ~directed seed =
   let weighted =
     List.map (fun t -> (t, Rat.of_int (1 + Random.State.int rng 3))) support
   in
-  Bncs.make graph ~prior:(Dist.make weighted)
+  (graph, Dist.make weighted)
+
+let descriptions ~directed ~count () =
+  let seeds = List.init count (fun i -> (i + 1) * 7919) in
+  List.filter_map
+    (fun seed ->
+      match random_description ~directed seed with
+      | d -> Some d
+      | exception Invalid_argument _ -> None)
+    seeds
+
+let random_game ~directed seed =
+  let graph, prior = random_description ~directed seed in
+  Bncs.make graph ~prior
 
 let games ?pool ~directed ~count () =
   let seeds = Array.init count (fun i -> (i + 1) * 7919) in

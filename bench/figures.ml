@@ -97,6 +97,6 @@ let fig2 ~pool ~sink =
     "hurts by a k factor on 3 vertices); the bliss window gives O(1/k).";
   print_endline ""
 
-let run ~pool ~sink =
+let run ~pool ~sink ~cache:_ =
   fig1 ~pool ~sink;
   fig2 ~pool ~sink

@@ -10,11 +10,14 @@
    - Section 4 (Proposition 4.2 and Lemma 4.1) numerically;
    plus bechamel micro-benchmarks of the computational kernels.
 
-   Usage: dune exec bench/main.exe [-- [--jobs N] section ...]
+   Usage: dune exec bench/main.exe [-- [--jobs N] [--cache FILE] section ...]
    where section is any of: table1 figures checks sec4 ablations micro.
    With no section arguments, everything runs.  --jobs N (or BI_JOBS=N)
    runs the exhaustive solvers on N worker domains; results are
-   bit-identical to --jobs 1.  Structured results are written as JSON
+   bit-identical to --jobs 1.  --cache FILE attaches the
+   content-addressed result cache backed by that append-only JSON-lines
+   file: a warm rerun replays every exact result from the store and
+   emits byte-identical tables.  Structured results are written as JSON
    lines to BENCH_results.json alongside the printed tables. *)
 
 open Bayesian_ignorance
@@ -32,33 +35,42 @@ let sections =
   ]
 
 let usage () =
-  Printf.eprintf "usage: main.exe [--jobs N] [section ...]\navailable sections: %s\n"
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--cache FILE] [section ...]\navailable sections: %s\n"
     (String.concat ", " (List.map fst sections));
   exit 1
 
 let parse_args args =
-  let rec go jobs acc = function
-    | [] -> (jobs, List.rev acc)
+  let rec go jobs cache acc = function
+    | [] -> (jobs, cache, List.rev acc)
     | ("--jobs" | "-j") :: rest -> (
       match rest with
       | n :: rest' -> (
         match int_of_string_opt n with
-        | Some n when n >= 1 -> go (Some n) acc rest'
+        | Some n when n >= 1 -> go (Some n) cache acc rest'
         | _ ->
           Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
           exit 1)
       | [] ->
         Printf.eprintf "--jobs expects an argument\n";
         exit 1)
+    | "--cache" :: rest -> (
+      match rest with
+      | path :: rest' -> go jobs (Some path) acc rest'
+      | [] ->
+        Printf.eprintf "--cache expects a file argument\n";
+        exit 1)
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
       Printf.eprintf "unknown option %S\n" s;
       usage ()
-    | s :: rest -> go jobs (s :: acc) rest
+    | s :: rest -> go jobs cache (s :: acc) rest
   in
-  go None [] args
+  go None None [] args
 
 let () =
-  let jobs_opt, requested = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let jobs_opt, cache_path, requested =
+    parse_args (List.tl (Array.to_list Sys.argv))
+  in
   let asked = match jobs_opt with Some n -> n | None -> Pool.default_size () in
   let jobs = Pool.recommended_jobs asked in
   let requested = if requested = [] then List.map fst sections else requested in
@@ -74,6 +86,17 @@ let () =
   print_endline "";
   let pool = Pool.create jobs in
   let sink = Sink.create "BENCH_results.json" in
+  let cache =
+    Option.map (fun path -> Cache.Service.create ~store_path:path ()) cache_path
+  in
+  (* Bracketed like the timing footers so the warm-vs-cold byte-identity
+     check can filter it out with the same rule. *)
+  Option.iter
+    (fun c ->
+      let s = Cache.Service.stats c in
+      Printf.printf "[cache: %s; %d entries replayed, %d invalid]\n\n"
+        (Option.get cache_path) s.Cache.Service.loaded s.Cache.Service.invalid)
+    cache;
   Sink.emit sink
     [
       ("record", Str "run");
@@ -83,19 +106,23 @@ let () =
     ];
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Cache.Service.close cache;
       Sink.close sink;
       Pool.shutdown pool)
     (fun () ->
       List.iter
         (fun name ->
           let run = List.assoc name sections in
-          let (), dt = Engine.Timer.timed (fun () -> run ~pool ~sink) in
-          Printf.printf "[%s: %.2fs at jobs = %d]\n\n" name dt jobs;
+          let (), span = Engine.Timer.timed (fun () -> run ~pool ~sink ~cache) in
+          Format.printf "[%s: %a at jobs = %d]@.@." name Engine.Timer.pp_span
+            span jobs;
           Sink.emit sink
             [
               ("record", Str "section");
               ("section", Str name);
-              ("seconds", Float dt);
+              ("seconds", Float span.Engine.Timer.seconds);
+              ("minor_words", Float span.Engine.Timer.minor_words);
+              ("major_words", Float span.Engine.Timer.major_words);
               ("jobs", Int jobs);
             ])
         requested)

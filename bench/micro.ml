@@ -102,6 +102,26 @@ let profile_cost_test =
               Rat.zero
               (Ncs.Complete.profile_space profile_cost_game))))
 
+(* Cache-service kernels: the canonical fingerprint (serialize + hash a
+   game description) and a service hit (mutex + LRU lookup + recency
+   touch) — the per-request costs a warm analysis pays instead of the
+   exhaustive solve. *)
+
+let fingerprint_game = Constructions.Gworst_game.bliss_game 5
+
+let fingerprint_test =
+  Test.make ~name:"canonical fingerprint, G_worst k=5"
+    (Staged.stage (fun () ->
+         ignore (Cache.Fingerprint.of_game fingerprint_game)))
+
+let cache_hit_test =
+  let service = Cache.Service.create ~capacity:64 () in
+  let key = Cache.Fingerprint.of_game fingerprint_game in
+  Cache.Service.insert service key
+    (Cache.Service.Payload (Engine.Sink.Str "warm"));
+  Test.make ~name:"cache hit, in-memory LRU"
+    (Staged.stage (fun () -> ignore (Cache.Service.find service key)))
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"kernels"
@@ -109,7 +129,7 @@ let benchmark () =
         bigint_test; rat_add_small_test; rat_add_large_test;
         rat_cmp_small_test; rat_cmp_large_test; profile_cost_test;
         dijkstra_test; steiner_test; equilibria_test;
-        fictitious_play_test; frt_test;
+        fictitious_play_test; frt_test; fingerprint_test; cache_hit_test;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -167,7 +187,7 @@ let persist_estimates results =
        (List.sort compare rows));
   Engine.Sink.close micro_sink
 
-let run ~pool:_ ~sink:_ =
+let run ~pool:_ ~sink:_ ~cache:_ =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_endline "";
   let results, _ = benchmark () in

@@ -54,7 +54,7 @@ let triangle_commuters () =
          (Prob.Dist.uniform
             [ [| (0, 1); (0, 2) |]; [| (0, 2); (0, 2) |]; [| (0, 1); (0, 1) |] ]))
 
-let run ~pool:_ ~sink =
+let run ~pool:_ ~sink ~cache:_ =
   print_endline "=== Section 4: public random bits vs the common prior ===";
   print_endline "";
   let rows =

@@ -3,17 +3,17 @@
    $ bi construction anshelevich -k 5      # measures of a paper game
    $ bi adversary -l 4 -s 100              # diamond online adversary
    $ bi sec4 anshelevich -k 3              # public-randomness analysis
-   $ bi plane -p 5                         # affine-plane sanity check *)
+   $ bi plane -p 5                         # affine-plane sanity check
+   $ bi serve --socket bi.sock             # analysis server
+   $ bi query construction diamond -k 3    # ask a running server *)
 
 open Bayesian_ignorance
 open Num
 module Bncs = Ncs.Bayesian_ncs
 module Measures = Bayes.Measures
+module Sink = Engine.Sink
 
-let print_measures ~pool game =
-  let report, solve_dt =
-    Engine.Timer.timed (fun () -> Bncs.measures_exhaustive ~pool game)
-  in
+let print_report report =
   print_endline
     (Report.table ~header:[ "quantity"; "value" ] (Report.measures_rows report));
   let ratios = Measures.ratios_of_report report in
@@ -28,35 +28,70 @@ let print_measures ~pool game =
        ]);
   print_newline ();
   Printf.printf "observation 2.2 (optC <= optP <= best-eqP <= worst-eqP): %s\n"
-    (Report.verdict (Measures.observation_2_2_holds report));
-  solve_dt
+    (Report.verdict (Measures.observation_2_2_holds report))
 
-let build_construction name k =
-  match name with
-  | "anshelevich" -> Constructions.Anshelevich_game.game k
-  | "gworst-bliss" -> Constructions.Gworst_game.bliss_game k
-  | "gworst-curse" -> Constructions.Gworst_game.curse_game k
-  | "affine" -> Constructions.Affine_game.game k
-  | "diamond" -> snd (Constructions.Diamond_game.game k)
-  | _ ->
-    Printf.eprintf
-      "unknown construction %S (try: anshelevich, gworst-bliss, gworst-curse, affine, diamond)\n"
-      name;
-    exit 1
+let ratio_json = function
+  | None -> Sink.Null
+  | Some r -> Sink.Str (Rat.to_string r)
 
-let construction name k jobs =
-  Printf.printf "construction %s, parameter %d\n\n" name k;
+let construction_json ~name ~k ~fingerprint ~cached analysis =
+  let report = analysis.Bncs.report in
+  let ratios = Measures.ratios_of_report report in
+  Sink.Obj
+    [
+      ("record", Str "construction");
+      ("construction", Str name);
+      ("k", Int k);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("analysis", Cache.Codec.analysis_to_json analysis);
+      ( "ratios",
+        Obj
+          [
+            ("opt", ratio_json ratios.Measures.r_opt);
+            ("best_eq", ratio_json ratios.Measures.r_best_eq);
+            ("worst_eq", ratio_json ratios.Measures.r_worst_eq);
+          ] );
+      ("observation_2_2", Bool (Measures.observation_2_2_holds report));
+    ]
+
+(* Unknown names exit 1, a [k] the family rejects exits 2. *)
+let build_or_exit name k =
+  match Constructions.Registry.build name k with
+  | Ok game -> game
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit (if List.mem name Constructions.Registry.names then 2 else 1)
+
+let construction name k jobs json cache_path =
   Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
-      try
-        let game, build_dt =
-          Engine.Timer.timed (fun () -> build_construction name k)
-        in
-        let solve_dt = print_measures ~pool game in
-        Format.printf "@.[build: %a; solve: %a]@." Engine.Timer.pp_seconds
-          build_dt Engine.Timer.pp_seconds solve_dt
-      with Invalid_argument msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 2);
+      let game, build_span =
+        Engine.Timer.timed (fun () -> build_or_exit name k)
+      in
+      let fingerprint = Cache.Fingerprint.of_game game in
+      let cache =
+        Option.map (fun path -> Cache.Service.create ~store_path:path ()) cache_path
+      in
+      let (analysis, cached), solve_span =
+        Engine.Timer.timed (fun () ->
+            match cache with
+            | None -> (Bncs.analyze ~pool game, false)
+            | Some c ->
+              Cache.Service.analysis c fingerprint (fun () ->
+                  Bncs.analyze ~pool game))
+      in
+      Option.iter Cache.Service.close cache;
+      if json then
+        print_endline
+          (Sink.to_string (construction_json ~name ~k ~fingerprint ~cached analysis))
+      else begin
+        Printf.printf "construction %s, parameter %d\n\n" name k;
+        print_report analysis.Bncs.report;
+        Format.printf "@.[build: %a; solve: %a%s]@." Engine.Timer.pp_seconds
+          build_span.Engine.Timer.seconds Engine.Timer.pp_seconds
+          solve_span.Engine.Timer.seconds
+          (if cached then " (cached)" else "")
+      end);
   0
 
 let adversary levels samples seed =
@@ -84,7 +119,7 @@ let adversary levels samples seed =
   0
 
 let sec4 name k iterations =
-  let game = build_construction name k in
+  let game = build_or_exit name k in
   let phi =
     try Minimax.Section4.of_bayesian_ncs game with
     | Invalid_argument msg ->
@@ -118,6 +153,76 @@ let plane p =
     Printf.eprintf "error: %s\n" msg;
     2
 
+(* --- server / client --- *)
+
+let default_socket = "bi.sock"
+
+let serve socket tcp cache_path capacity metrics_out jobs =
+  let listen =
+    match tcp with
+    | Some port -> Serve.Server.Tcp port
+    | None -> Serve.Server.Unix_socket socket
+  in
+  let cache = Cache.Service.create ~capacity ?store_path:cache_path () in
+  let stats0 = Cache.Service.stats cache in
+  Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
+      (match listen with
+      | Serve.Server.Unix_socket path ->
+        Printf.printf "bi serve: unix socket %s" path
+      | Serve.Server.Tcp port -> Printf.printf "bi serve: tcp 127.0.0.1:%d" port);
+      if stats0.Cache.Service.loaded > 0 || stats0.Cache.Service.invalid > 0 then
+        Printf.printf " (store: %d entries replayed, %d invalid)"
+          stats0.Cache.Service.loaded stats0.Cache.Service.invalid;
+      print_newline ();
+      flush stdout;
+      Serve.Server.run ~pool ~metrics_out ~cache listen);
+  Cache.Service.close cache;
+  Printf.printf "bi serve: stopped; metrics in %s\n" metrics_out;
+  0
+
+let query socket tcp verb name k =
+  let request =
+    match verb with
+    | "construction" -> (
+      match name with
+      | Some name -> Ok (Serve.Protocol.construction_request ~name ~k)
+      | None -> Error "query construction: NAME argument required")
+    | "analyze" -> (
+      match Sink.of_string (In_channel.input_all stdin) with
+      | Ok game -> Ok (Sink.Obj [ ("op", Str "analyze"); ("game", game) ])
+      | Error e -> Error (Printf.sprintf "game description on stdin: %s" e))
+    | "stats" -> Ok Serve.Protocol.stats_request
+    | "shutdown" -> Ok Serve.Protocol.shutdown_request
+    | v ->
+      Error
+        (Printf.sprintf
+           "unknown verb %S (try: construction, analyze, stats, shutdown)" v)
+  in
+  match request with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    2
+  | Ok request -> (
+    match
+      match tcp with
+      | Some port -> Serve.Client.connect_tcp port
+      | None -> Serve.Client.connect_unix socket
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to server: %s\n"
+        (Unix.error_message err);
+      1
+    | client -> (
+      let response = Serve.Client.request client request in
+      Serve.Client.close client;
+      match response with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok response ->
+        print_endline (Sink.to_string response);
+        if Serve.Protocol.is_ok response then 0 else 1))
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -135,18 +240,45 @@ let jobs_arg =
            $(b,BI_JOBS) or 1; clamped to the core count). Results are \
            identical for any value.")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          "Content-addressed result cache backed by this append-only JSON-lines \
+           file; created when missing, replayed and verified at startup.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Listen on (connect to) loopback TCP instead of the Unix socket.")
+
 let construction_cmd =
   let name_arg =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"NAME"
-          ~doc:
-            "Construction: anshelevich, gworst-bliss, gworst-curse, affine (K = prime order), diamond (K = level).")
+      & info [] ~docv:"NAME" ~doc:Constructions.Registry.describe)
+  in
+  let json_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:"Emit the full analysis as a single JSON object on stdout.")
   in
   Cmd.v
     (Cmd.info "construction" ~doc:"Exact ignorance measures of a paper construction")
-    Term.(const construction $ name_arg $ k_arg 4 $ jobs_arg)
+    Term.(const construction $ name_arg $ k_arg 4 $ jobs_arg $ json_arg $ cache_arg)
 
 let adversary_cmd =
   let levels =
@@ -182,9 +314,55 @@ let plane_cmd =
     (Cmd.info "plane" ~doc:"Affine-plane incidence sanity check")
     Term.(const plane $ p)
 
+let serve_cmd =
+  let capacity =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "capacity" ] ~docv:"N" ~doc:"In-memory LRU capacity (entries).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt string "SERVE_metrics.json"
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"File receiving the final metrics dump on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Analysis server: cached exact ignorance measures over a socket")
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ cache_arg $ capacity $ metrics_out
+      $ jobs_arg)
+
+let query_cmd =
+  let verb_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:
+            "One of: $(b,construction) NAME (named paper game), $(b,analyze) \
+             (game description JSON on stdin), $(b,stats), $(b,shutdown).")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Construction name for the construction verb.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Send one request to a running analysis server")
+    Term.(
+      const query $ socket_arg $ tcp_arg $ verb_arg $ name_arg
+      $ k_arg Serve.Protocol.default_k)
+
 let () =
   let doc = "explorer for the Bayesian-ignorance reproduction" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "bi" ~doc)
-          [ construction_cmd; adversary_cmd; sec4_cmd; plane_cmd ]))
+          [
+            construction_cmd; adversary_cmd; sec4_cmd; plane_cmd; serve_cmd;
+            query_cmd;
+          ]))

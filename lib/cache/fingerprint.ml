@@ -1,0 +1,68 @@
+open Bi_num
+module Graph = Bi_graph.Graph
+module Dist = Bi_prob.Dist
+
+(* Canonicalization invariants, in order of appearance:
+   - the header pins the description-format version and the graph kind;
+   - undirected edge endpoints are written smaller-first (an undirected
+     edge is an unordered pair);
+   - edges are sorted by (src, dst, cost), so insertion order and the
+     dense edge ids it induces vanish; duplicate triples are kept — the
+     multigraph multiplicity is semantic;
+   - rationals print in the canonical reduced num/den form [Rat] already
+     maintains, so unreduced inputs normalize to the same bytes;
+   - prior support entries are sorted by their rendered pair profiles
+     ([Dist.make] has already merged duplicates and normalized weights
+     to sum to one, erasing both insertion order and weight scaling). *)
+let description graph ~prior =
+  let buf = Buffer.create 256 in
+  let directed = Graph.is_directed graph in
+  Buffer.add_string buf "bi-ncs-v1 ";
+  Buffer.add_string buf (if directed then "directed " else "undirected ");
+  Buffer.add_string buf (string_of_int (Graph.n_vertices graph));
+  Buffer.add_char buf '\n';
+  let edges =
+    List.map
+      (fun e ->
+        if directed || e.Graph.src <= e.Graph.dst then
+          (e.Graph.src, e.Graph.dst, e.Graph.cost)
+        else (e.Graph.dst, e.Graph.src, e.Graph.cost))
+      (Graph.edges graph)
+  in
+  let edges =
+    List.sort
+      (fun (s1, d1, c1) (s2, d2, c2) ->
+        match Int.compare s1 s2 with
+        | 0 -> ( match Int.compare d1 d2 with 0 -> Rat.compare c1 c2 | c -> c)
+        | c -> c)
+      edges
+  in
+  List.iter
+    (fun (s, d, c) ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d %s\n" s d (Rat.to_string c)))
+    edges;
+  let entries =
+    List.map
+      (fun (pairs, w) ->
+        let profile =
+          String.concat " "
+            (List.map
+               (fun (x, y) -> Printf.sprintf "%d:%d" x y)
+               (Array.to_list pairs))
+        in
+        (profile, w))
+      (Dist.to_list prior)
+  in
+  let entries = List.sort (fun (p1, _) (p2, _) -> String.compare p1 p2) entries in
+  List.iter
+    (fun (profile, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "t %s w %s\n" profile (Rat.to_string w)))
+    entries;
+  Buffer.contents buf
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+let game graph ~prior = digest_hex (description graph ~prior)
+
+let of_game g =
+  game (Bi_ncs.Bayesian_ncs.graph g) ~prior:(Bi_ncs.Bayesian_ncs.prior g)

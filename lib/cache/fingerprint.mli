@@ -1,0 +1,34 @@
+(** Canonical fingerprints of Bayesian NCS game descriptions.
+
+    Every quantity the reproduction computes is a pure function of a
+    game description — a graph plus a common prior over terminal-pair
+    profiles — so a stable content hash of a {e canonical} serialization
+    of that description addresses cached results.  Canonical means the
+    bytes are invariant under every representation choice that does not
+    change the game: edge insertion order (and the dense edge ids it
+    induces), undirected endpoint orientation, unreduced rational inputs
+    (rationals are kept reduced with positive denominators), prior
+    support order and weight scaling (distributions normalize to mass
+    one and merge duplicate outcomes).
+
+    The digest is MD5 (the stdlib [Digest]); fingerprints are 32
+    lowercase hex characters.  Collision resistance against adversarial
+    inputs is not a goal — the cache is a performance layer over a
+    deterministic solver, and the on-disk store verifies entries
+    structurally on replay. *)
+
+val description : Bi_graph.Graph.t -> prior:(int * int) array Bi_prob.Dist.t -> string
+(** The canonical serialization itself — stable across builds and
+    sessions, suitable for hashing or diffing.  Computable without
+    lowering the description into a game (no path enumeration), so a
+    cache lookup can skip [Bayesian_ncs.make] entirely. *)
+
+val game : Bi_graph.Graph.t -> prior:(int * int) array Bi_prob.Dist.t -> string
+(** Fingerprint of a description: MD5 of {!description} in lowercase hex. *)
+
+val of_game : Bi_ncs.Bayesian_ncs.t -> string
+(** Fingerprint of an already-built game, via its graph and prior. *)
+
+val digest_hex : string -> string
+(** MD5 of arbitrary bytes in lowercase hex — the hash used throughout
+    the cache (store entry checksums, compound keys). *)

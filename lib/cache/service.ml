@@ -1,0 +1,162 @@
+module Sink = Bi_engine.Sink
+module Bncs = Bi_ncs.Bayesian_ncs
+
+type value =
+  | Analysis of Bncs.analysis
+  | Payload of Sink.json
+
+type t = {
+  lru : value Lru.t;
+  store : Store.t option;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  loaded : int;
+  invalid : int;
+  mutable closed : bool;
+}
+
+let kind_of = function Analysis _ -> "analysis" | Payload _ -> "payload"
+
+let body_of = function
+  | Analysis a -> Codec.analysis_to_json a
+  | Payload j -> j
+
+let value_of_entry (e : Store.entry) =
+  match e.Store.kind with
+  | "analysis" -> (
+    match Codec.analysis_of_json e.Store.body with
+    | Ok a -> Some (Analysis a)
+    | Error _ -> None)
+  | "payload" -> Some (Payload e.Store.body)
+  | _ -> None
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) ?store_path () =
+  let lru = Lru.create ~capacity in
+  let loaded, invalid, store =
+    match store_path with
+    | None -> (0, 0, None)
+    | Some path ->
+      let entries, unreadable = Store.load path in
+      (* Replay in append order: for a duplicated key the latest entry
+         wins, matching what a reader of the log would reconstruct. *)
+      let loaded, undecodable =
+        List.fold_left
+          (fun (ok, bad) e ->
+            match value_of_entry e with
+            | Some v ->
+              Lru.add lru e.Store.key v;
+              (ok + 1, bad)
+            | None -> (ok, bad + 1))
+          (0, 0) entries
+      in
+      (loaded, unreadable + undecodable, Some (Store.open_append path))
+  in
+  { lru; store; lock = Mutex.create (); hits = 0; misses = 0; loaded; invalid;
+    closed = false }
+
+let key ~fingerprint ~query =
+  if query = "" then fingerprint else fingerprint ^ "/" ^ query
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let persist t k v =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    Store.append store { Store.key = k; kind = kind_of v; body = body_of v }
+
+let find t k =
+  locked t (fun () ->
+      match Lru.find t.lru k with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let insert t k v =
+  locked t (fun () ->
+      Lru.add t.lru k v;
+      persist t k v)
+
+let find_analysis t k =
+  match find t k with Some (Analysis a) -> Some a | Some (Payload _) | None -> None
+
+let insert_analysis t k a = insert t k (Analysis a)
+
+(* The thunk runs inside the lock: correctness first (a concurrent
+   caller can never observe a missing entry being computed twice).  The
+   server layer keeps its own in-flight table precisely so that long
+   computations do not serialize behind this mutex. *)
+let memo t k wrap unwrap compute =
+  locked t (fun () ->
+      match Option.bind (Lru.find t.lru k) unwrap with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        (v, true)
+      | None ->
+        t.misses <- t.misses + 1;
+        let v = compute () in
+        let wrapped = wrap v in
+        Lru.add t.lru k wrapped;
+        persist t k wrapped;
+        (v, false))
+
+let analysis t k compute =
+  memo t k
+    (fun a -> Analysis a)
+    (function Analysis a -> Some a | Payload _ -> None)
+    compute
+
+let payload t k compute =
+  memo t k
+    (fun j -> Payload j)
+    (function Payload j -> Some j | Analysis _ -> None)
+    compute
+
+type stats = {
+  hits : int;
+  misses : int;
+  length : int;
+  capacity : int;
+  evictions : int;
+  loaded : int;
+  invalid : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        length = Lru.length t.lru;
+        capacity = Lru.capacity t.lru;
+        evictions = Lru.evictions t.lru;
+        loaded = t.loaded;
+        invalid = t.invalid;
+      })
+
+let stats_to_json (s : stats) =
+  Sink.Obj
+    [
+      ("hits", Sink.Int s.hits);
+      ("misses", Sink.Int s.misses);
+      ("length", Sink.Int s.length);
+      ("capacity", Sink.Int s.capacity);
+      ("evictions", Sink.Int s.evictions);
+      ("loaded", Sink.Int s.loaded);
+      ("invalid", Sink.Int s.invalid);
+    ]
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Option.iter Store.close t.store
+      end)

@@ -1,0 +1,64 @@
+(** The content-addressed result cache.
+
+    Ties together the {!Lru} in-memory tier, the {!Codec} value codecs
+    and the {!Store} on-disk log.  Keys are game fingerprints
+    ({!Fingerprint.game}), optionally extended with a query tag
+    ([fingerprint/query]) for auxiliary results that depend on solver
+    parameters.  All operations are serialized by an internal mutex and
+    are safe to call from multiple threads or domains. *)
+
+type value =
+  | Analysis of Bi_ncs.Bayesian_ncs.analysis
+      (** A full ignorance analysis: six exact quantities + witnesses. *)
+  | Payload of Bi_engine.Sink.json
+      (** An opaque JSON payload interpreted by the caller. *)
+
+type t
+
+val create : ?capacity:int -> ?store_path:string -> unit -> t
+(** [create ()] builds an in-memory cache (default capacity 4096).
+    With [~store_path], the file is replayed into the cache (latest
+    entry per key wins; unverifiable lines are counted, not trusted)
+    and then opened for appending so later misses persist. *)
+
+val key : fingerprint:string -> query:string -> string
+(** [key ~fingerprint ~query:""] is the fingerprint itself; otherwise
+    [fingerprint ^ "/" ^ query]. *)
+
+val find : t -> string -> value option
+(** Counts a hit or a miss. *)
+
+val insert : t -> string -> value -> unit
+(** Inserts and appends to the store when one is attached. *)
+
+val find_analysis : t -> string -> Bi_ncs.Bayesian_ncs.analysis option
+val insert_analysis : t -> string -> Bi_ncs.Bayesian_ncs.analysis -> unit
+
+val analysis :
+  t -> string -> (unit -> Bi_ncs.Bayesian_ncs.analysis) ->
+  Bi_ncs.Bayesian_ncs.analysis * bool
+(** [analysis t key compute] returns the cached analysis under [key]
+    ([..., true]) or runs [compute] and caches its result
+    ([..., false]).  The thunk runs under the cache lock, so concurrent
+    callers never duplicate a computation; use the server's in-flight
+    table when long computations must not serialize other lookups. *)
+
+val payload :
+  t -> string -> (unit -> Bi_engine.Sink.json) -> Bi_engine.Sink.json * bool
+(** As {!analysis} for opaque JSON payloads. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  length : int;
+  capacity : int;
+  evictions : int;
+  loaded : int;  (** Entries replayed from the store at startup. *)
+  invalid : int;  (** Store lines skipped as unreadable or unverifiable. *)
+}
+
+val stats : t -> stats
+val stats_to_json : stats -> Bi_engine.Sink.json
+
+val close : t -> unit
+(** Closes the attached store, if any.  Idempotent. *)

@@ -1,0 +1,98 @@
+module Sink = Bi_engine.Sink
+
+type entry = {
+  key : string;
+  kind : string;
+  body : Sink.json;
+}
+
+(* The checksum covers the canonical rendering of the body, so a replay
+   can verify an entry without knowing how to interpret it.  Bodies are
+   built from Null/Bool/Int/Str/List/Obj only (no floats), for which
+   [Sink.to_string] after [Sink.of_string] is byte-identical. *)
+let check_of body = Fingerprint.digest_hex (Sink.to_string body)
+
+let entry_to_line e =
+  Sink.to_string
+    (Sink.Obj
+       [
+         ("record", Str "entry");
+         ("key", Str e.key);
+         ("kind", Str e.kind);
+         ("check", Str (check_of e.body));
+         ("body", e.body);
+       ])
+
+let entry_of_line line =
+  match Sink.of_string line with
+  | Error e -> Error e
+  | Ok j -> (
+    match
+      ( Sink.member "record" j,
+        Sink.member "key" j,
+        Sink.member "kind" j,
+        Sink.member "check" j,
+        Sink.member "body" j )
+    with
+    | Some (Str "entry"), Some (Str key), Some (Str kind), Some (Str check), Some body
+      ->
+      if String.equal check (check_of body) then Ok { key; kind; body }
+      else Error "checksum mismatch"
+    | _ -> Error "not a store entry record")
+
+let load path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc invalid =
+          match input_line ic with
+          | exception End_of_file -> (List.rev acc, invalid)
+          | line when String.trim line = "" -> go acc invalid
+          | line -> (
+            match entry_of_line line with
+            | Ok e -> go (e :: acc) invalid
+            | Error _ -> go acc (invalid + 1))
+        in
+        go [] 0)
+  end
+
+type t = {
+  path : string;
+  channel : out_channel;
+  lock : Mutex.t;
+  mutable open_ : bool;
+}
+
+let open_append path =
+  let channel =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  { path; channel; lock = Mutex.create (); open_ = true }
+
+let path t = t.path
+
+let append t entry =
+  let line = entry_to_line entry in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.open_ then invalid_arg "Store.append: store is closed";
+      output_string t.channel line;
+      output_char t.channel '\n';
+      (* Flush per entry: an append-only log that survives crashes at
+         line granularity (a torn final line is skipped on replay). *)
+      flush t.channel)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.open_ then begin
+        t.open_ <- false;
+        close_out t.channel
+      end)

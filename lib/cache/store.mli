@@ -1,0 +1,38 @@
+(** Append-only on-disk result store (JSON lines).
+
+    One self-describing record per line:
+    [{"record": "entry", "key": ..., "kind": ..., "check": md5(body),
+      "body": ...}].  Entries are flushed as written, so warm state
+    survives restarts and crashes at line granularity.  {!load} replays
+    a file and verifies each entry's checksum against the canonical
+    re-rendering of its body; lines that fail to parse or verify
+    (including a torn final line from a crash) are counted and skipped,
+    never trusted. *)
+
+type entry = {
+  key : string;  (** Cache key — fingerprint, or fingerprint/query. *)
+  kind : string;  (** Payload discriminator, e.g. ["analysis"]. *)
+  body : Bi_engine.Sink.json;
+}
+
+val entry_to_line : entry -> string
+val entry_of_line : string -> (entry, string) result
+
+val load : string -> entry list * int
+(** [load path] replays the file in append order: verified entries (a
+    later entry for the same key supersedes an earlier one when loaded
+    into the cache) and the count of invalid lines skipped.  A missing
+    file is an empty store. *)
+
+type t
+
+val open_append : string -> t
+(** Opens (creating if needed) for appending. *)
+
+val path : t -> string
+
+val append : t -> entry -> unit
+(** Writes one entry line and flushes.  Thread-safe. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -19,7 +19,11 @@
     - {!Minimax}: matrix games and Section 4 (public random bits).
     - {!Constructions}: the paper's lower-bound game families.
     - {!Engine}: domain-pool executor, deterministic map-reduce, and the
-      line-oriented JSON result sink. *)
+      line-oriented JSON result sink.
+    - {!Cache}: canonical game fingerprints and the content-addressed
+      result cache (in-memory LRU + append-only on-disk store).
+    - {!Serve}: the concurrent analysis server and its line-JSON
+      protocol and client. *)
 
 module Num = Bi_num
 module Ds = Bi_ds
@@ -33,4 +37,6 @@ module Embed = Bi_embed
 module Minimax = Bi_minimax
 module Constructions = Bi_constructions
 module Engine = Bi_engine
+module Cache = Bi_cache
+module Serve = Bi_serve
 module Report = Report

@@ -60,19 +60,211 @@ let to_string j =
   write buf j;
   Buffer.contents buf
 
+(* --- parsing --- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_error "expected %C at offset %d, got %C" c !pos c'
+    | None -> parse_error "expected %C, got end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else parse_error "invalid literal at offset %d" !pos
+  in
+  (* BMP code points only: our encoder never emits surrogate pairs. *)
+  let utf8_of_code buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then parse_error "truncated \\u escape at offset %d" !pos;
+    let v =
+      match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+      | Some v -> v
+      | None -> parse_error "invalid \\u escape at offset %d" !pos
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then parse_error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (match peek () with
+        | None -> parse_error "unterminated escape"
+        | Some e -> (
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' -> utf8_of_code buf (hex4 ())
+          | e -> parse_error "unknown escape \\%c" e));
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> numeric c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then parse_error "unexpected character at offset %d" start;
+    let tok = String.sub s start (!pos - start) in
+    let fractional = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok in
+    match (if fractional then None else int_of_string_opt tok) with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> parse_error "invalid number %S at offset %d" tok start)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> parse_error "expected ',' or ']' at offset %d" !pos
+        in
+        items []
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev (kv :: acc))
+          | _ -> parse_error "expected ',' or '}' at offset %d" !pos
+        in
+        fields []
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then parse_error "trailing bytes at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 type t = {
   path : string;
   channel : out_channel;
+  lock : Mutex.t;
   mutable open_ : bool;
 }
 
-let create path = { path; channel = open_out path; open_ = true }
+let create path =
+  { path; channel = open_out path; lock = Mutex.create (); open_ = true }
+
 let path sink = sink.path
 
+(* One line per record under the sink's mutex, so concurrent [emit]s from
+   worker domains (or server threads) never interleave bytes. *)
 let emit sink fields =
-  if not sink.open_ then invalid_arg "Sink.emit: sink is closed";
-  output_string sink.channel (to_string (Obj fields));
-  output_char sink.channel '\n'
+  let line = to_string (Obj fields) in
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if not sink.open_ then invalid_arg "Sink.emit: sink is closed";
+      output_string sink.channel line;
+      output_char sink.channel '\n')
 
 (* "paper bound" -> "paper_bound": JSON keys that double as column ids. *)
 let slug s =
@@ -96,7 +288,11 @@ let table sink ~section ?(kind = "row") ~header rows =
     rows
 
 let close sink =
-  if sink.open_ then begin
-    sink.open_ <- false;
-    close_out sink.channel
-  end
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if sink.open_ then begin
+        sink.open_ <- false;
+        close_out sink.channel
+      end)

@@ -25,6 +25,19 @@ val escape : string -> string
 val to_string : json -> string
 (** Compact single-line rendering. *)
 
+val of_string : string -> (json, string) result
+(** Parses one JSON value (the whole string must be consumed, modulo
+    surrounding whitespace).  Numbers without a fraction or exponent that
+    fit a native [int] parse as [Int], everything else numeric as
+    [Float]; [\uXXXX] escapes decode to UTF-8 (BMP code points — the
+    encoder never emits surrogate pairs).  Inverse of {!to_string} up to
+    float formatting: records made of [Null]/[Bool]/[Int]/[Str]/[List]/
+    [Obj] round-trip byte-identically. *)
+
+val member : string -> json -> json option
+(** [member key j] is the field [key] of an [Obj] ([None] when absent or
+    [j] is not an object). *)
+
 type t
 
 val create : string -> t
@@ -33,7 +46,10 @@ val create : string -> t
 val path : t -> string
 
 val emit : t -> (string * json) list -> unit
-(** Writes one object as a single line. *)
+(** Writes one object as a single line.  Safe under concurrent calls
+    from multiple domains or threads: each sink carries a mutex, so
+    records never interleave — every line in the file is one complete
+    JSON object. *)
 
 val table : t -> section:string -> ?kind:string -> header:string list -> string list list -> unit
 (** [table sink ~section ~header rows] emits one record per row, keyed by

@@ -146,6 +146,7 @@ let make graph ~prior =
 let graph g = g.graph
 let players g = g.players
 let game g = g.game
+let prior g = g.prior_pairs
 let types g i = Array.copy g.types.(i)
 let actions g i = Array.copy g.actions.(i)
 let valid_actions g i ti = g.valid.(i).(ti)
@@ -584,17 +585,32 @@ let eq_extremes ?pool g =
         (eq_score_loaded g loads s))
     g
 
-let measures_exhaustive ?pool g =
-  let opt_p, _ = opt_p_exhaustive ?pool g in
+type analysis = {
+  report : Measures.report;
+  opt_p_witness : Bayesian.strategy_profile;
+  best_eq_p_witness : Bayesian.strategy_profile option;
+  worst_eq_p_witness : Bayesian.strategy_profile option;
+}
+
+let analyze ?pool g =
+  let opt_p, opt_p_witness = opt_p_exhaustive ?pool g in
   let best, worst = eq_extremes ?pool g in
   {
-    Measures.opt_p;
-    best_eq_p = Option.map snd best;
-    worst_eq_p = Option.map snd worst;
-    opt_c = opt_c ?pool g;
-    best_eq_c = best_eq_c ?pool g;
-    worst_eq_c = worst_eq_c ?pool g;
+    report =
+      {
+        Measures.opt_p;
+        best_eq_p = Option.map snd best;
+        worst_eq_p = Option.map snd worst;
+        opt_c = opt_c ?pool g;
+        best_eq_c = best_eq_c ?pool g;
+        worst_eq_c = worst_eq_c ?pool g;
+      };
+    opt_p_witness;
+    best_eq_p_witness = Option.map fst best;
+    worst_eq_p_witness = Option.map fst worst;
   }
+
+let measures_exhaustive ?pool g = (analyze ?pool g).report
 
 let lemma_3_1_bound_holds ?pool g =
   match worst_eq_p ?pool g with

@@ -30,6 +30,12 @@ val players : t -> int
 val game : t -> Bi_bayes.Bayesian.t
 (** The lowered general Bayesian game. *)
 
+val prior : t -> (int * int) array Bi_prob.Dist.t
+(** The common prior over (source, destination) pair profiles the game
+    was built from — the description half that, together with {!graph},
+    determines every quantity this library computes (and hence the
+    game's cache fingerprint). *)
+
 val types : t -> int -> (int * int) array
 (** Agent [i]'s type table (type index -> pair). *)
 
@@ -71,6 +77,21 @@ val measures_exhaustive : ?pool:Bi_engine.Pool.t -> t -> Bi_bayes.Measures.repor
     across worker domains; results (including tie-breaking on the
     witnessing profiles) are identical for any pool size, and the best
     and worst Bayesian equilibria are found in one fused sweep. *)
+
+type analysis = {
+  report : Bi_bayes.Measures.report;
+  opt_p_witness : Bi_bayes.Bayesian.strategy_profile;
+  best_eq_p_witness : Bi_bayes.Bayesian.strategy_profile option;
+  worst_eq_p_witness : Bi_bayes.Bayesian.strategy_profile option;
+}
+(** A full ignorance report with the witnessing strategy profiles of the
+    partial-information extrema — the unit held by the result cache.
+    Witness indices refer to this build's type/action enumeration order;
+    the values are representation-independent. *)
+
+val analyze : ?pool:Bi_engine.Pool.t -> t -> analysis
+(** {!measures_exhaustive} plus the witness profiles, at the same cost
+    (the exhaustive sweeps already track the witnesses). *)
 
 val opt_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t
 val best_eq_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t option

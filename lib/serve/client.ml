@@ -1,0 +1,36 @@
+module Sink = Bi_engine.Sink
+
+type t = { ic : in_channel; oc : out_channel; mutable open_ : bool }
+
+let of_channels ic oc = { ic; oc; open_ = true }
+
+let connect_unix path =
+  let ic, oc = Unix.open_connection (Unix.ADDR_UNIX path) in
+  of_channels ic oc
+
+let connect_tcp port =
+  let ic, oc =
+    Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  of_channels ic oc
+
+let request t j =
+  if not t.open_ then Error "client is closed"
+  else
+    match
+      output_string t.oc (Sink.to_string j);
+      output_char t.oc '\n';
+      flush t.oc;
+      input_line t.ic
+    with
+    | line -> Sink.of_string line
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error e -> Error e
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (* Closes both channels: they share the socket's file descriptor. *)
+    try Unix.shutdown_connection t.ic; close_in_noerr t.ic
+    with Unix.Unix_error _ | Sys_error _ -> ()
+  end

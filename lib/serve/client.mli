@@ -1,0 +1,21 @@
+(** A blocking client for the analysis server.
+
+    Opens one connection and issues line-delimited JSON requests
+    (build them with {!Protocol}); each {!request} writes one line and
+    blocks for the one-line response. *)
+
+type t
+
+val connect_unix : string -> t
+(** Connects to a Unix-domain socket path.
+    @raise Unix.Unix_error when the server is not listening. *)
+
+val connect_tcp : int -> t
+(** Connects to the loopback TCP port. *)
+
+val request : t -> Bi_engine.Sink.json -> (Bi_engine.Sink.json, string) result
+(** Sends one request, returns the parsed response.  Check
+    {!Protocol.is_ok} for the server-level verdict. *)
+
+val close : t -> unit
+(** Idempotent. *)

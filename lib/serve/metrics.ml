@@ -1,0 +1,89 @@
+module Sink = Bi_engine.Sink
+
+let buckets = 32
+
+type t = {
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+  mutable queue_depth : int;
+  mutable max_queue_depth : int;
+  latency : int array;  (* log2-microsecond histogram *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    requests = 0;
+    errors = 0;
+    hits = 0;
+    misses = 0;
+    coalesced = 0;
+    queue_depth = 0;
+    max_queue_depth = 0;
+    latency = Array.make buckets 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bucket_of_seconds dt =
+  let us = int_of_float (dt *. 1e6) in
+  if us <= 1 then 0
+  else
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    min (buckets - 1) (log2 us 0)
+
+let enter t =
+  locked t (fun () ->
+      t.queue_depth <- t.queue_depth + 1;
+      if t.queue_depth > t.max_queue_depth then
+        t.max_queue_depth <- t.queue_depth)
+
+let leave t ~seconds =
+  locked t (fun () ->
+      t.queue_depth <- t.queue_depth - 1;
+      let b = bucket_of_seconds seconds in
+      t.latency.(b) <- t.latency.(b) + 1)
+
+let request t = locked t (fun () -> t.requests <- t.requests + 1)
+let error t = locked t (fun () -> t.errors <- t.errors + 1)
+let hit t = locked t (fun () -> t.hits <- t.hits + 1)
+let miss t = locked t (fun () -> t.misses <- t.misses + 1)
+
+let coalesce t =
+  locked t (fun () ->
+      (* A coalesced request was answered from cache once the leader
+         finished, so it counts as a hit as well. *)
+      t.coalesced <- t.coalesced + 1;
+      t.hits <- t.hits + 1)
+
+let to_json t =
+  locked t (fun () ->
+      let last =
+        let rec go i = if i < 0 then -1 else if t.latency.(i) > 0 then i else go (i - 1) in
+        go (buckets - 1)
+      in
+      let histogram =
+        List.init (last + 1) (fun i ->
+            Sink.Obj
+              [
+                ("le_us", Sink.Int ((1 lsl (i + 1)) - 1));
+                ("count", Sink.Int t.latency.(i));
+              ])
+      in
+      Sink.Obj
+        [
+          ("requests", Sink.Int t.requests);
+          ("errors", Sink.Int t.errors);
+          ("hits", Sink.Int t.hits);
+          ("misses", Sink.Int t.misses);
+          ("coalesced", Sink.Int t.coalesced);
+          ("queue_depth", Sink.Int t.queue_depth);
+          ("max_queue_depth", Sink.Int t.max_queue_depth);
+          ("latency_log2_us", Sink.List histogram);
+        ])

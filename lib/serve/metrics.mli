@@ -1,0 +1,31 @@
+(** Server-side request metrics.
+
+    Mutex-protected counters (requests, errors, cache hits/misses,
+    coalesced requests), an in-flight gauge with high-water mark, and a
+    log2-microsecond latency histogram (bucket [i] counts requests whose
+    handling took within [[2^i, 2^{i+1})] µs).  Rendered by the [stats]
+    verb and dumped to disk when the server exits. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> unit
+(** A request began being handled: raises the in-flight gauge. *)
+
+val leave : t -> seconds:float -> unit
+(** The request finished after [seconds]: lowers the gauge and records
+    the latency. *)
+
+val request : t -> unit
+val error : t -> unit
+val hit : t -> unit
+val miss : t -> unit
+
+val coalesce : t -> unit
+(** A duplicate in-flight request waited for the leader and was answered
+    from cache; counts as a hit too. *)
+
+val to_json : t -> Bi_engine.Sink.json
+(** Snapshot; the histogram lists only buckets up to the last non-empty
+    one, each as [{"le_us": upper bound, "count": n}]. *)

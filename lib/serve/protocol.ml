@@ -1,0 +1,72 @@
+module Sink = Bi_engine.Sink
+module Codec = Bi_cache.Codec
+
+type request =
+  | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
+  | Construction of { name : string; k : int }
+  | Stats
+  | Shutdown
+
+let default_k = 4
+
+let parse_request line =
+  match Sink.of_string line with
+  | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
+  | Ok j -> (
+    match Sink.member "op" j with
+    | Some (Sink.Str "analyze") -> (
+      match Sink.member "game" j with
+      | None -> Error "analyze: missing \"game\""
+      | Some game -> (
+        match Codec.game_of_json game with
+        | Ok (graph, prior) -> Ok (Analyze (graph, prior))
+        | Error e -> Error (Printf.sprintf "analyze: %s" e)))
+    | Some (Sink.Str "construction") -> (
+      match Sink.member "name" j with
+      | Some (Sink.Str name) -> (
+        match Sink.member "k" j with
+        | None -> Ok (Construction { name; k = default_k })
+        | Some (Sink.Int k) -> Ok (Construction { name; k })
+        | Some v ->
+          Error
+            (Printf.sprintf "construction: k must be an integer, got %s"
+               (Sink.to_string v)))
+      | Some v ->
+        Error
+          (Printf.sprintf "construction: name must be a string, got %s"
+             (Sink.to_string v))
+      | None -> Error "construction: missing \"name\"")
+    | Some (Sink.Str "stats") -> Ok Stats
+    | Some (Sink.Str "shutdown") -> Ok Shutdown
+    | Some (Sink.Str op) -> Error (Printf.sprintf "unknown op %S" op)
+    | Some v ->
+      Error (Printf.sprintf "op must be a string, got %s" (Sink.to_string v))
+    | None -> Error "missing \"op\"")
+
+let analyze_request graph ~prior =
+  Sink.Obj [ ("op", Str "analyze"); ("game", Codec.game_to_json graph ~prior) ]
+
+let construction_request ~name ~k =
+  Sink.Obj [ ("op", Str "construction"); ("name", Str name); ("k", Int k) ]
+
+let stats_request = Sink.Obj [ ("op", Str "stats") ]
+let shutdown_request = Sink.Obj [ ("op", Str "shutdown") ]
+
+let ok_analysis ~fingerprint ~cached analysis =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("analysis", Codec.analysis_to_json analysis);
+    ]
+
+let ok_stats ~cache ~server =
+  Sink.Obj [ ("ok", Bool true); ("cache", cache); ("server", server) ]
+
+let ok_shutdown = Sink.Obj [ ("ok", Bool true); ("stopping", Bool true) ]
+
+let error msg = Sink.Obj [ ("ok", Bool false); ("error", Str msg) ]
+
+let is_ok j =
+  match Sink.member "ok" j with Some (Sink.Bool b) -> b | _ -> false

@@ -1,0 +1,47 @@
+(** The analysis server's wire protocol.
+
+    One JSON object per line in each direction.  Requests carry an
+    ["op"] field — [analyze] (inline game description), [construction]
+    (named paper family + size), [stats], [shutdown].  Responses carry
+    ["ok"]: analysis responses add the game fingerprint, whether the
+    result came from cache, and the full analysis; error responses add
+    ["error"].  See DESIGN.md §3d for worked examples. *)
+
+type request =
+  | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
+  | Construction of { name : string; k : int }
+  | Stats
+  | Shutdown
+
+val default_k : int
+(** Size used when a [construction] request omits ["k"]. *)
+
+val parse_request : string -> (request, string) result
+
+(** Request builders (client side). *)
+
+val analyze_request :
+  Bi_graph.Graph.t ->
+  prior:(int * int) array Bi_prob.Dist.t ->
+  Bi_engine.Sink.json
+
+val construction_request : name:string -> k:int -> Bi_engine.Sink.json
+val stats_request : Bi_engine.Sink.json
+val shutdown_request : Bi_engine.Sink.json
+
+(** Response builders (server side). *)
+
+val ok_analysis :
+  fingerprint:string ->
+  cached:bool ->
+  Bi_ncs.Bayesian_ncs.analysis ->
+  Bi_engine.Sink.json
+
+val ok_stats :
+  cache:Bi_engine.Sink.json -> server:Bi_engine.Sink.json -> Bi_engine.Sink.json
+
+val ok_shutdown : Bi_engine.Sink.json
+val error : string -> Bi_engine.Sink.json
+
+val is_ok : Bi_engine.Sink.json -> bool
+(** True when the response object has ["ok"]: [true]. *)

@@ -1,0 +1,257 @@
+module Sink = Bi_engine.Sink
+module Pool = Bi_engine.Pool
+module Service = Bi_cache.Service
+module Fingerprint = Bi_cache.Fingerprint
+module Bncs = Bi_ncs.Bayesian_ncs
+module Registry = Bi_constructions.Registry
+
+type listen = Unix_socket of string | Tcp of int
+
+type t = {
+  cache : Service.t;
+  pool : Pool.t option;
+  metrics : Metrics.t;
+  lock : Mutex.t;  (* guards [inflight] and [conns] *)
+  cond : Condition.t;  (* signalled when an in-flight computation ends *)
+  inflight : (string, unit) Hashtbl.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  stop : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr;
+  listen : listen;
+}
+
+(* --- request coalescing ---------------------------------------------- *)
+
+(* One leader computes per fingerprint; duplicates wait on [cond] and
+   are answered from cache when the leader lands.  A leader that fails
+   broadcasts too, so a waiter re-checks, finds neither a cached value
+   nor an in-flight leader, and takes over the computation itself. *)
+let analysis t ~fingerprint build =
+  Mutex.lock t.lock;
+  let rec obtain ~waited =
+    match Service.find_analysis t.cache fingerprint with
+    | Some a ->
+      if waited then Metrics.coalesce t.metrics else Metrics.hit t.metrics;
+      Mutex.unlock t.lock;
+      Ok (a, true)
+    | None ->
+      if Hashtbl.mem t.inflight fingerprint then begin
+        Condition.wait t.cond t.lock;
+        obtain ~waited:true
+      end
+      else begin
+        Hashtbl.add t.inflight fingerprint ();
+        Mutex.unlock t.lock;
+        Metrics.miss t.metrics;
+        let result =
+          match build () with
+          | Error _ as e -> e
+          | exception Invalid_argument msg -> Error msg
+          | Ok game -> (
+            match Bncs.analyze ?pool:t.pool game with
+            | a ->
+              Service.insert_analysis t.cache fingerprint a;
+              Ok (a, false)
+            | exception exn -> Error (Printexc.to_string exn))
+        in
+        Mutex.lock t.lock;
+        Hashtbl.remove t.inflight fingerprint;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        result
+      end
+  in
+  obtain ~waited:false
+
+(* --- shutdown -------------------------------------------------------- *)
+
+(* [accept] is woken by connecting to our own listening address — a
+   plain [close] does not reliably interrupt a blocked [accept]. *)
+let poke_listener t =
+  let domain, addr =
+    match t.listen with
+    | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.connect fd addr with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let initiate_shutdown t =
+  if Atomic.compare_and_set t.stop false true then begin
+    poke_listener t;
+    (* Unblock connection threads parked in [input_line]. *)
+    Mutex.lock t.lock;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.conns;
+    Mutex.unlock t.lock
+  end
+
+(* --- request handling ------------------------------------------------ *)
+
+let handle_request t req =
+  match req with
+  | Protocol.Analyze (graph, prior) -> (
+    let fingerprint = Fingerprint.game graph ~prior in
+    match analysis t ~fingerprint (fun () -> Ok (Bncs.make graph ~prior)) with
+    | Ok (a, cached) -> (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
+    | Error e ->
+      Metrics.error t.metrics;
+      (Protocol.error e, `Continue))
+  | Protocol.Construction { name; k } -> (
+    match Registry.build name k with
+    | Error e ->
+      Metrics.error t.metrics;
+      (Protocol.error e, `Continue)
+    | Ok game -> (
+      let fingerprint = Fingerprint.of_game game in
+      match analysis t ~fingerprint (fun () -> Ok game) with
+      | Ok (a, cached) ->
+        (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
+      | Error e ->
+        Metrics.error t.metrics;
+        (Protocol.error e, `Continue)))
+  | Protocol.Stats ->
+    ( Protocol.ok_stats
+        ~cache:(Service.stats_to_json (Service.stats t.cache))
+        ~server:(Metrics.to_json t.metrics),
+      `Continue )
+  | Protocol.Shutdown -> (Protocol.ok_shutdown, `Stop)
+
+let handle_line t line =
+  Metrics.request t.metrics;
+  Metrics.enter t.metrics;
+  let t0 = Unix.gettimeofday () in
+  let response, disposition =
+    match Protocol.parse_request line with
+    | Error e ->
+      Metrics.error t.metrics;
+      (Protocol.error e, `Continue)
+    | Ok req -> (
+      match handle_request t req with
+      | r -> r
+      | exception exn ->
+        Metrics.error t.metrics;
+        (Protocol.error (Printexc.to_string exn), `Continue))
+  in
+  Metrics.leave t.metrics ~seconds:(Unix.gettimeofday () -. t0);
+  (response, disposition)
+
+let serve_conn t conn_id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () =
+    Mutex.lock t.lock;
+    Hashtbl.remove t.conns conn_id;
+    Mutex.unlock t.lock;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+          let response, disposition = handle_line t line in
+          (try
+             output_string oc (Sink.to_string response);
+             output_char oc '\n';
+             flush oc
+           with Sys_error _ -> ());
+          (match disposition with
+          | `Continue -> if Atomic.get t.stop then () else loop ()
+          | `Stop -> initiate_shutdown t)
+      in
+      loop ())
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let bind_listener = function
+  | Unix_socket path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 16;
+    fd
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 16;
+    fd
+
+let dump_metrics t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let j =
+        Sink.Obj
+          [
+            ("record", Sink.Str "serve_metrics");
+            ("server", Metrics.to_json t.metrics);
+            ("cache", Service.stats_to_json (Service.stats t.cache));
+          ]
+      in
+      output_string oc (Sink.to_string j);
+      output_char oc '\n')
+
+let run ?pool ?metrics_out ?(on_ready = fun () -> ()) ~cache listen =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = bind_listener listen in
+  let t =
+    {
+      cache;
+      pool;
+      metrics = Metrics.create ();
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      inflight = Hashtbl.create 16;
+      conns = Hashtbl.create 16;
+      next_conn = 0;
+      stop = Atomic.make false;
+      listen_fd;
+      listen;
+    }
+  in
+  let stop_on_signal = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
+  let previous_int = Sys.signal Sys.sigint stop_on_signal in
+  let previous_term = Sys.signal Sys.sigterm stop_on_signal in
+  on_ready ();
+  let rec accept_loop threads =
+    if Atomic.get t.stop then threads
+    else
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop threads
+      | exception Unix.Unix_error (_, _, _) ->
+        if Atomic.get t.stop then threads else threads
+      | fd, _ ->
+        if Atomic.get t.stop then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          threads
+        end
+        else begin
+          Mutex.lock t.lock;
+          let conn_id = t.next_conn in
+          t.next_conn <- conn_id + 1;
+          Hashtbl.replace t.conns conn_id fd;
+          Mutex.unlock t.lock;
+          let th = Thread.create (fun () -> serve_conn t conn_id fd) () in
+          accept_loop (th :: threads)
+        end
+  in
+  let threads = accept_loop [] in
+  List.iter Thread.join threads;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match listen with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Option.iter (dump_metrics t) metrics_out;
+  Sys.set_signal Sys.sigint previous_int;
+  Sys.set_signal Sys.sigterm previous_term

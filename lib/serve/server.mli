@@ -1,0 +1,31 @@
+(** The concurrent analysis server.
+
+    Listens on a Unix-domain socket (stale path unlinked before bind) or
+    a loopback TCP port and speaks {!Protocol} — one JSON object per
+    line in each direction, any number of requests per connection.  Each
+    connection is served by its own POSIX thread; solver work for a
+    cache miss runs on the shared {!Bi_engine.Pool} (concurrent entry
+    degrades to sequential safely).  Duplicate in-flight requests for
+    the same game fingerprint coalesce: one leader computes, waiters are
+    answered from cache and counted as coalesced hits.
+
+    [run] blocks until a [shutdown] request, SIGINT or SIGTERM, then
+    stops accepting, wakes idle connections, joins all connection
+    threads, optionally dumps metrics, and returns. *)
+
+type listen = Unix_socket of string | Tcp of int
+(** TCP binds loopback only; the server performs no authentication. *)
+
+val run :
+  ?pool:Bi_engine.Pool.t ->
+  ?metrics_out:string ->
+  ?on_ready:(unit -> unit) ->
+  cache:Bi_cache.Service.t ->
+  listen ->
+  unit
+(** [run ~cache listen] serves until shut down.  [on_ready] fires once
+    the listening socket is bound — tests use it to start clients
+    without polling.  [metrics_out] names a file that receives a final
+    one-line JSON dump of server metrics and cache statistics.  The
+    caller retains ownership of [cache] (and [pool]) and closes them
+    after [run] returns. *)

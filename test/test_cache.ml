@@ -1,0 +1,415 @@
+(* The content-addressed cache: fingerprint canonicality (the qcheck
+   properties the subsystem's correctness rests on), codec round-trips,
+   LRU semantics, store replay/verification, and the service tier. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Dist = Bi_prob.Dist
+module Bncs = Bi_ncs.Bayesian_ncs
+module Sink = Bi_engine.Sink
+module Fingerprint = Bi_cache.Fingerprint
+module Codec = Bi_cache.Codec
+module Lru = Bi_cache.Lru
+module Store = Bi_cache.Store
+module Service = Bi_cache.Service
+
+(* --- generators ------------------------------------------------------ *)
+
+let gen_rat =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rat.of_ints n d) (int_range 0 40) (int_range 1 12))
+
+(* A well-formed random game description: a connected-enough graph (the
+   fingerprint does not care about connectivity) plus a small prior. *)
+let gen_description =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* directed = bool in
+    let* edges =
+      list_size (int_range 1 10)
+        (let* s = int_range 0 (n - 1) in
+         let* d = int_range 0 (n - 1) in
+         let* c = gen_rat in
+         return (s, d, c))
+    in
+    let* k = int_range 1 3 in
+    let* support_size = int_range 1 3 in
+    let* support =
+      list_repeat support_size
+        (array_repeat k (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))))
+    in
+    let* weights = list_repeat support_size (map Rat.of_int (int_range 1 5)) in
+    let kind = if directed then Graph.Directed else Graph.Undirected in
+    return (kind, n, edges, List.combine support weights))
+
+let build (kind, n, edges, prior) =
+  (Graph.make kind ~n edges, Dist.make prior)
+
+let fingerprint_of d =
+  let graph, prior = build d in
+  Fingerprint.game graph ~prior
+
+let shuffle seed xs =
+  let rng = Random.State.make [| seed |] in
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr
+
+let gen_seed = QCheck2.Gen.int_range 0 1_000_000
+
+(* --- fingerprint canonicality ---------------------------------------- *)
+
+let prop_edge_order_irrelevant =
+  QCheck2.Test.make ~name:"fingerprint ignores edge insertion order" ~count:200
+    QCheck2.Gen.(pair gen_description gen_seed)
+    (fun ((kind, n, edges, prior), seed) ->
+      fingerprint_of (kind, n, edges, prior)
+      = fingerprint_of (kind, n, shuffle seed edges, prior))
+
+let prop_support_order_irrelevant =
+  QCheck2.Test.make ~name:"fingerprint ignores prior enumeration order"
+    ~count:200
+    QCheck2.Gen.(pair gen_description gen_seed)
+    (fun ((kind, n, edges, prior), seed) ->
+      fingerprint_of (kind, n, edges, prior)
+      = fingerprint_of (kind, n, edges, shuffle seed prior))
+
+let prop_unreduced_rationals_irrelevant =
+  QCheck2.Test.make ~name:"fingerprint ignores rational representation"
+    ~count:200
+    QCheck2.Gen.(pair gen_description (int_range 2 7))
+    (fun ((kind, n, edges, prior), m) ->
+      (* Rebuild every cost and weight from an unreduced fraction
+         (m*num)/(m*den); [Rat.make] canonicalizes, so the fingerprints
+         must agree. *)
+      let blow r =
+        let num = Rat.num r and den = Rat.den r in
+        Rat.make (Bigint.mul (Bigint.of_int m) num) (Bigint.mul (Bigint.of_int m) den)
+      in
+      let edges' = List.map (fun (s, d, c) -> (s, d, blow c)) edges in
+      let prior' = List.map (fun (t, w) -> (t, blow w)) prior in
+      fingerprint_of (kind, n, edges, prior)
+      = fingerprint_of (kind, n, edges', prior'))
+
+let prop_weight_scaling_irrelevant =
+  QCheck2.Test.make ~name:"fingerprint ignores prior weight scaling" ~count:200
+    QCheck2.Gen.(pair gen_description (int_range 1 9))
+    (fun ((kind, n, edges, prior), m) ->
+      (* [Dist.make] normalizes to total mass one. *)
+      let prior' =
+        List.map (fun (t, w) -> (t, Rat.mul (Rat.of_int m) w)) prior
+      in
+      fingerprint_of (kind, n, edges, prior)
+      = fingerprint_of (kind, n, edges, prior'))
+
+let prop_undirected_endpoint_order_irrelevant =
+  QCheck2.Test.make ~name:"fingerprint ignores undirected edge orientation"
+    ~count:200 gen_description
+    (fun (_, n, edges, prior) ->
+      let flipped = List.map (fun (s, d, c) -> (d, s, c)) edges in
+      fingerprint_of (Graph.Undirected, n, edges, prior)
+      = fingerprint_of (Graph.Undirected, n, flipped, prior))
+
+(* The paper corpus: every construction the bench exercises must have a
+   distinct fingerprint — the whole cache keys on that. *)
+let test_corpus_no_collisions () =
+  let games =
+    List.concat_map
+      (fun name ->
+        (* Diamond games grow doubly fast in the level; small levels
+           suffice for the collision property. *)
+        let ks = if name = "diamond" then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+        List.filter_map
+          (fun k ->
+            match Bi_constructions.Registry.build name k with
+            | Ok g -> Some (Printf.sprintf "%s k=%d" name k, g)
+            | Error _ -> None)
+          ks)
+      Bi_constructions.Registry.names
+  in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length games > 10);
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (label, g) ->
+      let fp = Fingerprint.of_game g in
+      (match Hashtbl.find_opt tbl fp with
+      | Some other ->
+        Alcotest.failf "fingerprint collision: %s vs %s" label other
+      | None -> ());
+      Hashtbl.add tbl fp label)
+    games
+
+let test_fingerprint_distinguishes () =
+  let base = (Graph.Undirected, 3, [ (0, 1, Rat.one); (1, 2, Rat.one) ],
+              [ ([| (0, 2) |], Rat.one) ]) in
+  let cost_changed = (Graph.Undirected, 3, [ (0, 1, Rat.of_ints 1 2); (1, 2, Rat.one) ],
+                      [ ([| (0, 2) |], Rat.one) ]) in
+  let kind_changed = (Graph.Directed, 3, [ (0, 1, Rat.one); (1, 2, Rat.one) ],
+                      [ ([| (0, 2) |], Rat.one) ]) in
+  let prior_changed = (Graph.Undirected, 3, [ (0, 1, Rat.one); (1, 2, Rat.one) ],
+                       [ ([| (0, 1) |], Rat.one) ]) in
+  let fp = fingerprint_of base in
+  Alcotest.(check bool) "cost matters" true (fp <> fingerprint_of cost_changed);
+  Alcotest.(check bool) "kind matters" true (fp <> fingerprint_of kind_changed);
+  Alcotest.(check bool) "prior matters" true (fp <> fingerprint_of prior_changed)
+
+(* --- codec round-trips ----------------------------------------------- *)
+
+let prop_rat_roundtrip =
+  QCheck2.Test.make ~name:"rational json roundtrip" ~count:500
+    QCheck2.Gen.(pair (int_range (-500) 500) (int_range 1 400))
+    (fun (n, d) ->
+      let r = Rat.of_ints n d in
+      match Codec.rat_of_json (Codec.rat_to_json r) with
+      | Ok r' -> Rat.equal r r'
+      | Error _ -> false)
+
+let test_ext_roundtrip () =
+  List.iter
+    (fun e ->
+      match Codec.ext_of_json (Codec.ext_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "ext roundtrip" true (Extended.equal e e')
+      | Error msg -> Alcotest.fail msg)
+    [ Extended.Inf; Extended.of_int 0; Extended.Fin (Rat.of_ints (-7) 3) ]
+
+let test_analysis_roundtrip () =
+  match Bi_constructions.Registry.build "gworst-bliss" 3 with
+  | Error e -> Alcotest.fail e
+  | Ok game ->
+    let a = Bncs.analyze game in
+    let j = Codec.analysis_to_json a in
+    (match Codec.analysis_of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok a' ->
+      Alcotest.(check bool) "report survives" true
+        (a.Bncs.report = a'.Bncs.report);
+      Alcotest.(check bool) "witnesses survive" true
+        (a.Bncs.opt_p_witness = a'.Bncs.opt_p_witness
+        && a.Bncs.best_eq_p_witness = a'.Bncs.best_eq_p_witness
+        && a.Bncs.worst_eq_p_witness = a'.Bncs.worst_eq_p_witness);
+      (* Byte-identical re-rendering: the store checksum depends on it. *)
+      Alcotest.(check string) "canonical rendering" (Sink.to_string j)
+        (Sink.to_string (Codec.analysis_to_json a')))
+
+let prop_game_roundtrip =
+  QCheck2.Test.make ~name:"game description json roundtrip" ~count:200
+    gen_description
+    (fun d ->
+      let graph, prior = build d in
+      match Codec.game_of_json (Codec.game_to_json graph ~prior) with
+      | Error _ -> false
+      | Ok (graph', prior') ->
+        Fingerprint.game graph ~prior = Fingerprint.game graph' ~prior:prior')
+
+let test_game_of_json_rejects () =
+  List.iter
+    (fun s ->
+      match Result.bind (Sink.of_string s) Codec.game_of_json with
+      | Ok _ -> Alcotest.failf "accepted invalid description %s" s
+      | Error _ -> ())
+    [
+      {|{"kind":"sideways","n":2,"edges":[],"prior":[]}|};
+      {|{"kind":"directed","n":2,"edges":[[0,5,"1"]],"prior":[{"types":[[0,1]],"weight":"1"}]}|};
+      {|{"kind":"directed","n":2,"edges":[[0,1,"1/0"]],"prior":[{"types":[[0,1]],"weight":"1"}]}|};
+      {|{"kind":"directed","n":2,"edges":[[0,1,"1"]],"prior":[]}|};
+    ]
+
+(* --- LRU -------------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let lru = Lru.create ~capacity:3 in
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  Lru.add lru "c" 3;
+  (* Touch "a" so "b" becomes the eviction victim. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find lru "a");
+  Lru.add lru "d" 4;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find lru "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find lru "a");
+  Alcotest.(check int) "evictions counted" 1 (Lru.evictions lru);
+  (* Replacement does not grow the map or evict. *)
+  Lru.add lru "c" 30;
+  Alcotest.(check int) "length stable" 3 (Lru.length lru);
+  Alcotest.(check (option int)) "replaced" (Some 30) (Lru.find lru "c");
+  (* mem does not touch recency: "d" stays the victim after mem "d". *)
+  ignore (Lru.find lru "a");
+  ignore (Lru.find lru "c");
+  Alcotest.(check bool) "mem" true (Lru.mem lru "d");
+  Lru.add lru "e" 5;
+  Alcotest.(check (option int)) "mem did not refresh d" None (Lru.find lru "d")
+
+let test_lru_fold_mru_first () =
+  let lru = Lru.create ~capacity:4 in
+  List.iter (fun (k, v) -> Lru.add lru k v)
+    [ ("a", 1); ("b", 2); ("c", 3) ];
+  let keys = List.rev (Lru.fold (fun acc k _ -> k :: acc) [] lru) in
+  Alcotest.(check (list string)) "mru order" [ "c"; "b"; "a" ] keys;
+  Alcotest.check_raises "capacity >= 1" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Lru.create ~capacity:0))
+
+(* --- store ------------------------------------------------------------ *)
+
+let test_store_roundtrip_and_corruption () =
+  let path = Filename.temp_file "bi_store" ".jsonl" in
+  let store = Store.open_append path in
+  let entries =
+    [
+      { Store.key = "k1"; kind = "payload"; body = Sink.Str "v1" };
+      { Store.key = "k2"; kind = "analysis"; body = Sink.Obj [ ("x", Sink.Int 1) ] };
+      { Store.key = "k1"; kind = "payload"; body = Sink.Str "v1-superseded" };
+    ]
+  in
+  List.iter (Store.append store) entries;
+  Store.close store;
+  let replayed, invalid = Store.load path in
+  Alcotest.(check int) "all entries replay" 3 (List.length replayed);
+  Alcotest.(check int) "no invalid lines" 0 invalid;
+  Alcotest.(check bool) "append order preserved" true
+    (List.map (fun e -> e.Store.body) replayed
+    = List.map (fun e -> e.Store.body) entries);
+  (* Corrupt the middle entry's checksum, append garbage and a torn
+     line: replay keeps the good entries and counts the rest. *)
+  let replace_once ~sub ~by s =
+    let n = String.length s and m = String.length sub in
+    let rec at i =
+      if i + m > n then s
+      else if String.sub s i m = sub then
+        String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+      else at (i + 1)
+    in
+    at 0
+  in
+  let lines = List.map Store.entry_to_line entries in
+  let oc = open_out path in
+  List.iteri
+    (fun i line ->
+      let line =
+        if i = 1 then replace_once ~sub:{|"x":1|} ~by:{|"x":2|} line else line
+      in
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  output_string oc "not json at all\n";
+  output_string oc "{\"record\":\"entry\",\"key\":\"torn";
+  close_out oc;
+  let replayed, invalid = Store.load path in
+  Alcotest.(check int) "good entries survive" 2 (List.length replayed);
+  Alcotest.(check int) "tampered + garbage + torn counted" 3 invalid;
+  Sys.remove path
+
+let test_store_missing_file () =
+  let replayed, invalid = Store.load "/nonexistent/bi_store.jsonl" in
+  Alcotest.(check int) "empty" 0 (List.length replayed);
+  Alcotest.(check int) "no invalid" 0 invalid
+
+(* --- service ---------------------------------------------------------- *)
+
+let test_service_miss_then_hit () =
+  let s = Service.create ~capacity:8 () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    Sink.Int 42
+  in
+  let v1, hit1 = Service.payload s "fp1/q" compute in
+  let v2, hit2 = Service.payload s "fp1/q" compute in
+  Alcotest.(check bool) "first is a miss" false hit1;
+  Alcotest.(check bool) "second is a hit" true hit2;
+  Alcotest.(check bool) "same value" true (v1 = v2);
+  Alcotest.(check int) "computed once" 1 !calls;
+  let st = Service.stats s in
+  Alcotest.(check int) "hits" 1 st.Service.hits;
+  Alcotest.(check int) "misses" 1 st.Service.misses;
+  Service.close s
+
+let test_service_restart_from_store () =
+  let path = Filename.temp_file "bi_service" ".jsonl" in
+  Sys.remove path;
+  let game =
+    match Bi_constructions.Registry.build "gworst-curse" 3 with
+    | Ok g -> g
+    | Error e -> Alcotest.fail e
+  in
+  let fp = Fingerprint.of_game game in
+  let s1 = Service.create ~store_path:path () in
+  let a1, hit1 = Service.analysis s1 fp (fun () -> Bncs.analyze game) in
+  Alcotest.(check bool) "cold miss" false hit1;
+  Service.close s1;
+  (* A fresh service over the same store must answer from the replayed
+     entry: the thunk proves it is never called. *)
+  let s2 = Service.create ~store_path:path () in
+  Alcotest.(check int) "entry replayed" 1 (Service.stats s2).Service.loaded;
+  let a2, hit2 = Service.analysis s2 fp (fun () -> Alcotest.fail "recomputed") in
+  Alcotest.(check bool) "warm hit" true hit2;
+  Alcotest.(check bool) "identical report" true (a1.Bncs.report = a2.Bncs.report);
+  Alcotest.(check bool) "identical witnesses" true
+    (a1.Bncs.opt_p_witness = a2.Bncs.opt_p_witness);
+  Service.close s2;
+  Sys.remove path
+
+let test_service_lru_bounds_memory () =
+  let s = Service.create ~capacity:2 () in
+  ignore (Service.payload s "a" (fun () -> Sink.Int 1));
+  ignore (Service.payload s "b" (fun () -> Sink.Int 2));
+  ignore (Service.payload s "c" (fun () -> Sink.Int 3));
+  let st = Service.stats s in
+  Alcotest.(check int) "capacity respected" 2 st.Service.length;
+  Alcotest.(check int) "eviction counted" 1 st.Service.evictions;
+  Alcotest.(check (option string)) "oldest evicted" None
+    (Option.map (fun _ -> "present") (Service.find s "a"));
+  Service.close s
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_edge_order_irrelevant; prop_support_order_irrelevant;
+      prop_unreduced_rationals_irrelevant; prop_weight_scaling_irrelevant;
+      prop_undirected_endpoint_order_irrelevant; prop_rat_roundtrip;
+      prop_game_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "bi_cache"
+    [
+      ("fingerprint-canonicality", qtests);
+      ( "fingerprint-corpus",
+        [
+          Alcotest.test_case "paper corpus never collides" `Quick
+            test_corpus_no_collisions;
+          Alcotest.test_case "semantic changes change the fingerprint" `Quick
+            test_fingerprint_distinguishes;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "extended values" `Quick test_ext_roundtrip;
+          Alcotest.test_case "full analysis" `Quick test_analysis_roundtrip;
+          Alcotest.test_case "invalid descriptions rejected" `Quick
+            test_game_of_json_rejects;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "fold order and capacity" `Quick
+            test_lru_fold_mru_first;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip, tampering, torn tail" `Quick
+            test_store_roundtrip_and_corruption;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_store_missing_file;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_service_miss_then_hit;
+          Alcotest.test_case "restart answers from store" `Quick
+            test_service_restart_from_store;
+          Alcotest.test_case "lru bounds memory" `Quick
+            test_service_lru_bounds_memory;
+        ] );
+    ]

@@ -271,6 +271,111 @@ let test_pool_nested_and_empty () =
       Alcotest.(check bool) "nested result" true
         (out = Array.init 8 (fun i -> (i * 50) + 10)))
 
+(* --- (e) JSON parser round-trip and concurrent emit ------------------ *)
+
+(* Generator for parser-exact values: no floats (the renderer collapses
+   non-finite floats to null and shortest-form printing is not what the
+   parser checks), strings over arbitrary bytes. *)
+let gen_json =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 4) (fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Sink.Null;
+            map (fun b -> Sink.Bool b) bool;
+            map (fun i -> Sink.Int i) (int_range (-1_000_000) 1_000_000);
+            map (fun s -> Sink.Str s) (string_size (int_range 0 12));
+          ]
+      in
+      if n = 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun xs -> Sink.List xs) (list_size (int_range 0 4) (self (n - 1)));
+            map
+              (fun kvs -> Sink.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size (int_range 0 8)) (self (n - 1))));
+          ]))
+
+(* Structural equality is too strict for round-trips only when objects
+   hold duplicate keys (last-one-wins on parse is fine to rule out by
+   re-rendering): compare rendered forms instead. *)
+let prop_parse_print_roundtrip =
+  QCheck2.Test.make ~name:"of_string inverts to_string" ~count:1000 gen_json
+    (fun j ->
+      match Sink.of_string (Sink.to_string j) with
+      | Ok j' -> Sink.to_string j = Sink.to_string j'
+      | Error _ -> false)
+
+let test_parser_rejects () =
+  List.iter
+    (fun s ->
+      match Sink.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "tru"; "\"unterminated";
+      "1 2"; "{\"a\":1}garbage"; "\"bad \\q escape\""; "nulll";
+    ]
+
+let test_parser_accepts_edge_cases () =
+  List.iter
+    (fun (s, expect) ->
+      match Sink.of_string s with
+      | Ok j -> Alcotest.(check string) s expect (Sink.to_string j)
+      | Error e -> Alcotest.failf "parser rejected %S: %s" s e)
+    [
+      ("  {  } ", "{}");
+      ("[ ]", "[]");
+      ("-0.5e1", "-5");
+      ({|"Aé"|}, {|"Aé"|});
+      ({|{"a":[1,{"b":null}]}|}, {|{"a":[1,{"b":null}]}|});
+    ]
+
+(* The concurrency guarantee of Sink.emit: lines from racing domains
+   never interleave mid-line — every line of the file parses and the
+   count matches. *)
+let test_sink_concurrent_emit () =
+  let path = Filename.temp_file "bi_sink_par" ".json" in
+  let sink = Sink.create path in
+  let domains = 4 and lines_per_domain = 200 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to lines_per_domain - 1 do
+              Sink.emit sink
+                [
+                  ("record", Sink.Str "row");
+                  ("domain", Sink.Int d);
+                  ("i", Sink.Int i);
+                  ("payload", Sink.Str (String.make (8 + ((d + i) mod 32)) 'x'));
+                ]
+            done))
+  in
+  List.iter Domain.join spawned;
+  Sink.close sink;
+  let ic = open_in path in
+  let count = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr count;
+       match Sink.of_string line with
+       | Ok (Sink.Obj _) -> ()
+       | Ok _ -> Alcotest.fail "line is not an object"
+       | Error e -> Alcotest.failf "torn line: %s" e
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "every emit produced exactly one line"
+    (domains * lines_per_domain) !count;
+  Sys.remove path
+
+let parser_qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_parse_print_roundtrip ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -295,7 +400,14 @@ let () =
         [
           Alcotest.test_case "escape round-trips" `Quick test_json_escape_round_trip;
           Alcotest.test_case "rendering and line records" `Quick test_json_to_string;
-        ] );
+          Alcotest.test_case "parser rejects malformed input" `Quick
+            test_parser_rejects;
+          Alcotest.test_case "parser accepts edge cases" `Quick
+            test_parser_accepts_edge_cases;
+          Alcotest.test_case "concurrent emit keeps lines whole" `Quick
+            test_sink_concurrent_emit;
+        ]
+        @ parser_qtests );
       ( "pool",
         [
           Alcotest.test_case "exceptions propagate, pool survives" `Quick

@@ -1,0 +1,245 @@
+(* The analysis server: protocol parsing, metrics accounting, and an
+   end-to-end exercise over a real Unix-domain socket — duplicate
+   request answered from cache, inline analyze, error paths, shutdown,
+   and a restart that answers from the persisted store. *)
+
+open Bi_num
+module Graph = Bi_graph.Graph
+module Dist = Bi_prob.Dist
+module Sink = Bi_engine.Sink
+module Codec = Bi_cache.Codec
+module Service = Bi_cache.Service
+module Protocol = Bi_serve.Protocol
+module Metrics = Bi_serve.Metrics
+module Server = Bi_serve.Server
+module Client = Bi_serve.Client
+
+(* --- protocol --------------------------------------------------------- *)
+
+let test_parse_requests () =
+  (match Protocol.parse_request {|{"op":"construction","name":"diamond","k":2}|} with
+  | Ok (Protocol.Construction { name = "diamond"; k = 2 }) -> ()
+  | _ -> Alcotest.fail "construction request");
+  (match Protocol.parse_request {|{"op":"construction","name":"affine"}|} with
+  | Ok (Protocol.Construction { name = "affine"; k }) ->
+    Alcotest.(check int) "default k" Protocol.default_k k
+  | _ -> Alcotest.fail "construction default k");
+  (match Protocol.parse_request {|{"op":"stats"}|} with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats request");
+  (match Protocol.parse_request {|{"op":"shutdown"}|} with
+  | Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown request");
+  let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one) ] in
+  let prior = Dist.uniform [ [| (0, 1) |] ] in
+  let line = Sink.to_string (Protocol.analyze_request graph ~prior) in
+  (match Protocol.parse_request line with
+  | Ok (Protocol.Analyze (graph', prior')) ->
+    Alcotest.(check string) "analyze round-trips the game"
+      (Bi_cache.Fingerprint.game graph ~prior)
+      (Bi_cache.Fingerprint.game graph' ~prior:prior')
+  | _ -> Alcotest.fail "analyze request");
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" bad)
+    [
+      "not json"; {|{"op":"frobnicate"}|}; {|{"noop":1}|};
+      {|{"op":"analyze"}|}; {|{"op":"construction","k":3}|};
+      {|{"op":"construction","name":"diamond","k":"big"}|};
+    ]
+
+let test_metrics_accounting () =
+  let m = Metrics.create () in
+  Metrics.request m;
+  Metrics.enter m;
+  Metrics.enter m;
+  Metrics.hit m;
+  Metrics.miss m;
+  Metrics.coalesce m;
+  Metrics.leave m ~seconds:0.000003;
+  Metrics.leave m ~seconds:0.1;
+  Metrics.error m;
+  let j = Metrics.to_json m in
+  let get k = match Sink.member k j with Some (Sink.Int n) -> n | _ -> -1 in
+  Alcotest.(check int) "requests" 1 (get "requests");
+  Alcotest.(check int) "errors" 1 (get "errors");
+  Alcotest.(check int) "hits include coalesced" 2 (get "hits");
+  Alcotest.(check int) "misses" 1 (get "misses");
+  Alcotest.(check int) "coalesced" 1 (get "coalesced");
+  Alcotest.(check int) "gauge back to zero" 0 (get "queue_depth");
+  Alcotest.(check int) "high-water mark" 2 (get "max_queue_depth");
+  match Sink.member "latency_log2_us" j with
+  | Some (Sink.List buckets) ->
+    let count =
+      List.fold_left
+        (fun acc b ->
+          match Sink.member "count" b with Some (Sink.Int c) -> acc + c | _ -> acc)
+        0 buckets
+    in
+    Alcotest.(check int) "both latencies bucketed" 2 count
+  | _ -> Alcotest.fail "histogram missing"
+
+(* --- end-to-end over a Unix socket ------------------------------------ *)
+
+let with_server ?store_path f =
+  let dir = Filename.temp_file "bi_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "bi.sock" in
+  let metrics_out = Filename.concat dir "metrics.json" in
+  let cache = Service.create ?store_path () in
+  let ready = Mutex.create () and readied = Condition.create () in
+  let is_ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.run ~metrics_out
+          ~on_ready:(fun () ->
+            Mutex.lock ready;
+            is_ready := true;
+            Condition.signal readied;
+            Mutex.unlock ready)
+          ~cache (Server.Unix_socket socket))
+      ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait readied ready
+  done;
+  Mutex.unlock ready;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Idempotent: the test body normally already shut the server down. *)
+      (try
+         let c = Client.connect_unix socket in
+         ignore (Client.request c Protocol.shutdown_request);
+         Client.close c
+       with Unix.Unix_error _ -> ());
+      Thread.join server;
+      Service.close cache)
+    (fun () -> f ~socket ~metrics_out)
+
+let get_bool key j =
+  match Sink.member key j with Some (Sink.Bool b) -> Some b | _ -> None
+
+let request_ok client req =
+  match Client.request client req with
+  | Error e -> Alcotest.fail e
+  | Ok resp ->
+    Alcotest.(check bool) "response ok" true (Protocol.is_ok resp);
+    resp
+
+let test_end_to_end () =
+  let store_path = Filename.temp_file "bi_serve_store" ".jsonl" in
+  Sys.remove store_path;
+  with_server ~store_path (fun ~socket ~metrics_out:_ ->
+      (* Two clients, same construction: the second answer must come
+         from the cache with an identical analysis. *)
+      let c1 = Client.connect_unix socket in
+      let c2 = Client.connect_unix socket in
+      let req = Protocol.construction_request ~name:"gworst-bliss" ~k:3 in
+      let r1 = request_ok c1 req in
+      let r2 = request_ok c2 req in
+      Alcotest.(check (option bool)) "first computes" (Some false)
+        (get_bool "cached" r1);
+      Alcotest.(check (option bool)) "duplicate served from cache" (Some true)
+        (get_bool "cached" r2);
+      Alcotest.(check string) "identical analysis"
+        (Sink.to_string (Option.get (Sink.member "analysis" r1)))
+        (Sink.to_string (Option.get (Sink.member "analysis" r2)));
+      (* An inline game analyzed through the same cache. *)
+      let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one) ] in
+      let prior = Dist.uniform [ [| (0, 1) |] ] in
+      let r3 = request_ok c1 (Protocol.analyze_request graph ~prior) in
+      (match Sink.member "analysis" r3 with
+      | Some a -> (
+        match Result.bind (Ok a) Codec.analysis_of_json with
+        | Ok a ->
+          Alcotest.(check bool) "opt_p of the one-edge game" true
+            (Extended.equal a.Bi_ncs.Bayesian_ncs.report.Bi_bayes.Measures.opt_p
+               (Extended.of_int 1))
+        | Error e -> Alcotest.fail e)
+      | None -> Alcotest.fail "analysis missing");
+      (* Unknown construction and protocol errors are reported, not fatal. *)
+      (match
+         Client.request c2 (Protocol.construction_request ~name:"nope" ~k:1)
+       with
+      | Ok resp -> Alcotest.(check bool) "error response" false (Protocol.is_ok resp)
+      | Error e -> Alcotest.fail e);
+      (* Stats must show the duplicate as a hit. *)
+      let stats = request_ok c1 Protocol.stats_request in
+      let hits =
+        match
+          Option.bind (Sink.member "server" stats) (Sink.member "hits")
+        with
+        | Some (Sink.Int n) -> n
+        | _ -> -1
+      in
+      Alcotest.(check bool) "hit counter >= 1" true (hits >= 1);
+      Client.close c2;
+      (* Graceful shutdown dumps metrics. *)
+      let bye = request_ok c1 Protocol.shutdown_request in
+      Alcotest.(check (option bool)) "stopping" (Some true)
+        (get_bool "stopping" bye);
+      Client.close c1);
+  Alcotest.(check bool) "store persisted" true (Sys.file_exists store_path);
+  (* A new server over the same store answers the same construction from
+     the replayed cache on its very first request. *)
+  with_server ~store_path (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      let r =
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:3)
+      in
+      Alcotest.(check (option bool)) "first request already cached" (Some true)
+        (get_bool "cached" r);
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c);
+  Sys.remove store_path
+
+let test_metrics_dump () =
+  with_server (fun ~socket ~metrics_out ->
+      let c = Client.connect_unix socket in
+      ignore (request_ok c (Protocol.construction_request ~name:"gworst-curse" ~k:3));
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c;
+      (* run returns after the dump; wait for the server thread via the
+         with_server finally, then check from there.  The file is
+         written before [Server.run] returns, so after the joined
+         shutdown it must parse. *)
+      let rec wait tries =
+        if Sys.file_exists metrics_out then ()
+        else if tries = 0 then Alcotest.fail "metrics dump missing"
+        else begin
+          Thread.delay 0.05;
+          wait (tries - 1)
+        end
+      in
+      wait 100;
+      let ic = open_in metrics_out in
+      let line = input_line ic in
+      close_in ic;
+      match Sink.of_string line with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+        Alcotest.(check bool) "has server section" true
+          (Sink.member "server" j <> None);
+        Alcotest.(check bool) "has cache section" true
+          (Sink.member "cache" j <> None))
+
+let () =
+  Alcotest.run "bi_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request parsing" `Quick test_parse_requests;
+          Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end over a unix socket" `Quick
+            test_end_to_end;
+          Alcotest.test_case "metrics dump on shutdown" `Quick test_metrics_dump;
+        ] );
+    ]
