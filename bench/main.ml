@@ -94,8 +94,10 @@ let () =
   Option.iter
     (fun c ->
       let s = Cache.Service.stats c in
-      Printf.printf "[cache: %s; %d entries replayed, %d invalid]\n\n"
-        (Option.get cache_path) s.Cache.Service.loaded s.Cache.Service.invalid)
+      Printf.printf
+        "[cache: %s; %d entries replayed, %d invalid, %d quarantined]\n\n"
+        (Option.get cache_path) s.Cache.Service.loaded s.Cache.Service.invalid
+        s.Cache.Service.quarantined)
     cache;
   Sink.emit sink
     [

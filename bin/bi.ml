@@ -157,39 +157,102 @@ let plane p =
 
 let default_socket = "bi.sock"
 
-let serve socket tcp cache_path capacity metrics_out jobs =
-  let listen =
-    match tcp with
-    | Some port -> Serve.Server.Tcp port
-    | None -> Serve.Server.Unix_socket socket
+let serve socket tcp cache_path capacity metrics_out jobs deadline
+    max_concurrent max_queue idle_timeout chaos_spec =
+  let chaos_cfg =
+    match chaos_spec with
+    | Some spec -> Serve.Chaos.parse spec
+    | None -> Serve.Chaos.of_env ()
   in
-  let cache = Cache.Service.create ~capacity ?store_path:cache_path () in
-  let stats0 = Cache.Service.stats cache in
-  Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
-      (match listen with
-      | Serve.Server.Unix_socket path ->
-        Printf.printf "bi serve: unix socket %s" path
-      | Serve.Server.Tcp port -> Printf.printf "bi serve: tcp 127.0.0.1:%d" port);
-      if stats0.Cache.Service.loaded > 0 || stats0.Cache.Service.invalid > 0 then
-        Printf.printf " (store: %d entries replayed, %d invalid)"
-          stats0.Cache.Service.loaded stats0.Cache.Service.invalid;
-      print_newline ();
-      flush stdout;
-      Serve.Server.run ~pool ~metrics_out ~cache listen);
-  Cache.Service.close cache;
-  Printf.printf "bi serve: stopped; metrics in %s\n" metrics_out;
-  0
+  match chaos_cfg with
+  | Error e ->
+    Printf.eprintf "error: chaos spec: %s\n" e;
+    2
+  | Ok cfg -> (
+    let chaos =
+      if Serve.Chaos.is_enabled cfg then Some (Serve.Chaos.create cfg) else None
+    in
+    let limits =
+      {
+        Serve.Server.max_concurrent;
+        max_queue;
+        idle_timeout_s = idle_timeout;
+        max_deadline_ms = deadline;
+      }
+    in
+    let listen =
+      match tcp with
+      | Some port -> Serve.Server.Tcp port
+      | None -> Serve.Server.Unix_socket socket
+    in
+    let cache = Cache.Service.create ~capacity ?store_path:cache_path () in
+    let stats0 = Cache.Service.stats cache in
+    match
+      Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
+          (* The banner doubles as the readiness signal for scripts
+             tailing our output, so print it only once the listener is
+             actually accepting. *)
+          let on_ready () =
+            (match listen with
+            | Serve.Server.Unix_socket path ->
+              Printf.printf "bi serve: unix socket %s" path
+            | Serve.Server.Tcp port ->
+              Printf.printf "bi serve: tcp 127.0.0.1:%d" port);
+            if
+              stats0.Cache.Service.loaded > 0
+              || stats0.Cache.Service.invalid > 0
+              || stats0.Cache.Service.quarantined > 0
+            then
+              Printf.printf
+                " (store: %d entries replayed, %d invalid, %d quarantined)"
+                stats0.Cache.Service.loaded stats0.Cache.Service.invalid
+                stats0.Cache.Service.quarantined;
+            if chaos <> None then Printf.printf " (chaos on)";
+            print_newline ();
+            flush stdout
+          in
+          Serve.Server.run ~pool ~metrics_out ~on_ready ~limits ?chaos ~cache
+            listen)
+    with
+    | () ->
+      Cache.Service.close cache;
+      Printf.printf "bi serve: stopped; metrics in %s\n" metrics_out;
+      0
+    | exception Failure msg ->
+      Cache.Service.close cache;
+      Printf.eprintf "error: %s\n" msg;
+      1)
 
-let query socket tcp verb name k =
+let retry_of ~retries ~retry_base_ms ~seed =
+  if retries <= 0 then None
+  else
+    Some
+      {
+        Serve.Client.default_retry with
+        attempts = retries;
+        base_delay_ms = retry_base_ms;
+        seed;
+      }
+
+let query socket tcp verb name k deadline retries retry_base_ms =
+  let deadline_field =
+    match deadline with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Sink.Int ms) ]
+  in
   let request =
     match verb with
     | "construction" -> (
       match name with
-      | Some name -> Ok (Serve.Protocol.construction_request ~name ~k)
+      | Some name ->
+        Ok (Serve.Protocol.construction_request ?deadline_ms:deadline ~name ~k ())
       | None -> Error "query construction: NAME argument required")
     | "analyze" -> (
       match Sink.of_string (In_channel.input_all stdin) with
-      | Ok game -> Ok (Sink.Obj [ ("op", Str "analyze"); ("game", game) ])
+      | Ok game ->
+        Ok
+          (Sink.Obj
+             ([ ("op", Sink.Str "analyze"); ("game", game) ] @ deadline_field))
       | Error e -> Error (Printf.sprintf "game description on stdin: %s" e))
     | "stats" -> Ok Serve.Protocol.stats_request
     | "shutdown" -> Ok Serve.Protocol.shutdown_request
@@ -213,15 +276,181 @@ let query socket tcp verb name k =
         (Unix.error_message err);
       1
     | client -> (
-      let response = Serve.Client.request client request in
+      let retry = retry_of ~retries ~retry_base_ms ~seed:0 in
+      let response = Serve.Client.request ?retry client request in
       Serve.Client.close client;
       match response with
-      | Error e ->
-        Printf.eprintf "error: %s\n" e;
+      | Error f ->
+        Printf.eprintf "error: %s\n" (Serve.Client.failure_to_string f);
         1
       | Ok response ->
         print_endline (Sink.to_string response);
         if Serve.Protocol.is_ok response then 0 else 1))
+
+(* --- chaos soak --- *)
+
+(* Per-worker outcome counts; summed after the join, so no locking. *)
+type soak_tally = {
+  mutable sent : int;
+  mutable answered : int;  (* ok responses *)
+  mutable server_error : int;  (* structured "error" responses *)
+  mutable shed : int;  (* final response was overloaded *)
+  mutable expired : int;  (* final response was deadline_exceeded *)
+  mutable torn : int;  (* raw probe hit an injected transport fault *)
+  mutable io_unresolved : int;  (* retries exhausted without a response *)
+  mutable malformed : int;  (* server spoke non-protocol — must stay 0 *)
+}
+
+let new_tally () =
+  {
+    sent = 0;
+    answered = 0;
+    server_error = 0;
+    shed = 0;
+    expired = 0;
+    torn = 0;
+    io_unresolved = 0;
+    malformed = 0;
+  }
+
+let garbage_probes =
+  [|
+    "{\"op\": \"analyze\", garbage";
+    "]]]]";
+    "{\"op\": 42}";
+    "{\"op\": \"construction\", \"name\": 7}";
+    String.make 4096 '[';
+  |]
+
+(* One soak worker: a deterministic stream of requests — cached and
+   uncached constructions, stats, unknown names, deadline-doomed
+   requests and raw garbage — against a retrying client that must end
+   every exchange in a valid answer or a structured error. *)
+let soak_worker ~connect ~stop_at ~seed ~retries tally =
+  let retry = { Serve.Client.default_retry with attempts = max 1 retries; seed } in
+  let counter = ref 0 in
+  let draw () =
+    let u = Serve.Chaos.unit_float ~seed ~counter:!counter in
+    incr counter;
+    u
+  in
+  let rec connect_retrying attempts =
+    match connect () with
+    | client -> client
+    | exception Unix.Unix_error (err, _, _) when attempts > 1 ->
+      ignore err;
+      Thread.delay 0.1;
+      connect_retrying (attempts - 1)
+  in
+  let client = ref (connect_retrying 20) in
+  let fresh () =
+    Serve.Client.close !client;
+    client := connect_retrying 20
+  in
+  let classify = function
+    | Ok resp -> (
+      match Serve.Protocol.response_code resp with
+      | Some "ok" -> tally.answered <- tally.answered + 1
+      | Some "overloaded" -> tally.shed <- tally.shed + 1
+      | Some "deadline_exceeded" -> tally.expired <- tally.expired + 1
+      | Some _ -> tally.server_error <- tally.server_error + 1
+      | None -> tally.malformed <- tally.malformed + 1)
+    | Error (Serve.Client.Io _) ->
+      tally.io_unresolved <- tally.io_unresolved + 1
+    | Error (Serve.Client.Malformed _) -> tally.malformed <- tally.malformed + 1
+    | Error Serve.Client.Closed ->
+      tally.io_unresolved <- tally.io_unresolved + 1
+  in
+  while Unix.gettimeofday () < stop_at do
+    let u = draw () in
+    tally.sent <- tally.sent + 1;
+    if u < 0.55 then begin
+      let name = if draw () < 0.5 then "gworst-bliss" else "gworst-curse" in
+      let k = if draw () < 0.5 then 2 else 3 in
+      let deadline_ms = if draw () < 0.15 then Some 1 else None in
+      classify
+        (Serve.Client.request ~retry !client
+           (Serve.Protocol.construction_request ?deadline_ms ~name ~k ()))
+    end
+    else if u < 0.7 then
+      classify (Serve.Client.request ~retry !client Serve.Protocol.stats_request)
+    else if u < 0.85 then
+      classify
+        (Serve.Client.request ~retry !client
+           (Serve.Protocol.construction_request ~name:"no-such-family" ~k:2 ()))
+    else begin
+      (* Raw garbage probe, no retry: the server must answer a parseable
+         structured error and keep the connection usable — unless a
+         transport fault tore the exchange, which we count separately
+         and recover from by reconnecting. *)
+      let probe =
+        garbage_probes.(int_of_float (draw () *. float_of_int (Array.length garbage_probes)))
+      in
+      match Serve.Client.raw_request !client probe with
+      | Ok line -> (
+        match Sink.of_string line with
+        | Ok resp -> (
+          match Serve.Protocol.response_code resp with
+          | Some _ -> tally.server_error <- tally.server_error + 1
+          | None -> tally.malformed <- tally.malformed + 1)
+        | Error _ ->
+          tally.torn <- tally.torn + 1;
+          fresh ())
+      | Error Serve.Client.Closed ->
+        tally.sent <- tally.sent - 1;
+        fresh ()
+      | Error _ ->
+        tally.torn <- tally.torn + 1;
+        fresh ()
+    end
+  done;
+  Serve.Client.close !client
+
+let chaos_soak socket tcp clients seconds retries seed =
+  let connect () =
+    match tcp with
+    | Some port -> Serve.Client.connect_tcp ~timeout_s:30. port
+    | None -> Serve.Client.connect_unix ~timeout_s:30. socket
+  in
+  let stop_at = Unix.gettimeofday () +. float_of_int seconds in
+  let tallies = Array.init clients (fun _ -> new_tally ()) in
+  let workers =
+    Array.mapi
+      (fun i tally ->
+        Thread.create
+          (fun () ->
+            soak_worker ~connect ~stop_at ~seed:(seed + (7919 * (i + 1)))
+              ~retries tally)
+          ())
+      tallies
+  in
+  Array.iter Thread.join workers;
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let sent = sum (fun t -> t.sent)
+  and answered = sum (fun t -> t.answered)
+  and server_error = sum (fun t -> t.server_error)
+  and shed = sum (fun t -> t.shed)
+  and expired = sum (fun t -> t.expired)
+  and torn = sum (fun t -> t.torn)
+  and io_unresolved = sum (fun t -> t.io_unresolved)
+  and malformed = sum (fun t -> t.malformed) in
+  print_endline
+    (Sink.to_string
+       (Sink.Obj
+          [
+            ("record", Str "chaos_soak");
+            ("clients", Int clients);
+            ("seconds", Int seconds);
+            ("sent", Int sent);
+            ("answered", Int answered);
+            ("server_error", Int server_error);
+            ("overloaded", Int shed);
+            ("deadline_exceeded", Int expired);
+            ("torn", Int torn);
+            ("io_unresolved", Int io_unresolved);
+            ("malformed", Int malformed);
+          ]));
+  if malformed = 0 && io_unresolved = 0 && sent > 0 then 0 else 1
 
 (* --- cmdliner wiring --- *)
 
@@ -314,6 +543,23 @@ let plane_cmd =
     (Cmd.info "plane" ~doc:"Affine-plane incidence sanity check")
     Term.(const plane $ p)
 
+let retries_arg default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts per request: transport failures and overload \
+           responses are retried with capped exponential backoff and \
+           deterministic jitter. 0 disables retrying.")
+
+let retry_base_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "retry-base-ms" ] ~docv:"MS"
+        ~doc:"First retry backoff; doubles per attempt, capped at 2 s.")
+
 let serve_cmd =
   let capacity =
     Arg.(
@@ -328,12 +574,58 @@ let serve_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"File receiving the final metrics dump on shutdown.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock budget: caps any $(b,deadline_ms) a \
+             request carries and applies to requests that carry none. \
+             Expired requests get a structured $(b,deadline_exceeded) \
+             response. 0 means unlimited.")
+  in
+  let max_concurrent =
+    Arg.(
+      value
+      & opt int Serve.Server.default_limits.Serve.Server.max_concurrent
+      & info [ "max-concurrent" ] ~docv:"N"
+          ~doc:"Analyses computing at once; further ones queue.")
+  in
+  let max_queue =
+    Arg.(
+      value
+      & opt int Serve.Server.default_limits.Serve.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Queued analyses beyond which requests are shed immediately \
+             with a structured $(b,overloaded) response.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections idle for this long. 0 disables.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             $(b,seed=1,delay_p=0.2,delay_ms=40,drop_p=0.05,truncate_p=0.05,corrupt_store_p=0.1). \
+             Defaults to the $(b,BI_CHAOS) environment variable. Never use \
+             in production.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Analysis server: cached exact ignorance measures over a socket")
     Term.(
       const serve $ socket_arg $ tcp_arg $ cache_arg $ capacity $ metrics_out
-      $ jobs_arg)
+      $ jobs_arg $ deadline $ max_concurrent $ max_queue $ idle_timeout
+      $ chaos)
 
 let query_cmd =
   let verb_arg =
@@ -351,11 +643,50 @@ let query_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"NAME" ~doc:"Construction name for the construction verb.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Attach a $(b,deadline_ms) budget: the server answers \
+             $(b,deadline_exceeded) instead of running past it.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Send one request to a running analysis server")
     Term.(
       const query $ socket_arg $ tcp_arg $ verb_arg $ name_arg
-      $ k_arg Serve.Protocol.default_k)
+      $ k_arg Serve.Protocol.default_k $ deadline $ retries_arg 0
+      $ retry_base_arg)
+
+let chaos_cmd =
+  let clients =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent soak clients.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "seconds" ] ~docv:"S" ~doc:"Soak duration.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for the request mix.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak a running server with a deterministic mix of valid, doomed \
+          and garbage requests; exits non-zero if any exchange ends in a \
+          hang, a malformed response, or an unrecovered transport failure")
+    Term.(
+      const chaos_soak $ socket_arg $ tcp_arg $ clients $ seconds
+      $ retries_arg 8 $ seed)
 
 let () =
   let doc = "explorer for the Bayesian-ignorance reproduction" in
@@ -364,5 +695,5 @@ let () =
        (Cmd.group (Cmd.info "bi" ~doc)
           [
             construction_cmd; adversary_cmd; sec4_cmd; plane_cmd; serve_cmd;
-            query_cmd;
+            query_cmd; chaos_cmd;
           ]))

@@ -13,6 +13,7 @@ type t = {
   mutable misses : int;
   loaded : int;
   invalid : int;
+  quarantined : int;
   mutable closed : bool;
 }
 
@@ -33,13 +34,37 @@ let value_of_entry (e : Store.entry) =
 
 let default_capacity = 4096
 
-let create ?(capacity = default_capacity) ?store_path () =
+(* Open-time compaction trigger: rewrite the log when at least 10% of
+   its lines are unverifiable or at least half of its valid entries are
+   stale duplicates.  Both ratios are cheap byproducts of the replay we
+   do anyway, and both kinds of bloat only ever grow in an append-only
+   log. *)
+let needs_compaction ~entries ~distinct ~unreadable =
+  let total = entries + unreadable in
+  total > 0
+  && (unreadable * 10 >= total || (entries - distinct) * 2 >= max 1 entries)
+
+let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true) ()
+    =
   let lru = Lru.create ~capacity in
-  let loaded, invalid, store =
+  let loaded, invalid, quarantined, store =
     match store_path with
-    | None -> (0, 0, None)
+    | None -> (0, 0, 0, None)
     | Some path ->
       let entries, unreadable = Store.load path in
+      let distinct =
+        let keys = Hashtbl.create 64 in
+        List.iter (fun e -> Hashtbl.replace keys e.Store.key ()) entries;
+        Hashtbl.length keys
+      in
+      let quarantined =
+        if
+          auto_compact
+          && needs_compaction ~entries:(List.length entries) ~distinct
+               ~unreadable
+        then (Store.compact path).Store.quarantined
+        else 0
+      in
       (* Replay in append order: for a duplicated key the latest entry
          wins, matching what a reader of the log would reconstruct. *)
       let loaded, undecodable =
@@ -52,10 +77,10 @@ let create ?(capacity = default_capacity) ?store_path () =
             | None -> (ok, bad + 1))
           (0, 0) entries
       in
-      (loaded, unreadable + undecodable, Some (Store.open_append path))
+      (loaded, unreadable + undecodable, quarantined, Some (Store.open_append path))
   in
   { lru; store; lock = Mutex.create (); hits = 0; misses = 0; loaded; invalid;
-    closed = false }
+    quarantined; closed = false }
 
 let key ~fingerprint ~query =
   if query = "" then fingerprint else fingerprint ^ "/" ^ query
@@ -128,6 +153,7 @@ type stats = {
   evictions : int;
   loaded : int;
   invalid : int;
+  quarantined : int;
 }
 
 let stats t =
@@ -140,6 +166,7 @@ let stats t =
         evictions = Lru.evictions t.lru;
         loaded = t.loaded;
         invalid = t.invalid;
+        quarantined = t.quarantined;
       })
 
 let stats_to_json (s : stats) =
@@ -152,6 +179,7 @@ let stats_to_json (s : stats) =
       ("evictions", Sink.Int s.evictions);
       ("loaded", Sink.Int s.loaded);
       ("invalid", Sink.Int s.invalid);
+      ("quarantined", Sink.Int s.quarantined);
     ]
 
 let close t =

@@ -15,11 +15,17 @@ type value =
 
 type t
 
-val create : ?capacity:int -> ?store_path:string -> unit -> t
+val create :
+  ?capacity:int -> ?store_path:string -> ?auto_compact:bool -> unit -> t
 (** [create ()] builds an in-memory cache (default capacity 4096).
     With [~store_path], the file is replayed into the cache (latest
     entry per key wins; unverifiable lines are counted, not trusted)
-    and then opened for appending so later misses persist. *)
+    and then opened for appending so later misses persist.  Unless
+    [~auto_compact:false], a log whose invalid-line share reaches 10%
+    or whose stale-duplicate share reaches half is compacted before
+    being reopened ({!Store.compact}: last valid entry per key kept,
+    corrupt lines quarantined to the [.rej] sidecar, atomic rename) —
+    so crash damage and churn are bounded at every restart. *)
 
 val key : fingerprint:string -> query:string -> string
 (** [key ~fingerprint ~query:""] is the fingerprint itself; otherwise
@@ -55,6 +61,9 @@ type stats = {
   evictions : int;
   loaded : int;  (** Entries replayed from the store at startup. *)
   invalid : int;  (** Store lines skipped as unreadable or unverifiable. *)
+  quarantined : int;
+      (** Lines moved to the [.rej] sidecar by the open-time compaction
+          (0 when it did not run). *)
 }
 
 val stats : t -> stats

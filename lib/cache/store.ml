@@ -40,24 +40,102 @@ let entry_of_line line =
       else Error "checksum mismatch"
     | _ -> Error "not a store entry record")
 
-let load path =
-  if not (Sys.file_exists path) then ([], 0)
+(* Raw replay: every non-blank line classified as a verified entry or
+   kept verbatim as an invalid line, in file order.  [load] is the
+   entries-only view; [compact] needs both halves. *)
+let load_classified path =
+  if not (Sys.file_exists path) then ([], [])
   else begin
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let rec go acc invalid =
+        let rec go ok bad =
           match input_line ic with
-          | exception End_of_file -> (List.rev acc, invalid)
-          | line when String.trim line = "" -> go acc invalid
+          | exception End_of_file -> (List.rev ok, List.rev bad)
+          | line when String.trim line = "" -> go ok bad
           | line -> (
             match entry_of_line line with
-            | Ok e -> go (e :: acc) invalid
-            | Error _ -> go acc (invalid + 1))
+            | Ok e -> go (e :: ok) bad
+            | Error _ -> go ok (line :: bad))
         in
-        go [] 0)
+        go [] [])
   end
+
+let load path =
+  let entries, bad = load_classified path in
+  (entries, List.length bad)
+
+(* --- compaction ------------------------------------------------------- *)
+
+type compaction = { kept : int; superseded : int; quarantined : int }
+
+let rej_path path = path ^ ".rej"
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Rewrite [path] keeping, for each key, only its last verified entry
+   (in order of last occurrence, which is what replay reconstructs).
+   Lines that fail to parse or verify are appended verbatim to the
+   [.rej] sidecar — quarantined for post-mortems, never trusted, never
+   recounted on the next open.  The new log is written to a temp file,
+   fsynced and renamed over the original, so a crash mid-compaction
+   leaves either the old log or the new one, both complete. *)
+let compact path =
+  let entries, bad = load_classified path in
+  if entries = [] && bad = [] then { kept = 0; superseded = 0; quarantined = 0 }
+  else begin
+    let entries = Array.of_list entries in
+    let last = Hashtbl.create 64 in
+    Array.iteri (fun i e -> Hashtbl.replace last e.key i) entries;
+    let keep = ref [] in
+    for i = Array.length entries - 1 downto 0 do
+      if Hashtbl.find last entries.(i).key = i then keep := entries.(i) :: !keep
+    done;
+    let kept = !keep in
+    if bad <> [] then begin
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
+          (rej_path path)
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            bad;
+          fsync_out oc)
+    end;
+    let tmp = path ^ ".compact.tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (entry_to_line e);
+            output_char oc '\n')
+          kept;
+        fsync_out oc);
+    Sys.rename tmp path;
+    {
+      kept = List.length kept;
+      superseded = Array.length entries - List.length kept;
+      quarantined = List.length bad;
+    }
+  end
+
+(* --- appending -------------------------------------------------------- *)
+
+(* Fault-injection seam for the chaos harness: when set, every appended
+   line passes through the transformer before hitting the disk.  Only
+   [Bi_serve.Chaos] installs one; production paths never do. *)
+let write_fault : (string -> string) option ref = ref None
+let set_write_fault f = write_fault := f
 
 type t = {
   path : string;
@@ -76,6 +154,7 @@ let path t = t.path
 
 let append t entry =
   let line = entry_to_line entry in
+  let line = match !write_fault with None -> line | Some f -> f line in
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)

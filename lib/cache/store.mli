@@ -24,6 +24,30 @@ val load : string -> entry list * int
     into the cache) and the count of invalid lines skipped.  A missing
     file is an empty store. *)
 
+type compaction = {
+  kept : int;  (** Entries surviving into the compacted log. *)
+  superseded : int;  (** Valid entries dropped as stale duplicates. *)
+  quarantined : int;  (** Invalid lines moved to the [.rej] sidecar. *)
+}
+
+val rej_path : string -> string
+(** The quarantine sidecar for a store path: [path ^ ".rej"]. *)
+
+val compact : string -> compaction
+(** [compact path] rewrites the log keeping only the last verified
+    entry per key (in order of last occurrence, matching what replay
+    reconstructs), appends every unverifiable line verbatim to
+    {!rej_path} and atomically renames the rewritten log into place
+    (temp file + fsync + rename), so a crash mid-compaction never loses
+    a valid entry.  Must not race a live {!t} appending to the same
+    path — compact before {!open_append}. *)
+
+val set_write_fault : (string -> string) option -> unit
+(** Process-global fault-injection seam used by the chaos harness:
+    when set, {!append} passes each rendered line through the
+    transformer before writing.  [None] (the default) is the identity.
+    Never set in production paths. *)
+
 type t
 
 val open_append : string -> t

@@ -1,0 +1,35 @@
+exception Expired
+
+type t = {
+  deadline : float; (* absolute Unix time; [infinity] = unlimited *)
+  mutable ticks : int;
+      (* unsynchronized poll counter shared across domains: lost updates
+         only postpone the next clock poll, never correctness *)
+}
+
+let poll_mask = 0xFF
+
+let unlimited = { deadline = infinity; ticks = 0 }
+
+let of_deadline deadline = { deadline; ticks = 0 }
+
+let of_timeout_ms ms =
+  if ms <= 0 then invalid_arg "Budget.of_timeout_ms: timeout must be positive";
+  of_deadline (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+
+let is_limited b = b.deadline < infinity
+
+let expired b = b.deadline < infinity && Unix.gettimeofday () > b.deadline
+
+let check b =
+  if b.deadline < infinity then begin
+    b.ticks <- b.ticks + 1;
+    if b.ticks land poll_mask = 0 && Unix.gettimeofday () > b.deadline then
+      raise Expired
+  end
+
+let remaining_ms b =
+  if b.deadline = infinity then None
+  else
+    Some
+      (max 0 (int_of_float (ceil ((b.deadline -. Unix.gettimeofday ()) *. 1000.))))

@@ -66,6 +66,12 @@ exception Parse_error of string
 
 let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* The parser recurses once per nesting level, so untrusted input (the
+   server feeds request lines straight in here) must be depth-capped or
+   a line of ten thousand '[' turns into a stack overflow instead of a
+   structured error. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -167,7 +173,9 @@ let of_string s =
       | Some f -> Float f
       | None -> parse_error "invalid number %S at offset %d" tok start)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      parse_error "nesting deeper than %d at offset %d" max_depth !pos;
     skip_ws ();
     match peek () with
     | None -> parse_error "unexpected end of input"
@@ -184,7 +192,7 @@ let of_string s =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -210,7 +218,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let rec fields acc =
@@ -230,7 +238,7 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then parse_error "trailing bytes at offset %d" !pos;
     v

@@ -32,7 +32,9 @@ val of_string : string -> (json, string) result
     [Float]; [\uXXXX] escapes decode to UTF-8 (BMP code points — the
     encoder never emits surrogate pairs).  Inverse of {!to_string} up to
     float formatting: records made of [Null]/[Bool]/[Int]/[Str]/[List]/
-    [Obj] round-trip byte-identically. *)
+    [Obj] round-trip byte-identically.  Total on untrusted input:
+    nesting deeper than 512 levels is a parse error, never a stack
+    overflow. *)
 
 val member : string -> json -> json option
 (** [member key j] is the field [key] of an [Obj] ([None] when absent or

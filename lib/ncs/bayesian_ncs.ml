@@ -6,6 +6,7 @@ module Bayesian = Bi_bayes.Bayesian
 module Measures = Bi_bayes.Measures
 module Pool = Bi_engine.Pool
 module Reduce = Bi_engine.Reduce
+module Budget = Bi_engine.Budget
 
 type t = {
   graph : Graph.t;
@@ -321,7 +322,7 @@ let valid_strategy_profiles g =
    tie-breaking all coincide with the sequential left-to-right scan over
    [valid_strategy_profiles], whatever the pool size.  Each shard owns
    one scratch load matrix handed to its scoring function. *)
-let sharded_search ?pool ~monoid ~score g =
+let sharded_search ?pool ?(budget = Budget.unlimited) ~monoid ~score g =
   let rest =
     List.init (g.players - 1) (fun j ->
         Array.to_list (player_strategies g (j + 1)))
@@ -330,6 +331,7 @@ let sharded_search ?pool ~monoid ~score g =
     let loads = make_loads g in
     Seq.fold_left
       (fun acc tail ->
+        Budget.check budget;
         let profile = Array.make g.players s0 in
         List.iteri (fun j sj -> profile.(j + 1) <- sj) tail;
         match score loads profile with
@@ -385,13 +387,13 @@ let shortest_path_profile g =
 let equilibrium_by_dynamics ?max_steps g =
   Bayesian.best_response_dynamics ?max_steps g.game (shortest_path_profile g)
 
-let opt_c ?pool g =
+let opt_c ?pool ?budget g =
   Dist.expectation_ext
     (fun pairs ->
       let c = complete_game g pairs in
       match Complete.optimum_rooted c with
       | Some v -> v
-      | None -> Extended.of_rat (fst (Complete.optimum ?pool c)))
+      | None -> Extended.of_rat (fst (Complete.optimum ?pool ?budget c)))
     g.prior_pairs
 
 (* The memoizing [complete_game] stays on the calling domain; parallelism
@@ -408,12 +410,15 @@ let expect_eq_c pick g =
          g.prior_pairs)
   with Missing -> None
 
-let best_eq_c ?pool g = expect_eq_c (fun c -> Complete.best_equilibrium ?pool c) g
-let worst_eq_c ?pool g = expect_eq_c (fun c -> Complete.worst_equilibrium ?pool c) g
+let best_eq_c ?pool ?budget g =
+  expect_eq_c (fun c -> Complete.best_equilibrium ?pool ?budget c) g
 
-let opt_p_exhaustive ?pool g =
+let worst_eq_c ?pool ?budget g =
+  expect_eq_c (fun c -> Complete.worst_equilibrium ?pool ?budget c) g
+
+let opt_p_exhaustive ?pool ?budget g =
   match
-    sharded_search ?pool
+    sharded_search ?pool ?budget
       ~monoid:(Reduce.first_min ~cmp:Extended.compare)
       ~score:(fun loads s -> Some (Some (s, social_cost_with g loads s)))
       g
@@ -557,22 +562,25 @@ let eq_score_loaded g loads s =
     Some (Bayesian.social_cost g.game s)
   else None
 
-let extreme_eq_p ?pool monoid g =
+let extreme_eq_p ?pool ?budget monoid g =
   Option.map
     (fun (s, c) -> (c, s))
-    (sharded_search ?pool ~monoid
+    (sharded_search ?pool ?budget ~monoid
        ~score:(fun loads s ->
          Option.map (fun c -> Some (s, c)) (eq_score_loaded g loads s))
        g)
 
-let best_eq_p ?pool g = extreme_eq_p ?pool (Reduce.first_min ~cmp:Extended.compare) g
-let worst_eq_p ?pool g = extreme_eq_p ?pool (Reduce.first_max ~cmp:Extended.compare) g
+let best_eq_p ?pool ?budget g =
+  extreme_eq_p ?pool ?budget (Reduce.first_min ~cmp:Extended.compare) g
+
+let worst_eq_p ?pool ?budget g =
+  extreme_eq_p ?pool ?budget (Reduce.first_max ~cmp:Extended.compare) g
 
 (* Best and worst Bayesian equilibrium in a single sweep: the equilibrium
    predicate dominates the cost of the scan, so fusing the two extreme
    searches halves the work of [measures_exhaustive]. *)
-let eq_extremes ?pool g =
-  sharded_search ?pool
+let eq_extremes ?pool ?budget g =
+  sharded_search ?pool ?budget
     ~monoid:
       (Reduce.both
          (Reduce.first_min ~cmp:Extended.compare)
@@ -592,18 +600,18 @@ type analysis = {
   worst_eq_p_witness : Bayesian.strategy_profile option;
 }
 
-let analyze ?pool g =
-  let opt_p, opt_p_witness = opt_p_exhaustive ?pool g in
-  let best, worst = eq_extremes ?pool g in
+let analyze ?pool ?budget g =
+  let opt_p, opt_p_witness = opt_p_exhaustive ?pool ?budget g in
+  let best, worst = eq_extremes ?pool ?budget g in
   {
     report =
       {
         Measures.opt_p;
         best_eq_p = Option.map snd best;
         worst_eq_p = Option.map snd worst;
-        opt_c = opt_c ?pool g;
-        best_eq_c = best_eq_c ?pool g;
-        worst_eq_c = worst_eq_c ?pool g;
+        opt_c = opt_c ?pool ?budget g;
+        best_eq_c = best_eq_c ?pool ?budget g;
+        worst_eq_c = worst_eq_c ?pool ?budget g;
       };
     opt_p_witness;
     best_eq_p_witness = Option.map fst best;

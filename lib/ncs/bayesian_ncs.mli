@@ -89,16 +89,29 @@ type analysis = {
     Witness indices refer to this build's type/action enumeration order;
     the values are representation-independent. *)
 
-val analyze : ?pool:Bi_engine.Pool.t -> t -> analysis
+val analyze :
+  ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> analysis
 (** {!measures_exhaustive} plus the witness profiles, at the same cost
-    (the exhaustive sweeps already track the witnesses). *)
+    (the exhaustive sweeps already track the witnesses).  With
+    [?budget], every exhaustive sweep polls the deadline between
+    profiles and the whole call raises {!Bi_engine.Budget.Expired} once
+    it passes — an analysis is always either complete and exact or
+    failed fast, never partial. *)
 
-val opt_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t
-val best_eq_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t option
-val worst_eq_c : ?pool:Bi_engine.Pool.t -> t -> Extended.t option
+val opt_c :
+  ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> Extended.t
+
+val best_eq_c :
+  ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> Extended.t option
+
+val worst_eq_c :
+  ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> Extended.t option
 
 val opt_p_exhaustive :
-  ?pool:Bi_engine.Pool.t -> t -> Extended.t * Bi_bayes.Bayesian.strategy_profile
+  ?pool:Bi_engine.Pool.t ->
+  ?budget:Bi_engine.Budget.t ->
+  t ->
+  Extended.t * Bi_bayes.Bayesian.strategy_profile
 
 val opt_p_branch_and_bound :
   ?node_budget:int -> t -> Extended.t * Bi_bayes.Bayesian.strategy_profile * bool
@@ -114,11 +127,13 @@ val opt_p_branch_and_bound :
 
 val best_eq_p :
   ?pool:Bi_engine.Pool.t ->
+  ?budget:Bi_engine.Budget.t ->
   t ->
   (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
 
 val worst_eq_p :
   ?pool:Bi_engine.Pool.t ->
+  ?budget:Bi_engine.Budget.t ->
   t ->
   (Extended.t * Bi_bayes.Bayesian.strategy_profile) option
 

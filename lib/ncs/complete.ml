@@ -3,6 +3,7 @@ module Graph = Bi_graph.Graph
 module Paths = Bi_graph.Paths
 module Pool = Bi_engine.Pool
 module Reduce = Bi_engine.Reduce
+module Budget = Bi_engine.Budget
 
 type t = {
   graph : Graph.t;
@@ -155,7 +156,7 @@ let profile_space g =
    [profile_space] would pick, for any pool size.  Each shard owns one
    scratch load vector, filled per profile and delta-adjusted for
    deviation checks. *)
-let sharded_search ?pool ~monoid ~score g =
+let sharded_search ?pool ?(budget = Budget.unlimited) ~monoid ~score g =
   let k = players g in
   let n_edges = Graph.n_edges g.graph in
   let rest =
@@ -167,6 +168,7 @@ let sharded_search ?pool ~monoid ~score g =
     let load = Array.make n_edges 0 in
     Seq.fold_left
       (fun acc tail ->
+        Budget.check budget;
         let profile = Array.make k a0 in
         Array.blit tail 0 profile 1 (k - 1);
         match score load profile with
@@ -180,9 +182,9 @@ let sharded_search ?pool ~monoid ~score g =
   | Some pool when Pool.size pool > 1 -> Reduce.map_reduce pool ~monoid eval shards
   | _ -> Reduce.fold monoid (Array.map eval shards)
 
-let optimum ?pool g =
+let optimum ?pool ?budget g =
   match
-    sharded_search ?pool
+    sharded_search ?pool ?budget
       ~monoid:(Reduce.first_min ~cmp:Rat.compare)
       ~score:(fun load p ->
         fill_loads g load p;
@@ -253,17 +255,17 @@ let nash_score g load p =
   fill_loads g load p;
   if is_nash_under g load p then Some (Some (p, social_cost_of_loads g load)) else None
 
-let best_equilibrium ?pool g =
+let best_equilibrium ?pool ?budget g =
   Option.map
     (fun (a, c) -> (c, a))
-    (sharded_search ?pool
+    (sharded_search ?pool ?budget
        ~monoid:(Reduce.first_min ~cmp:Rat.compare)
        ~score:(nash_score g) g)
 
-let worst_equilibrium ?pool g =
+let worst_equilibrium ?pool ?budget g =
   Option.map
     (fun (a, c) -> (c, a))
-    (sharded_search ?pool
+    (sharded_search ?pool ?budget
        ~monoid:(Reduce.first_max ~cmp:Rat.compare)
        ~score:(nash_score g) g)
 

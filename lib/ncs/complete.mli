@@ -46,11 +46,14 @@ val profile_space : t -> int array Seq.t
 (** Every path profile, in the lexicographic order the exhaustive
     solvers scan. *)
 
-val optimum : ?pool:Bi_engine.Pool.t -> t -> Rat.t * int array
+val optimum :
+  ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> Rat.t * int array
 (** Social optimum over path profiles, by exhaustive product search.
     With [?pool], the profile space is sharded by agent 0's path index
     and searched in parallel; the result (value and witnessing profile)
-    is identical to the sequential scan for any pool size. *)
+    is identical to the sequential scan for any pool size.  With
+    [?budget], the scan polls the deadline between profiles and raises
+    {!Bi_engine.Budget.Expired} past it. *)
 
 val optimum_rooted : t -> Extended.t option
 (** Exact optimum via the Steiner subset-DP when all agents share a
@@ -66,11 +69,21 @@ val best_response : t -> int array -> int -> int
 val is_nash : t -> int array -> bool
 val nash_equilibria : t -> int array Seq.t
 
-val best_equilibrium : ?pool:Bi_engine.Pool.t -> t -> (Rat.t * int array) option
-val worst_equilibrium : ?pool:Bi_engine.Pool.t -> t -> (Rat.t * int array) option
+val best_equilibrium :
+  ?pool:Bi_engine.Pool.t ->
+  ?budget:Bi_engine.Budget.t ->
+  t ->
+  (Rat.t * int array) option
+
+val worst_equilibrium :
+  ?pool:Bi_engine.Pool.t ->
+  ?budget:Bi_engine.Budget.t ->
+  t ->
+  (Rat.t * int array) option
 (** Extreme Nash equilibria; parallel over leading-strategy shards when
     [?pool] is given, deterministically (first-wins tie-breaking matches
-    the sequential enumeration). *)
+    the sequential enumeration); deadline-polled when [?budget] is
+    given, as in {!optimum}. *)
 
 val equilibrium_by_dynamics : ?max_steps:int -> t -> int array -> int array option
 (** Iterated exact best responses; the Rosenthal potential strictly

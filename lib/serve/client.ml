@@ -1,36 +1,201 @@
 module Sink = Bi_engine.Sink
 
-type t = { ic : in_channel; oc : out_channel; mutable open_ : bool }
+type addr =
+  | Unix_path of string
+  | Tcp_port of int
+  | Unattached
 
-let of_channels ic oc = { ic; oc; open_ = true }
+type failure =
+  | Io of string
+  | Malformed of string
+  | Closed
 
-let connect_unix path =
-  let ic, oc = Unix.open_connection (Unix.ADDR_UNIX path) in
-  of_channels ic oc
+let failure_to_string = function
+  | Io e -> Printf.sprintf "i/o failure: %s" e
+  | Malformed e -> Printf.sprintf "malformed response: %s" e
+  | Closed -> "client is closed"
 
-let connect_tcp port =
-  let ic, oc =
+type retry = {
+  attempts : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  seed : int;
+}
+
+let default_retry = { attempts = 5; base_delay_ms = 25; max_delay_ms = 2000; seed = 0 }
+
+type t = {
+  mutable ic : in_channel;
+  mutable oc : out_channel;
+  mutable state : [ `Live | `Broken | `Closed ];
+  addr : addr;
+  timeout_s : float option;
+  mutable waits : int;  (* jitter stream position across retries *)
+}
+
+let open_addr = function
+  | Unix_path path -> Unix.open_connection (Unix.ADDR_UNIX path)
+  | Tcp_port port ->
     Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-  in
-  of_channels ic oc
+  | Unattached -> invalid_arg "Client: no address to connect to"
 
-let request t j =
-  if not t.open_ then Error "client is closed"
-  else
+let apply_timeout ic timeout_s =
+  match timeout_s with
+  | None -> ()
+  | Some s ->
+    Unix.setsockopt_float (Unix.descr_of_in_channel ic) Unix.SO_RCVTIMEO s
+
+let make ?timeout_s addr =
+  let ic, oc = open_addr addr in
+  apply_timeout ic timeout_s;
+  { ic; oc; state = `Live; addr; timeout_s; waits = 0 }
+
+let connect_unix ?timeout_s path = make ?timeout_s (Unix_path path)
+let connect_tcp ?timeout_s port = make ?timeout_s (Tcp_port port)
+
+let of_channels ic oc =
+  { ic; oc; state = `Live; addr = Unattached; timeout_s = None; waits = 0 }
+
+let teardown t =
+  (try Unix.shutdown_connection t.ic
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  close_in_noerr t.ic
+
+let mark_broken t =
+  if t.state = `Live then begin
+    t.state <- `Broken;
+    teardown t
+  end
+
+(* A response line that fails to parse is either a line torn mid-write
+   (crash or injected truncation — the connection is at or about to hit
+   EOF) or a healthy peer speaking garbage.  Distinguish by probing: if
+   the socket turns readable shortly, the next read tells us; a quiet
+   open connection means the line itself was the problem. *)
+let connection_ended t =
+  match Unix.select [ Unix.descr_of_in_channel t.ic ] [] [] 0.25 with
+  | [], _, _ -> false
+  | _ -> (
+    match input_line t.ic with
+    | exception End_of_file -> true
+    | exception Sys_error _ -> true
+    | exception Sys_blocked_io -> false
+    | _ -> false)
+  | exception Unix.Unix_error _ -> true
+
+let request_once t j =
+  match t.state with
+  | `Closed | `Broken -> Error Closed
+  | `Live -> (
     match
       output_string t.oc (Sink.to_string j);
       output_char t.oc '\n';
       flush t.oc;
       input_line t.ic
     with
-    | line -> Sink.of_string line
-    | exception End_of_file -> Error "connection closed by server"
-    | exception Sys_error e -> Error e
+    | exception End_of_file ->
+      mark_broken t;
+      Error (Io "connection closed by server")
+    | exception Sys_error e ->
+      mark_broken t;
+      Error (Io e)
+    | exception Sys_blocked_io ->
+      mark_broken t;
+      Error (Io "read timed out")
+    | line -> (
+      match Sink.of_string line with
+      | Ok j -> Ok j
+      | Error e ->
+        let torn = connection_ended t in
+        mark_broken t;
+        if torn then Error (Io (Printf.sprintf "torn response (%s)" e))
+        else Error (Malformed e)))
+
+let reconnect t =
+  match t.addr with
+  | Unattached -> Error Closed
+  | addr -> (
+    match open_addr addr with
+    | ic, oc ->
+      apply_timeout ic t.timeout_s;
+      t.ic <- ic;
+      t.oc <- oc;
+      t.state <- `Live;
+      Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Io (Printf.sprintf "reconnect: %s" (Unix.error_message err))))
+
+(* Capped exponential backoff with deterministic jitter: wait [i] is
+   [min max (base * 2^i)] scaled into [[1/2, 1)] by the seeded stream,
+   raised to the server's [retry_after_ms] hint when it is larger. *)
+let backoff_ms retry t ~attempt ~hint_ms =
+  let cap = max 1 retry.max_delay_ms in
+  let base = max 1 retry.base_delay_ms in
+  let raw =
+    if attempt >= 30 then cap else min cap (base * (1 lsl attempt))
+  in
+  let u = Chaos.unit_float ~seed:retry.seed ~counter:t.waits in
+  t.waits <- t.waits + 1;
+  let jittered = int_of_float (float_of_int raw *. (0.5 +. (0.5 *. u))) in
+  max 1 (max jittered (Option.value hint_ms ~default:0))
+
+let sleep_ms ms = Thread.delay (float_of_int ms /. 1000.)
+
+let request ?retry t j =
+  match retry with
+  | None -> request_once t j
+  | Some retry ->
+    let attempts = max 1 retry.attempts in
+    let rec go attempt =
+      let result =
+        if t.state = `Broken then
+          match reconnect t with
+          | Ok () -> request_once t j
+          | Error f -> Error f
+        else request_once t j
+      in
+      let last = attempt >= attempts - 1 in
+      let retry_with hint =
+        sleep_ms (backoff_ms retry t ~attempt ~hint_ms:hint);
+        go (attempt + 1)
+      in
+      match result with
+      | Ok response
+        when (not last) && Protocol.response_code response = Some "overloaded"
+        ->
+        retry_with (Protocol.retry_after_ms response)
+      | Ok _ -> result
+      | Error Closed -> result
+      | Error (Io _ | Malformed _) when not last -> retry_with None
+      | Error _ -> result
+    in
+    go 0
+
+let raw_request t line =
+  match t.state with
+  | `Closed | `Broken -> Error Closed
+  | `Live -> (
+    match
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      input_line t.ic
+    with
+    | exception End_of_file ->
+      mark_broken t;
+      Error (Io "connection closed by server")
+    | exception Sys_error e ->
+      mark_broken t;
+      Error (Io e)
+    | exception Sys_blocked_io ->
+      mark_broken t;
+      Error (Io "read timed out")
+    | response -> Ok response)
 
 let close t =
-  if t.open_ then begin
-    t.open_ <- false;
-    (* Closes both channels: they share the socket's file descriptor. *)
-    try Unix.shutdown_connection t.ic; close_in_noerr t.ic
-    with Unix.Unix_error _ | Sys_error _ -> ()
-  end
+  match t.state with
+  | `Closed -> ()
+  | `Broken -> t.state <- `Closed
+  | `Live ->
+    t.state <- `Closed;
+    teardown t

@@ -2,20 +2,69 @@
 
     Opens one connection and issues line-delimited JSON requests
     (build them with {!Protocol}); each {!request} writes one line and
-    blocks for the one-line response. *)
+    blocks for the one-line response.
+
+    Failures are classified, and the client tracks its own health: any
+    I/O or framing failure marks the connection broken, after which a
+    plain {!request} refuses to reuse it ({!failure.Closed}) instead of
+    silently writing into a dead socket.  A {!request} with [~retry]
+    reconnects to the remembered address and retries with capped
+    exponential backoff and deterministic jitter; [overloaded]
+    responses are retried too, honouring the server's
+    [retry_after_ms] hint. *)
 
 type t
 
-val connect_unix : string -> t
-(** Connects to a Unix-domain socket path.
+type failure =
+  | Io of string
+      (** The transport failed: connect/read/write error, connection
+          reset, read timeout, or a response line torn mid-write. *)
+  | Malformed of string
+      (** The connection stayed up but the response line was not JSON —
+          the server is speaking a different protocol. *)
+  | Closed
+      (** The client was {!close}d, or is broken and was called without
+          [~retry] (or has no address to reconnect to). *)
+
+val failure_to_string : failure -> string
+
+type retry = {
+  attempts : int;  (** Total tries, including the first. *)
+  base_delay_ms : int;  (** Backoff starts here and doubles. *)
+  max_delay_ms : int;  (** Per-wait cap. *)
+  seed : int;  (** Jitter stream seed ({!Chaos.unit_float}). *)
+}
+
+val default_retry : retry
+(** 5 attempts, 25 ms base, 2 s cap, seed 0. *)
+
+val connect_unix : ?timeout_s:float -> string -> t
+(** Connects to a Unix-domain socket path.  With [~timeout_s], reads
+    that block longer fail as {!failure.Io} (socket receive timeout)
+    instead of hanging forever.
     @raise Unix.Unix_error when the server is not listening. *)
 
-val connect_tcp : int -> t
+val connect_tcp : ?timeout_s:float -> int -> t
 (** Connects to the loopback TCP port. *)
 
-val request : t -> Bi_engine.Sink.json -> (Bi_engine.Sink.json, string) result
+val of_channels : in_channel -> out_channel -> t
+(** Wraps an existing connection.  Such a client has no address, so it
+    cannot reconnect: once broken it only answers {!failure.Closed}. *)
+
+val request :
+  ?retry:retry -> t -> Bi_engine.Sink.json -> (Bi_engine.Sink.json, failure) result
 (** Sends one request, returns the parsed response.  Check
-    {!Protocol.is_ok} for the server-level verdict. *)
+    {!Protocol.is_ok} / {!Protocol.response_code} for the server-level
+    verdict.  Without [~retry], one attempt on the current connection;
+    with it, transport failures and [overloaded] responses trigger
+    reconnect-and-retry until the attempt budget runs out (the last
+    outcome is returned, so a final [overloaded] response surfaces as
+    such). *)
+
+val raw_request : t -> string -> (string, failure) result
+(** Sends a raw line (no JSON validation — the fuzz and soak harnesses
+    use this to probe with garbage) and returns the raw response line.
+    Never retries. *)
 
 val close : t -> unit
 (** Idempotent. *)

@@ -9,6 +9,10 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable coalesced : int;
+  mutable overloaded : int;
+  mutable deadline_exceeded : int;
+  mutable idle_closed : int;
+  mutable faults_injected : int;
   mutable queue_depth : int;
   mutable max_queue_depth : int;
   latency : int array;  (* log2-microsecond histogram *)
@@ -22,6 +26,10 @@ let create () =
     hits = 0;
     misses = 0;
     coalesced = 0;
+    overloaded = 0;
+    deadline_exceeded = 0;
+    idle_closed = 0;
+    faults_injected = 0;
     queue_depth = 0;
     max_queue_depth = 0;
     latency = Array.make buckets 0;
@@ -52,6 +60,16 @@ let leave t ~seconds =
 
 let request t = locked t (fun () -> t.requests <- t.requests + 1)
 let error t = locked t (fun () -> t.errors <- t.errors + 1)
+let overload t = locked t (fun () -> t.overloaded <- t.overloaded + 1)
+
+let deadline_exceeded t =
+  locked t (fun () -> t.deadline_exceeded <- t.deadline_exceeded + 1)
+
+let idle_close t = locked t (fun () -> t.idle_closed <- t.idle_closed + 1)
+
+let fault_injected t =
+  locked t (fun () -> t.faults_injected <- t.faults_injected + 1)
+
 let hit t = locked t (fun () -> t.hits <- t.hits + 1)
 let miss t = locked t (fun () -> t.misses <- t.misses + 1)
 
@@ -83,6 +101,10 @@ let to_json t =
           ("hits", Sink.Int t.hits);
           ("misses", Sink.Int t.misses);
           ("coalesced", Sink.Int t.coalesced);
+          ("overloaded", Sink.Int t.overloaded);
+          ("deadline_exceeded", Sink.Int t.deadline_exceeded);
+          ("idle_closed", Sink.Int t.idle_closed);
+          ("faults_injected", Sink.Int t.faults_injected);
           ("queue_depth", Sink.Int t.queue_depth);
           ("max_queue_depth", Sink.Int t.max_queue_depth);
           ("latency_log2_us", Sink.List histogram);

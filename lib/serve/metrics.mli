@@ -1,7 +1,8 @@
 (** Server-side request metrics.
 
     Mutex-protected counters (requests, errors, cache hits/misses,
-    coalesced requests), an in-flight gauge with high-water mark, and a
+    coalesced requests, shed/expired/idle-closed requests, injected
+    faults), an in-flight gauge with high-water mark, and a
     log2-microsecond latency histogram (bucket [i] counts requests whose
     handling took within [[2^i, 2^{i+1})] µs).  Rendered by the [stats]
     verb and dumped to disk when the server exits. *)
@@ -19,6 +20,19 @@ val leave : t -> seconds:float -> unit
 
 val request : t -> unit
 val error : t -> unit
+
+val overload : t -> unit
+(** A request was shed with an [overloaded] response. *)
+
+val deadline_exceeded : t -> unit
+(** A request's wall-clock budget ran out mid-analysis. *)
+
+val idle_close : t -> unit
+(** A connection was closed for idling past the read timeout. *)
+
+val fault_injected : t -> unit
+(** The chaos layer injected a fault into a response. *)
+
 val hit : t -> unit
 val miss : t -> unit
 

@@ -1,32 +1,46 @@
 module Sink = Bi_engine.Sink
 module Codec = Bi_cache.Codec
 
-type request =
+type query =
   | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
   | Construction of { name : string; k : int }
   | Stats
   | Shutdown
 
+type request = { query : query; deadline_ms : int option }
+
 let default_k = 4
+
+let parse_deadline j =
+  match Sink.member "deadline_ms" j with
+  | None -> Ok None
+  | Some (Sink.Int ms) when ms > 0 -> Ok (Some ms)
+  | Some v ->
+    Error
+      (Printf.sprintf "deadline_ms must be a positive integer, got %s"
+         (Sink.to_string v))
 
 let parse_request line =
   match Sink.of_string line with
   | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
   | Ok j -> (
+    let with_deadline query =
+      Result.map (fun deadline_ms -> { query; deadline_ms }) (parse_deadline j)
+    in
     match Sink.member "op" j with
     | Some (Sink.Str "analyze") -> (
       match Sink.member "game" j with
       | None -> Error "analyze: missing \"game\""
       | Some game -> (
         match Codec.game_of_json game with
-        | Ok (graph, prior) -> Ok (Analyze (graph, prior))
+        | Ok (graph, prior) -> with_deadline (Analyze (graph, prior))
         | Error e -> Error (Printf.sprintf "analyze: %s" e)))
     | Some (Sink.Str "construction") -> (
       match Sink.member "name" j with
       | Some (Sink.Str name) -> (
         match Sink.member "k" j with
-        | None -> Ok (Construction { name; k = default_k })
-        | Some (Sink.Int k) -> Ok (Construction { name; k })
+        | None -> with_deadline (Construction { name; k = default_k })
+        | Some (Sink.Int k) -> with_deadline (Construction { name; k })
         | Some v ->
           Error
             (Printf.sprintf "construction: k must be an integer, got %s"
@@ -36,18 +50,27 @@ let parse_request line =
           (Printf.sprintf "construction: name must be a string, got %s"
              (Sink.to_string v))
       | None -> Error "construction: missing \"name\"")
-    | Some (Sink.Str "stats") -> Ok Stats
-    | Some (Sink.Str "shutdown") -> Ok Shutdown
+    | Some (Sink.Str "stats") -> with_deadline Stats
+    | Some (Sink.Str "shutdown") -> with_deadline Shutdown
     | Some (Sink.Str op) -> Error (Printf.sprintf "unknown op %S" op)
     | Some v ->
       Error (Printf.sprintf "op must be a string, got %s" (Sink.to_string v))
     | None -> Error "missing \"op\"")
 
-let analyze_request graph ~prior =
-  Sink.Obj [ ("op", Str "analyze"); ("game", Codec.game_to_json graph ~prior) ]
+let deadline_field deadline_ms =
+  match deadline_ms with
+  | None -> []
+  | Some ms -> [ ("deadline_ms", Sink.Int ms) ]
 
-let construction_request ~name ~k =
-  Sink.Obj [ ("op", Str "construction"); ("name", Str name); ("k", Int k) ]
+let analyze_request ?deadline_ms graph ~prior =
+  Sink.Obj
+    ([ ("op", Sink.Str "analyze"); ("game", Codec.game_to_json graph ~prior) ]
+    @ deadline_field deadline_ms)
+
+let construction_request ?deadline_ms ~name ~k () =
+  Sink.Obj
+    ([ ("op", Sink.Str "construction"); ("name", Str name); ("k", Int k) ]
+    @ deadline_field deadline_ms)
 
 let stats_request = Sink.Obj [ ("op", Str "stats") ]
 let shutdown_request = Sink.Obj [ ("op", Str "shutdown") ]
@@ -66,7 +89,40 @@ let ok_stats ~cache ~server =
 
 let ok_shutdown = Sink.Obj [ ("ok", Bool true); ("stopping", Bool true) ]
 
-let error msg = Sink.Obj [ ("ok", Bool false); ("error", Str msg) ]
+let error msg =
+  Sink.Obj [ ("ok", Bool false); ("code", Str "error"); ("error", Str msg) ]
+
+let overloaded ~retry_after_ms =
+  Sink.Obj
+    [
+      ("ok", Bool false);
+      ("code", Str "overloaded");
+      ("error", Str "server overloaded, retry later");
+      ("retry_after_ms", Int retry_after_ms);
+    ]
+
+let deadline_exceeded =
+  Sink.Obj
+    [
+      ("ok", Bool false);
+      ("code", Str "deadline_exceeded");
+      ("error", Str "request deadline exceeded");
+    ]
 
 let is_ok j =
   match Sink.member "ok" j with Some (Sink.Bool b) -> b | _ -> false
+
+let response_code j =
+  match Sink.member "ok" j with
+  | Some (Sink.Bool true) -> Some "ok"
+  | Some (Sink.Bool false) -> (
+    match Sink.member "code" j with
+    | Some (Sink.Str c) -> Some c
+    (* Pre-[code] servers: any well-formed failure is a plain error. *)
+    | _ -> ( match Sink.member "error" j with Some _ -> Some "error" | None -> None))
+  | _ -> None
+
+let retry_after_ms j =
+  match Sink.member "retry_after_ms" j with
+  | Some (Sink.Int ms) when ms >= 0 -> Some ms
+  | _ -> None

@@ -2,16 +2,27 @@
 
     One JSON object per line in each direction.  Requests carry an
     ["op"] field — [analyze] (inline game description), [construction]
-    (named paper family + size), [stats], [shutdown].  Responses carry
+    (named paper family + size), [stats], [shutdown] — and may carry an
+    optional ["deadline_ms"] wall-clock budget.  Responses carry
     ["ok"]: analysis responses add the game fingerprint, whether the
-    result came from cache, and the full analysis; error responses add
-    ["error"].  See DESIGN.md §3d for worked examples. *)
+    result came from cache, and the full analysis; failure responses
+    add a machine-readable ["code"] ([error], [overloaded],
+    [deadline_exceeded]) and a human-readable ["error"], and overload
+    responses add a ["retry_after_ms"] hint.  See DESIGN.md §3d–§3e
+    for worked examples and the failure model. *)
 
-type request =
+type query =
   | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
   | Construction of { name : string; k : int }
   | Stats
   | Shutdown
+
+type request = {
+  query : query;
+  deadline_ms : int option;
+      (** Wall-clock budget for this request; the server answers
+          [deadline_exceeded] instead of an analysis when it runs out. *)
+}
 
 val default_k : int
 (** Size used when a [construction] request omits ["k"]. *)
@@ -21,11 +32,14 @@ val parse_request : string -> (request, string) result
 (** Request builders (client side). *)
 
 val analyze_request :
+  ?deadline_ms:int ->
   Bi_graph.Graph.t ->
   prior:(int * int) array Bi_prob.Dist.t ->
   Bi_engine.Sink.json
 
-val construction_request : name:string -> k:int -> Bi_engine.Sink.json
+val construction_request :
+  ?deadline_ms:int -> name:string -> k:int -> unit -> Bi_engine.Sink.json
+
 val stats_request : Bi_engine.Sink.json
 val shutdown_request : Bi_engine.Sink.json
 
@@ -41,7 +55,24 @@ val ok_stats :
   cache:Bi_engine.Sink.json -> server:Bi_engine.Sink.json -> Bi_engine.Sink.json
 
 val ok_shutdown : Bi_engine.Sink.json
+
 val error : string -> Bi_engine.Sink.json
+(** Generic failure: ["code"]: ["error"]. *)
+
+val overloaded : retry_after_ms:int -> Bi_engine.Sink.json
+(** Load-shed response: ["code"]: ["overloaded"] plus a retry hint. *)
+
+val deadline_exceeded : Bi_engine.Sink.json
+(** The request's wall-clock budget ran out before the analysis
+    completed: ["code"]: ["deadline_exceeded"]. *)
 
 val is_ok : Bi_engine.Sink.json -> bool
 (** True when the response object has ["ok"]: [true]. *)
+
+val response_code : Bi_engine.Sink.json -> string option
+(** ["ok"] for successes, the failure ["code"] otherwise ("error" when
+    a well-formed failure omits it); [None] when the object is not a
+    recognizable response. *)
+
+val retry_after_ms : Bi_engine.Sink.json -> int option
+(** The overload retry hint, when present and non-negative. *)

@@ -1,5 +1,6 @@
 module Sink = Bi_engine.Sink
 module Pool = Bi_engine.Pool
+module Budget = Bi_engine.Budget
 module Service = Bi_cache.Service
 module Fingerprint = Bi_cache.Fingerprint
 module Bncs = Bi_ncs.Bayesian_ncs
@@ -7,27 +8,110 @@ module Registry = Bi_constructions.Registry
 
 type listen = Unix_socket of string | Tcp of int
 
+type limits = {
+  max_concurrent : int;
+  max_queue : int;
+  idle_timeout_s : float;
+  max_deadline_ms : int;
+}
+
+let default_limits =
+  { max_concurrent = 8; max_queue = 64; idle_timeout_s = 0.; max_deadline_ms = 0 }
+
 type t = {
   cache : Service.t;
   pool : Pool.t option;
   metrics : Metrics.t;
-  lock : Mutex.t;  (* guards [inflight] and [conns] *)
+  limits : limits;
+  chaos : Chaos.t option;
+  lock : Mutex.t;  (* guards [inflight], [conns], [threads], [finished] *)
   cond : Condition.t;  (* signalled when an in-flight computation ends *)
   inflight : (string, unit) Hashtbl.t;
   conns : (int, Unix.file_descr) Hashtbl.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable finished : int list;  (* conn ids whose threads have exited *)
   mutable next_conn : int;
+  adm_lock : Mutex.t;  (* guards [running] and [queued] *)
+  mutable running : int;  (* analyses currently computing *)
+  mutable queued : int;  (* leaders waiting for a compute slot *)
   stop : bool Atomic.t;
   mutable listen_fd : Unix.file_descr;
   listen : listen;
 }
+
+(* How a request can fail before or during its analysis. *)
+type failure =
+  | Overloaded of int  (* retry_after_ms hint *)
+  | Deadline
+  | Msg of string
+
+let chaos_sleep ms = if ms > 0 then Thread.delay (float_of_int ms /. 1000.)
+
+(* --- admission control ------------------------------------------------ *)
+
+let slot_poll_s = 0.002
+
+(* Admission applies to computation leaders only: cache hits, coalesced
+   waiters and the control verbs are never shed, so the cache keeps
+   answering and operators keep observing even when the solvers are
+   saturated.  A leader is shed outright once [max_concurrent] analyses
+   are running and [max_queue] more are waiting; otherwise it polls for
+   a free slot, bailing out if its deadline passes or the server stops.
+   The retry hint grows with the backlog so clients spread out. *)
+let try_admit t ~budget =
+  Mutex.lock t.adm_lock;
+  let limits = t.limits in
+  let total = t.running + t.queued in
+  if total >= limits.max_concurrent + limits.max_queue then begin
+    let backlog = total - limits.max_concurrent + 1 in
+    Mutex.unlock t.adm_lock;
+    Error (Overloaded (min 2000 (25 * backlog)))
+  end
+  else begin
+    t.queued <- t.queued + 1;
+    let rec wait () =
+      if t.running < limits.max_concurrent then begin
+        t.queued <- t.queued - 1;
+        t.running <- t.running + 1;
+        Mutex.unlock t.adm_lock;
+        Ok ()
+      end
+      else begin
+        Mutex.unlock t.adm_lock;
+        let bail =
+          if Atomic.get t.stop then Some (Msg "server is shutting down")
+          else if Budget.expired budget then Some Deadline
+          else None
+        in
+        match bail with
+        | Some f ->
+          Mutex.lock t.adm_lock;
+          t.queued <- t.queued - 1;
+          Mutex.unlock t.adm_lock;
+          Error f
+        | None ->
+          Thread.delay slot_poll_s;
+          Mutex.lock t.adm_lock;
+          wait ()
+      end
+    in
+    wait ()
+  end
+
+let release_slot t =
+  Mutex.lock t.adm_lock;
+  t.running <- t.running - 1;
+  Mutex.unlock t.adm_lock
 
 (* --- request coalescing ---------------------------------------------- *)
 
 (* One leader computes per fingerprint; duplicates wait on [cond] and
    are answered from cache when the leader lands.  A leader that fails
    broadcasts too, so a waiter re-checks, finds neither a cached value
-   nor an in-flight leader, and takes over the computation itself. *)
-let analysis t ~fingerprint build =
+   nor an in-flight leader, and takes over the computation itself.
+   The chaos compute delay runs inside the admission slot, so injected
+   latency exercises the load-shedding path like real slow work. *)
+let analysis t ~budget ~chaos_delay_ms ~fingerprint build =
   Mutex.lock t.lock;
   let rec obtain ~waited =
     match Service.find_analysis t.cache fingerprint with
@@ -36,7 +120,11 @@ let analysis t ~fingerprint build =
       Mutex.unlock t.lock;
       Ok (a, true)
     | None ->
-      if Hashtbl.mem t.inflight fingerprint then begin
+      if Budget.expired budget then begin
+        Mutex.unlock t.lock;
+        Error Deadline
+      end
+      else if Hashtbl.mem t.inflight fingerprint then begin
         Condition.wait t.cond t.lock;
         obtain ~waited:true
       end
@@ -45,15 +133,25 @@ let analysis t ~fingerprint build =
         Mutex.unlock t.lock;
         Metrics.miss t.metrics;
         let result =
-          match build () with
+          match try_admit t ~budget with
           | Error _ as e -> e
-          | exception Invalid_argument msg -> Error msg
-          | Ok game -> (
-            match Bncs.analyze ?pool:t.pool game with
-            | a ->
-              Service.insert_analysis t.cache fingerprint a;
-              Ok (a, false)
-            | exception exn -> Error (Printexc.to_string exn))
+          | Ok () ->
+            Fun.protect
+              ~finally:(fun () -> release_slot t)
+              (fun () ->
+                chaos_sleep chaos_delay_ms;
+                if Budget.expired budget then Error Deadline
+                else
+                match build () with
+                | Error e -> Error (Msg e)
+                | exception Invalid_argument msg -> Error (Msg msg)
+                | Ok game -> (
+                  match Bncs.analyze ?pool:t.pool ~budget game with
+                  | a ->
+                    Service.insert_analysis t.cache fingerprint a;
+                    Ok (a, false)
+                  | exception Budget.Expired -> Error Deadline
+                  | exception exn -> Error (Msg (Printexc.to_string exn))))
         in
         Mutex.lock t.lock;
         Hashtbl.remove t.inflight fingerprint;
@@ -95,36 +193,53 @@ let initiate_shutdown t =
 
 (* --- request handling ------------------------------------------------ *)
 
-let handle_request t req =
-  match req with
-  | Protocol.Analyze (graph, prior) -> (
+let budget_of t deadline_ms =
+  match (deadline_ms, t.limits.max_deadline_ms) with
+  | None, 0 -> Budget.unlimited
+  | Some ms, 0 -> Budget.of_timeout_ms ms
+  | None, cap -> Budget.of_timeout_ms cap
+  | Some ms, cap -> Budget.of_timeout_ms (min ms cap)
+
+let analysis_response t ~fingerprint result =
+  match result with
+  | Ok (a, cached) -> (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
+  | Error (Overloaded hint) ->
+    Metrics.overload t.metrics;
+    (Protocol.overloaded ~retry_after_ms:hint, `Continue)
+  | Error Deadline ->
+    Metrics.deadline_exceeded t.metrics;
+    (Protocol.deadline_exceeded, `Continue)
+  | Error (Msg e) ->
+    Metrics.error t.metrics;
+    (Protocol.error e, `Continue)
+
+let handle_query t ~budget ~chaos_delay_ms query =
+  match query with
+  | Protocol.Analyze (graph, prior) ->
     let fingerprint = Fingerprint.game graph ~prior in
-    match analysis t ~fingerprint (fun () -> Ok (Bncs.make graph ~prior)) with
-    | Ok (a, cached) -> (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
-    | Error e ->
-      Metrics.error t.metrics;
-      (Protocol.error e, `Continue))
+    analysis_response t ~fingerprint
+      (analysis t ~budget ~chaos_delay_ms ~fingerprint (fun () ->
+           Ok (Bncs.make graph ~prior)))
   | Protocol.Construction { name; k } -> (
     match Registry.build name k with
     | Error e ->
       Metrics.error t.metrics;
       (Protocol.error e, `Continue)
-    | Ok game -> (
+    | Ok game ->
       let fingerprint = Fingerprint.of_game game in
-      match analysis t ~fingerprint (fun () -> Ok game) with
-      | Ok (a, cached) ->
-        (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
-      | Error e ->
-        Metrics.error t.metrics;
-        (Protocol.error e, `Continue)))
+      analysis_response t ~fingerprint
+        (analysis t ~budget ~chaos_delay_ms ~fingerprint (fun () -> Ok game)))
   | Protocol.Stats ->
+    chaos_sleep chaos_delay_ms;
     ( Protocol.ok_stats
         ~cache:(Service.stats_to_json (Service.stats t.cache))
         ~server:(Metrics.to_json t.metrics),
       `Continue )
-  | Protocol.Shutdown -> (Protocol.ok_shutdown, `Stop)
+  | Protocol.Shutdown ->
+    chaos_sleep chaos_delay_ms;
+    (Protocol.ok_shutdown, `Stop)
 
-let handle_line t line =
+let handle_line t ~chaos_delay_ms line =
   Metrics.request t.metrics;
   Metrics.enter t.metrics;
   let t0 = Unix.gettimeofday () in
@@ -133,9 +248,13 @@ let handle_line t line =
     | Error e ->
       Metrics.error t.metrics;
       (Protocol.error e, `Continue)
-    | Ok req -> (
-      match handle_request t req with
+    | Ok { Protocol.query; deadline_ms } -> (
+      let budget = budget_of t deadline_ms in
+      match handle_query t ~budget ~chaos_delay_ms query with
       | r -> r
+      | exception Budget.Expired ->
+        Metrics.deadline_exceeded t.metrics;
+        (Protocol.deadline_exceeded, `Continue)
       | exception exn ->
         Metrics.error t.metrics;
         (Protocol.error (Printexc.to_string exn), `Continue))
@@ -149,32 +268,86 @@ let serve_conn t conn_id fd =
   let finally () =
     Mutex.lock t.lock;
     Hashtbl.remove t.conns conn_id;
+    t.finished <- conn_id :: t.finished;
     Mutex.unlock t.lock;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally (fun () ->
       let rec loop () =
         match input_line ic with
-        | exception (End_of_file | Sys_error _) -> ()
+        | exception End_of_file -> ()
+        | exception Sys_error _ -> ()
+        (* SO_RCVTIMEO expiring surfaces as [Sys_blocked_io]. *)
+        | exception Sys_blocked_io -> Metrics.idle_close t.metrics
         | line when String.trim line = "" -> loop ()
         | line ->
-          let response, disposition = handle_line t line in
-          (try
-             output_string oc (Sink.to_string response);
-             output_char oc '\n';
-             flush oc
-           with Sys_error _ -> ());
+          let action =
+            match t.chaos with
+            | None -> Chaos.deliver
+            | Some c -> Chaos.response_action c
+          in
+          if Chaos.faulty action then Metrics.fault_injected t.metrics;
+          let response, disposition =
+            handle_line t ~chaos_delay_ms:action.Chaos.delay_ms line
+          in
+          let alive =
+            let s = Sink.to_string response in
+            match action.Chaos.transport with
+            | `Drop -> false
+            | `Truncate ->
+              (* A torn write: half the line, no newline, then hang up —
+                 the same wreckage a crash mid-response leaves. *)
+              (try
+                 output_string oc (String.sub s 0 (String.length s / 2));
+                 flush oc
+               with Sys_error _ -> ());
+              false
+            | `Deliver -> (
+              try
+                output_string oc s;
+                output_char oc '\n';
+                flush oc;
+                true
+              with Sys_error _ -> false)
+          in
           (match disposition with
-          | `Continue -> if Atomic.get t.stop then () else loop ()
-          | `Stop -> initiate_shutdown t)
+          | `Stop -> initiate_shutdown t
+          | `Continue -> if alive && not (Atomic.get t.stop) then loop ())
       in
       loop ())
 
 (* --- lifecycle ------------------------------------------------------- *)
 
+(* Refuses to clobber another server's socket: an existing path is
+   probed with a connect — only a refused connection proves the socket
+   is stale and safe to unlink.  A live listener or a non-socket file
+   is an error, not a casualty. *)
 let bind_listener = function
   | Unix_socket path ->
-    if Sys.file_exists path then Unix.unlink path;
+    if Sys.file_exists path then begin
+      (match (Unix.lstat path).Unix.st_kind with
+      | Unix.S_SOCK -> ()
+      | _ ->
+        failwith
+          (Printf.sprintf "refusing to replace %s: not a socket" path));
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (err, _, _) -> `Unknown err
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      match verdict with
+      | `Stale -> Unix.unlink path
+      | `Live ->
+        failwith
+          (Printf.sprintf "a server is already listening on %s" path)
+      | `Unknown err ->
+        failwith
+          (Printf.sprintf "cannot probe %s (%s); not replacing it" path
+             (Unix.error_message err))
+    end;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
     Unix.listen fd 16;
@@ -202,7 +375,28 @@ let dump_metrics t path =
       output_string oc (Sink.to_string j);
       output_char oc '\n')
 
-let run ?pool ?metrics_out ?(on_ready = fun () -> ()) ~cache listen =
+(* Join connection threads that have announced their exit; called from
+   the accept loop so the thread table stays bounded by the number of
+   live connections instead of growing for the server's lifetime. *)
+let reap t =
+  Mutex.lock t.lock;
+  let done_ = t.finished in
+  t.finished <- [];
+  let ths =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.threads id with
+        | Some th ->
+          Hashtbl.remove t.threads id;
+          Some th
+        | None -> None)
+      done_
+  in
+  Mutex.unlock t.lock;
+  List.iter Thread.join ths
+
+let run ?pool ?metrics_out ?(on_ready = fun () -> ())
+    ?(limits = default_limits) ?chaos ~cache listen =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = bind_listener listen in
   let t =
@@ -210,11 +404,18 @@ let run ?pool ?metrics_out ?(on_ready = fun () -> ()) ~cache listen =
       cache;
       pool;
       metrics = Metrics.create ();
+      limits;
+      chaos;
       lock = Mutex.create ();
       cond = Condition.create ();
       inflight = Hashtbl.create 16;
       conns = Hashtbl.create 16;
+      threads = Hashtbl.create 16;
+      finished = [];
       next_conn = 0;
+      adm_lock = Mutex.create ();
+      running = 0;
+      queued = 0;
       stop = Atomic.make false;
       listen_fd;
       listen;
@@ -224,30 +425,39 @@ let run ?pool ?metrics_out ?(on_ready = fun () -> ()) ~cache listen =
   let previous_int = Sys.signal Sys.sigint stop_on_signal in
   let previous_term = Sys.signal Sys.sigterm stop_on_signal in
   on_ready ();
-  let rec accept_loop threads =
-    if Atomic.get t.stop then threads
-    else
+  let rec accept_loop () =
+    reap t;
+    if not (Atomic.get t.stop) then
       match Unix.accept t.listen_fd with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop threads
-      | exception Unix.Unix_error (_, _, _) ->
-        if Atomic.get t.stop then threads else threads
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
       | fd, _ ->
-        if Atomic.get t.stop then begin
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          threads
-        end
+        if Atomic.get t.stop then
+          try Unix.close fd with Unix.Unix_error _ -> ()
         else begin
+          if limits.idle_timeout_s > 0. then
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO limits.idle_timeout_s;
+          (* Register the thread under the lock before it can finish:
+             [serve_conn]'s exit path takes the same lock, so the table
+             entry always exists by the time its id reaches [finished]. *)
           Mutex.lock t.lock;
           let conn_id = t.next_conn in
           t.next_conn <- conn_id + 1;
           Hashtbl.replace t.conns conn_id fd;
-          Mutex.unlock t.lock;
           let th = Thread.create (fun () -> serve_conn t conn_id fd) () in
-          accept_loop (th :: threads)
+          Hashtbl.replace t.threads conn_id th;
+          Mutex.unlock t.lock;
+          accept_loop ()
         end
   in
-  let threads = accept_loop [] in
-  List.iter Thread.join threads;
+  accept_loop ();
+  let remaining =
+    Mutex.lock t.lock;
+    let ths = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
+    Mutex.unlock t.lock;
+    ths
+  in
+  List.iter Thread.join remaining;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (match listen with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

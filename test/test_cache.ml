@@ -307,6 +307,122 @@ let test_store_missing_file () =
   Alcotest.(check int) "empty" 0 (List.length replayed);
   Alcotest.(check int) "no invalid" 0 invalid
 
+(* --- compaction ------------------------------------------------------- *)
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> go (line :: acc)
+        in
+        go [])
+  end
+
+let test_store_compact () =
+  let path = Filename.temp_file "bi_compact" ".jsonl" in
+  let store = Store.open_append path in
+  List.iter (Store.append store)
+    [
+      { Store.key = "a"; kind = "payload"; body = Sink.Int 1 };
+      { Store.key = "b"; kind = "payload"; body = Sink.Int 2 };
+      { Store.key = "a"; kind = "payload"; body = Sink.Int 3 };
+      { Store.key = "a"; kind = "payload"; body = Sink.Int 4 };
+    ]
+  ;
+  Store.close store;
+  (* A torn tail and a garbage line, as a crash mid-append leaves them. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json at all\n";
+  output_string oc {|{"record":"entry","key":"c","kind|};
+  close_out oc;
+  let c = Store.compact path in
+  Alcotest.(check int) "kept last entry per key" 2 c.Store.kept;
+  Alcotest.(check int) "stale duplicates dropped" 2 c.Store.superseded;
+  Alcotest.(check int) "bad lines quarantined" 2 c.Store.quarantined;
+  let replayed, invalid = Store.load path in
+  Alcotest.(check int) "compacted log replays clean" 0 invalid;
+  Alcotest.(check int) "one entry per key" 2 (List.length replayed);
+  Alcotest.(check bool) "latest value wins" true
+    (List.exists
+       (fun e -> e.Store.key = "a" && e.Store.body = Sink.Int 4)
+       replayed);
+  (* The quarantine sidecar holds the rejected lines verbatim. *)
+  let rej = read_lines (Store.rej_path path) in
+  Alcotest.(check (list string)) "sidecar verbatim"
+    [ "not json at all"; {|{"record":"entry","key":"c","kind|} ]
+    rej;
+  (* Idempotence: compacting a clean log is a no-op. *)
+  let c2 = Store.compact path in
+  Alcotest.(check int) "kept stable" 2 c2.Store.kept;
+  Alcotest.(check int) "nothing superseded" 0 c2.Store.superseded;
+  Alcotest.(check int) "nothing quarantined" 0 c2.Store.quarantined;
+  let replayed2, _ = Store.load path in
+  Alcotest.(check bool) "second pass preserves entries" true
+    (List.map (fun e -> (e.Store.key, e.Store.body)) replayed
+    = List.map (fun e -> (e.Store.key, e.Store.body)) replayed2);
+  Sys.remove path;
+  Sys.remove (Store.rej_path path)
+
+let test_service_crash_then_compact () =
+  let path = Filename.temp_file "bi_crash" ".jsonl" in
+  Sys.remove path;
+  let game =
+    match Bi_constructions.Registry.build "gworst-curse" 3 with
+    | Ok g -> g
+    | Error e -> Alcotest.fail e
+  in
+  let fp = Fingerprint.of_game game in
+  let s1 = Service.create ~store_path:path () in
+  let a1, _ = Service.analysis s1 fp (fun () -> Bncs.analyze game) in
+  Service.close s1;
+  (* kill -9 mid-append: the log ends in a half-written line. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc {|{"record":"entry","key":"|};
+  close_out oc;
+  (* Reopen: the torn tail pushes the invalid share past the threshold,
+     so the open-time compaction fires, quarantines the fragment and
+     keeps every valid entry. *)
+  let s2 = Service.create ~store_path:path () in
+  let st = Service.stats s2 in
+  Alcotest.(check int) "valid entry replayed" 1 st.Service.loaded;
+  Alcotest.(check int) "torn tail quarantined" 1 st.Service.quarantined;
+  let a2, hit = Service.analysis s2 fp (fun () -> Alcotest.fail "recomputed") in
+  Alcotest.(check bool) "warm hit after recovery" true hit;
+  Alcotest.(check string) "byte-identical answer"
+    (Sink.to_string (Codec.analysis_to_json a1))
+    (Sink.to_string (Codec.analysis_to_json a2));
+  Service.close s2;
+  (* The compacted log is clean: a third open replays with no invalid
+     lines and no further compaction. *)
+  let s3 = Service.create ~store_path:path () in
+  let st3 = Service.stats s3 in
+  Alcotest.(check int) "clean replay" 1 st3.Service.loaded;
+  Alcotest.(check int) "no invalid lines" 0 st3.Service.invalid;
+  Alcotest.(check int) "no compaction needed" 0 st3.Service.quarantined;
+  Service.close s3;
+  Sys.remove path;
+  Sys.remove (Store.rej_path path)
+
+let test_service_auto_compact_opt_out () =
+  let path = Filename.temp_file "bi_noauto" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "garbage line\n";
+  close_out oc;
+  let s = Service.create ~store_path:path ~auto_compact:false () in
+  let st = Service.stats s in
+  Alcotest.(check int) "invalid counted" 1 st.Service.invalid;
+  Alcotest.(check int) "nothing quarantined" 0 st.Service.quarantined;
+  Service.close s;
+  Alcotest.(check bool) "no sidecar written" false
+    (Sys.file_exists (Store.rej_path path));
+  Sys.remove path
+
 (* --- service ---------------------------------------------------------- *)
 
 let test_service_miss_then_hit () =
@@ -403,6 +519,8 @@ let () =
             test_store_roundtrip_and_corruption;
           Alcotest.test_case "missing file is empty" `Quick
             test_store_missing_file;
+          Alcotest.test_case "compact keeps last entry per key" `Quick
+            test_store_compact;
         ] );
       ( "service",
         [
@@ -411,5 +529,9 @@ let () =
             test_service_restart_from_store;
           Alcotest.test_case "lru bounds memory" `Quick
             test_service_lru_bounds_memory;
+          Alcotest.test_case "crash recovery compacts and preserves" `Quick
+            test_service_crash_then_compact;
+          Alcotest.test_case "auto compaction can be disabled" `Quick
+            test_service_auto_compact_opt_out;
         ] );
     ]

@@ -1,7 +1,9 @@
-(* The analysis server: protocol parsing, metrics accounting, and an
-   end-to-end exercise over a real Unix-domain socket — duplicate
-   request answered from cache, inline analyze, error paths, shutdown,
-   and a restart that answers from the persisted store. *)
+(* The analysis server: protocol parsing (including fuzzed garbage),
+   metrics accounting, and end-to-end exercises over a real Unix-domain
+   socket — duplicate request answered from cache, inline analyze,
+   error paths, shutdown, restart answering from the persisted store,
+   deadlines, load shedding, idle timeouts, client reconnect, and the
+   listener's refusal to clobber a live socket. *)
 
 open Bi_num
 module Graph = Bi_graph.Graph
@@ -13,28 +15,40 @@ module Protocol = Bi_serve.Protocol
 module Metrics = Bi_serve.Metrics
 module Server = Bi_serve.Server
 module Client = Bi_serve.Client
+module Chaos = Bi_serve.Chaos
 
 (* --- protocol --------------------------------------------------------- *)
 
 let test_parse_requests () =
   (match Protocol.parse_request {|{"op":"construction","name":"diamond","k":2}|} with
-  | Ok (Protocol.Construction { name = "diamond"; k = 2 }) -> ()
+  | Ok
+      {
+        Protocol.query = Protocol.Construction { name = "diamond"; k = 2 };
+        deadline_ms = None;
+      } ->
+    ()
   | _ -> Alcotest.fail "construction request");
   (match Protocol.parse_request {|{"op":"construction","name":"affine"}|} with
-  | Ok (Protocol.Construction { name = "affine"; k }) ->
+  | Ok { Protocol.query = Protocol.Construction { name = "affine"; k }; _ } ->
     Alcotest.(check int) "default k" Protocol.default_k k
   | _ -> Alcotest.fail "construction default k");
   (match Protocol.parse_request {|{"op":"stats"}|} with
-  | Ok Protocol.Stats -> ()
+  | Ok { Protocol.query = Protocol.Stats; deadline_ms = None } -> ()
   | _ -> Alcotest.fail "stats request");
   (match Protocol.parse_request {|{"op":"shutdown"}|} with
-  | Ok Protocol.Shutdown -> ()
+  | Ok { Protocol.query = Protocol.Shutdown; _ } -> ()
   | _ -> Alcotest.fail "shutdown request");
+  (match Protocol.parse_request {|{"op":"stats","deadline_ms":250}|} with
+  | Ok { Protocol.query = Protocol.Stats; deadline_ms = Some 250 } -> ()
+  | _ -> Alcotest.fail "deadline_ms carried through");
   let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one) ] in
   let prior = Dist.uniform [ [| (0, 1) |] ] in
-  let line = Sink.to_string (Protocol.analyze_request graph ~prior) in
+  let line =
+    Sink.to_string (Protocol.analyze_request ~deadline_ms:40 graph ~prior)
+  in
   (match Protocol.parse_request line with
-  | Ok (Protocol.Analyze (graph', prior')) ->
+  | Ok { Protocol.query = Protocol.Analyze (graph', prior'); deadline_ms } ->
+    Alcotest.(check (option int)) "deadline round-trips" (Some 40) deadline_ms;
     Alcotest.(check string) "analyze round-trips the game"
       (Bi_cache.Fingerprint.game graph ~prior)
       (Bi_cache.Fingerprint.game graph' ~prior:prior')
@@ -48,7 +62,56 @@ let test_parse_requests () =
       "not json"; {|{"op":"frobnicate"}|}; {|{"noop":1}|};
       {|{"op":"analyze"}|}; {|{"op":"construction","k":3}|};
       {|{"op":"construction","name":"diamond","k":"big"}|};
+      {|{"op":"stats","deadline_ms":0}|};
+      {|{"op":"stats","deadline_ms":-5}|};
+      {|{"op":"stats","deadline_ms":"soon"}|};
     ]
+
+let test_response_codes () =
+  Alcotest.(check (option string)) "ok" (Some "ok")
+    (Protocol.response_code Protocol.ok_shutdown);
+  Alcotest.(check (option string)) "error" (Some "error")
+    (Protocol.response_code (Protocol.error "boom"));
+  let shed = Protocol.overloaded ~retry_after_ms:40 in
+  Alcotest.(check (option string)) "overloaded" (Some "overloaded")
+    (Protocol.response_code shed);
+  Alcotest.(check (option int)) "retry hint" (Some 40)
+    (Protocol.retry_after_ms shed);
+  Alcotest.(check (option string)) "deadline_exceeded"
+    (Some "deadline_exceeded")
+    (Protocol.response_code Protocol.deadline_exceeded);
+  Alcotest.(check (option string)) "not a response" None
+    (Protocol.response_code (Sink.Obj [ ("x", Sink.Int 1) ]))
+
+(* parse_request must be total: any byte salad gets Ok or Error, never
+   an exception (a [Stack_overflow] here would kill a server thread). *)
+let fuzz_parse_total =
+  QCheck2.Test.make ~name:"parse_request is total on garbage" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\t' '~') (int_range 0 300))
+    (fun s ->
+      match Protocol.parse_request s with Ok _ | Error _ -> true)
+
+let test_parse_hostile_inputs () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted hostile input")
+    [
+      (* nesting beyond the parser's depth cap must be a parse error,
+         not a stack overflow *)
+      String.make 100_000 '[';
+      deep 600;
+      {|{"op":"analyze","game":|} ^ deep 5_000 ^ "}";
+      (* oversized flat line *)
+      String.make 2_000_000 'a';
+      String.concat "" (List.init 513 (fun _ -> {|{"op":|}));
+    ];
+  (* nesting below the cap still parses *)
+  match Protocol.parse_request ({|{"op":"stats","pad":|} ^ deep 100 ^ "}") with
+  | Ok { Protocol.query = Protocol.Stats; _ } -> ()
+  | _ -> Alcotest.fail "moderate nesting rejected"
 
 let test_metrics_accounting () =
   let m = Metrics.create () in
@@ -61,6 +124,11 @@ let test_metrics_accounting () =
   Metrics.leave m ~seconds:0.000003;
   Metrics.leave m ~seconds:0.1;
   Metrics.error m;
+  Metrics.overload m;
+  Metrics.deadline_exceeded m;
+  Metrics.idle_close m;
+  Metrics.fault_injected m;
+  Metrics.fault_injected m;
   let j = Metrics.to_json m in
   let get k = match Sink.member k j with Some (Sink.Int n) -> n | _ -> -1 in
   Alcotest.(check int) "requests" 1 (get "requests");
@@ -68,6 +136,10 @@ let test_metrics_accounting () =
   Alcotest.(check int) "hits include coalesced" 2 (get "hits");
   Alcotest.(check int) "misses" 1 (get "misses");
   Alcotest.(check int) "coalesced" 1 (get "coalesced");
+  Alcotest.(check int) "overloaded" 1 (get "overloaded");
+  Alcotest.(check int) "deadline_exceeded" 1 (get "deadline_exceeded");
+  Alcotest.(check int) "idle_closed" 1 (get "idle_closed");
+  Alcotest.(check int) "faults_injected" 2 (get "faults_injected");
   Alcotest.(check int) "gauge back to zero" 0 (get "queue_depth");
   Alcotest.(check int) "high-water mark" 2 (get "max_queue_depth");
   match Sink.member "latency_log2_us" j with
@@ -81,9 +153,34 @@ let test_metrics_accounting () =
     Alcotest.(check int) "both latencies bucketed" 2 count
   | _ -> Alcotest.fail "histogram missing"
 
+(* --- chaos configuration ---------------------------------------------- *)
+
+let test_chaos_parse () =
+  (match Chaos.parse "seed=3,delay_p=0.25,delay_ms=40,drop_p=0.1" with
+  | Ok cfg ->
+    Alcotest.(check int) "seed" 3 cfg.Chaos.seed;
+    Alcotest.(check (float 1e-9)) "delay_p" 0.25 cfg.Chaos.delay_p;
+    Alcotest.(check int) "delay_ms" 40 cfg.Chaos.delay_ms;
+    Alcotest.(check (float 1e-9)) "drop_p" 0.1 cfg.Chaos.drop_p;
+    Alcotest.(check bool) "enabled" true (Chaos.is_enabled cfg)
+  | Error e -> Alcotest.fail e);
+  (match Chaos.parse "" with
+  | Ok cfg -> Alcotest.(check bool) "empty = disabled" false (Chaos.is_enabled cfg)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Chaos.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" bad)
+    [ "delay_p=2"; "drop_p=x"; "frob=1"; "delay_ms"; "truncate_p=-0.1" ];
+  (* the decision stream is deterministic in (seed, counter) *)
+  Alcotest.(check (float 0.)) "stream reproducible"
+    (Chaos.unit_float ~seed:7 ~counter:42)
+    (Chaos.unit_float ~seed:7 ~counter:42)
+
 (* --- end-to-end over a Unix socket ------------------------------------ *)
 
-let with_server ?store_path f =
+let with_server ?store_path ?limits ?chaos f =
   let dir = Filename.temp_file "bi_serve" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
@@ -95,7 +192,7 @@ let with_server ?store_path f =
   let server =
     Thread.create
       (fun () ->
-        Server.run ~metrics_out
+        Server.run ~metrics_out ?limits ?chaos
           ~on_ready:(fun () ->
             Mutex.lock ready;
             is_ready := true;
@@ -126,7 +223,7 @@ let get_bool key j =
 
 let request_ok client req =
   match Client.request client req with
-  | Error e -> Alcotest.fail e
+  | Error f -> Alcotest.fail (Client.failure_to_string f)
   | Ok resp ->
     Alcotest.(check bool) "response ok" true (Protocol.is_ok resp);
     resp
@@ -139,7 +236,7 @@ let test_end_to_end () =
          from the cache with an identical analysis. *)
       let c1 = Client.connect_unix socket in
       let c2 = Client.connect_unix socket in
-      let req = Protocol.construction_request ~name:"gworst-bliss" ~k:3 in
+      let req = Protocol.construction_request ~name:"gworst-bliss" ~k:3 () in
       let r1 = request_ok c1 req in
       let r2 = request_ok c2 req in
       Alcotest.(check (option bool)) "first computes" (Some false)
@@ -164,10 +261,10 @@ let test_end_to_end () =
       | None -> Alcotest.fail "analysis missing");
       (* Unknown construction and protocol errors are reported, not fatal. *)
       (match
-         Client.request c2 (Protocol.construction_request ~name:"nope" ~k:1)
+         Client.request c2 (Protocol.construction_request ~name:"nope" ~k:1 ())
        with
       | Ok resp -> Alcotest.(check bool) "error response" false (Protocol.is_ok resp)
-      | Error e -> Alcotest.fail e);
+      | Error f -> Alcotest.fail (Client.failure_to_string f));
       (* Stats must show the duplicate as a hit. *)
       let stats = request_ok c1 Protocol.stats_request in
       let hits =
@@ -190,7 +287,7 @@ let test_end_to_end () =
   with_server ~store_path (fun ~socket ~metrics_out:_ ->
       let c = Client.connect_unix socket in
       let r =
-        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:3)
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:3 ())
       in
       Alcotest.(check (option bool)) "first request already cached" (Some true)
         (get_bool "cached" r);
@@ -201,7 +298,7 @@ let test_end_to_end () =
 let test_metrics_dump () =
   with_server (fun ~socket ~metrics_out ->
       let c = Client.connect_unix socket in
-      ignore (request_ok c (Protocol.construction_request ~name:"gworst-curse" ~k:3));
+      ignore (request_ok c (Protocol.construction_request ~name:"gworst-curse" ~k:3 ()));
       ignore (request_ok c Protocol.shutdown_request);
       Client.close c;
       (* run returns after the dump; wait for the server thread via the
@@ -228,18 +325,219 @@ let test_metrics_dump () =
         Alcotest.(check bool) "has cache section" true
           (Sink.member "cache" j <> None))
 
+(* Garbage on the wire gets a structured error and leaves both the
+   connection and the server fully usable. *)
+let test_survives_garbage () =
+  with_server (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      List.iter
+        (fun probe ->
+          match Client.raw_request c probe with
+          | Error f -> Alcotest.fail (Client.failure_to_string f)
+          | Ok line -> (
+            match Sink.of_string line with
+            | Error e -> Alcotest.failf "unparseable error response: %s" e
+            | Ok resp ->
+              Alcotest.(check bool) "structured error" false
+                (Protocol.is_ok resp);
+              Alcotest.(check bool) "has code" true
+                (Protocol.response_code resp <> None)))
+        [
+          "{\"op\": \"analyze\", garbage";
+          "]]]]";
+          String.make 600 '[';
+          "{\"op\": 42}";
+        ];
+      (* same connection still answers real requests *)
+      ignore
+        (request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ()));
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* A request whose deadline is shorter than the (chaos-injected)
+   compute latency gets a structured deadline_exceeded, and the same
+   request without a deadline still completes. *)
+let test_deadline_exceeded () =
+  let chaos =
+    Chaos.create { Chaos.disabled with seed = 1; delay_p = 1.; delay_ms = 200 }
+  in
+  with_server ~chaos (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      (match
+         Client.request c
+           (Protocol.construction_request ~deadline_ms:30 ~name:"gworst-bliss"
+              ~k:2 ())
+       with
+      | Error f -> Alcotest.fail (Client.failure_to_string f)
+      | Ok resp ->
+        Alcotest.(check (option string)) "deadline exceeded"
+          (Some "deadline_exceeded")
+          (Protocol.response_code resp));
+      (* without a deadline the same request completes despite the delay *)
+      ignore
+        (request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ()));
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* With one compute slot, no queue, and injected compute latency, a
+   concurrent distinct analysis is shed immediately with a retry hint —
+   and a retrying client eventually gets the real answer. *)
+let test_load_shedding () =
+  let limits =
+    { Server.default_limits with max_concurrent = 1; max_queue = 0 }
+  in
+  let chaos =
+    Chaos.create { Chaos.disabled with seed = 2; delay_p = 1.; delay_ms = 600 }
+  in
+  with_server ~limits ~chaos (fun ~socket ~metrics_out:_ ->
+      let slow = Thread.create (fun () ->
+          let c1 = Client.connect_unix socket in
+          ignore
+            (request_ok c1
+               (Protocol.construction_request ~name:"gworst-curse" ~k:2 ()));
+          Client.close c1) ()
+      in
+      Thread.delay 0.2;  (* let the slow analysis claim the only slot *)
+      let c2 = Client.connect_unix socket in
+      let req = Protocol.construction_request ~name:"gworst-curse" ~k:3 () in
+      (match Client.request c2 req with
+      | Error f -> Alcotest.fail (Client.failure_to_string f)
+      | Ok resp ->
+        Alcotest.(check (option string)) "shed" (Some "overloaded")
+          (Protocol.response_code resp);
+        Alcotest.(check bool) "retry hint present" true
+          (Protocol.retry_after_ms resp <> None));
+      Thread.join slow;
+      (* retrying rides out the overload *)
+      let retry =
+        { Client.default_retry with attempts = 12; base_delay_ms = 100; seed = 5 }
+      in
+      (match Client.request ~retry c2 req with
+      | Error f -> Alcotest.fail (Client.failure_to_string f)
+      | Ok resp ->
+        Alcotest.(check bool) "eventually answered" true (Protocol.is_ok resp));
+      ignore (request_ok c2 Protocol.stats_request);
+      Client.close c2)
+
+(* Idle connections are closed by the read timeout; the client notices,
+   refuses to reuse the dead socket without retry, and reconnects with
+   it. *)
+let test_idle_timeout_and_reconnect () =
+  let limits = { Server.default_limits with idle_timeout_s = 0.25 } in
+  with_server ~limits (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      ignore (request_ok c Protocol.stats_request);
+      Thread.delay 0.8;  (* idle past the timeout: server hangs up *)
+      (match Client.request c Protocol.stats_request with
+      | Error (Client.Io _) -> ()
+      | Error f -> Alcotest.failf "want Io, got %s" (Client.failure_to_string f)
+      | Ok _ -> Alcotest.fail "dead connection answered");
+      (* broken without retry: refused, not silently rewritten *)
+      (match Client.request c Protocol.stats_request with
+      | Error Client.Closed -> ()
+      | Error f -> Alcotest.failf "want Closed, got %s" (Client.failure_to_string f)
+      | Ok _ -> Alcotest.fail "broken client answered");
+      (* with retry: reconnects to the remembered address *)
+      let stats =
+        match Client.request ~retry:Client.default_retry c Protocol.stats_request with
+        | Error f -> Alcotest.fail (Client.failure_to_string f)
+        | Ok resp -> resp
+      in
+      Alcotest.(check bool) "reconnected" true (Protocol.is_ok stats);
+      let idle_closed =
+        match
+          Option.bind (Sink.member "server" stats) (Sink.member "idle_closed")
+        with
+        | Some (Sink.Int n) -> n
+        | _ -> -1
+      in
+      Alcotest.(check bool) "idle close counted" true (idle_closed >= 1);
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* The listener refuses to clobber a live server's socket or a
+   non-socket file, and silently replaces a stale socket left by a
+   crash. *)
+let test_bind_listener_safety () =
+  with_server (fun ~socket ~metrics_out:_ ->
+      let cache2 = Service.create () in
+      (match Server.run ~cache:cache2 (Server.Unix_socket socket) with
+      | () -> Alcotest.fail "second server bound over a live socket"
+      | exception Failure _ -> ());
+      Service.close cache2;
+      let c = Client.connect_unix socket in
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c);
+  let dir = Filename.temp_file "bi_bind" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  (* a plain file at the listen path is never unlinked *)
+  let plain = Filename.concat dir "not-a-socket" in
+  let oc = open_out plain in
+  output_string oc "precious";
+  close_out oc;
+  let cache = Service.create () in
+  (match Server.run ~cache (Server.Unix_socket plain) with
+  | () -> Alcotest.fail "bound over a regular file"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "file survives" true (Sys.file_exists plain);
+  Service.close cache;
+  (* a stale socket (bound once, process gone) is replaced and served *)
+  let stale = Filename.concat dir "stale.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;
+  let cache = Service.create () in
+  let ready = Mutex.create () and readied = Condition.create () in
+  let is_ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~on_ready:(fun () ->
+            Mutex.lock ready;
+            is_ready := true;
+            Condition.signal readied;
+            Mutex.unlock ready)
+          ~cache (Server.Unix_socket stale))
+      ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait readied ready
+  done;
+  Mutex.unlock ready;
+  let c = Client.connect_unix stale in
+  ignore (request_ok c Protocol.stats_request);
+  ignore (request_ok c Protocol.shutdown_request);
+  Client.close c;
+  Thread.join server;
+  Service.close cache
+
 let () =
   Alcotest.run "bi_serve"
     [
       ( "protocol",
         [
           Alcotest.test_case "request parsing" `Quick test_parse_requests;
+          Alcotest.test_case "response codes" `Quick test_response_codes;
+          QCheck_alcotest.to_alcotest fuzz_parse_total;
+          Alcotest.test_case "hostile inputs" `Quick test_parse_hostile_inputs;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+          Alcotest.test_case "chaos spec parsing" `Quick test_chaos_parse;
         ] );
       ( "server",
         [
           Alcotest.test_case "end to end over a unix socket" `Quick
             test_end_to_end;
           Alcotest.test_case "metrics dump on shutdown" `Quick test_metrics_dump;
+          Alcotest.test_case "survives garbage on the wire" `Quick
+            test_survives_garbage;
+          Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
+          Alcotest.test_case "load shedding and retry" `Quick test_load_shedding;
+          Alcotest.test_case "idle timeout and reconnect" `Quick
+            test_idle_timeout_and_reconnect;
+          Alcotest.test_case "listener refuses live socket" `Quick
+            test_bind_listener_safety;
         ] );
     ]
