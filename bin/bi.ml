@@ -158,7 +158,7 @@ let plane p =
 let default_socket = "bi.sock"
 
 let serve socket tcp cache_path capacity metrics_out jobs deadline
-    max_concurrent max_queue idle_timeout chaos_spec =
+    max_concurrent max_queue idle_timeout chaos_spec shard_id =
   let chaos_cfg =
     match chaos_spec with
     | Some spec -> Serve.Chaos.parse spec
@@ -185,7 +185,9 @@ let serve socket tcp cache_path capacity metrics_out jobs deadline
       | Some port -> Serve.Server.Tcp port
       | None -> Serve.Server.Unix_socket socket
     in
-    let cache = Cache.Service.create ~capacity ?store_path:cache_path () in
+    let cache =
+      Cache.Service.create ~capacity ?store_path:cache_path ?shard:shard_id ()
+    in
     let stats0 = Cache.Service.stats cache in
     match
       Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
@@ -198,6 +200,7 @@ let serve socket tcp cache_path capacity metrics_out jobs deadline
               Printf.printf "bi serve: unix socket %s" path
             | Serve.Server.Tcp port ->
               Printf.printf "bi serve: tcp 127.0.0.1:%d" port);
+            Option.iter (Printf.printf " (shard %s)") shard_id;
             if
               stats0.Cache.Service.loaded > 0
               || stats0.Cache.Service.invalid > 0
@@ -223,7 +226,7 @@ let serve socket tcp cache_path capacity metrics_out jobs deadline
       Printf.eprintf "error: %s\n" msg;
       1)
 
-let retry_of ~retries ~retry_base_ms ~seed =
+let retry_of ~retries ~retry_base_ms =
   if retries <= 0 then None
   else
     Some
@@ -231,7 +234,6 @@ let retry_of ~retries ~retry_base_ms ~seed =
         Serve.Client.default_retry with
         attempts = retries;
         base_delay_ms = retry_base_ms;
-        seed;
       }
 
 let query socket tcp verb name k deadline retries retry_base_ms =
@@ -255,11 +257,13 @@ let query socket tcp verb name k deadline retries retry_base_ms =
              ([ ("op", Sink.Str "analyze"); ("game", game) ] @ deadline_field))
       | Error e -> Error (Printf.sprintf "game description on stdin: %s" e))
     | "stats" -> Ok Serve.Protocol.stats_request
+    | "health" -> Ok Serve.Protocol.health_request
     | "shutdown" -> Ok Serve.Protocol.shutdown_request
     | v ->
       Error
         (Printf.sprintf
-           "unknown verb %S (try: construction, analyze, stats, shutdown)" v)
+           "unknown verb %S (try: construction, analyze, stats, health, \
+            shutdown)" v)
   in
   match request with
   | Error e ->
@@ -276,7 +280,7 @@ let query socket tcp verb name k deadline retries retry_base_ms =
         (Unix.error_message err);
       1
     | client -> (
-      let retry = retry_of ~retries ~retry_base_ms ~seed:0 in
+      let retry = retry_of ~retries ~retry_base_ms in
       let response = Serve.Client.request ?retry client request in
       Serve.Client.close client;
       match response with
@@ -286,6 +290,62 @@ let query socket tcp verb name k deadline retries retry_base_ms =
       | Ok response ->
         print_endline (Sink.to_string response);
         if Serve.Protocol.is_ok response then 0 else 1))
+
+(* --- cluster router --- *)
+
+let router socket tcp members members_file replicas quorum front_capacity
+    metrics_out =
+  let initial =
+    match members with
+    | Some m -> Ok (Router.Router.parse_members m)
+    | None -> (
+      match members_file with
+      | None ->
+        Error "router: no members (give --members or --members-file)"
+      | Some path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | content -> Ok (Router.Router.parse_members content)
+        | exception Sys_error e -> Error ("router: members file: " ^ e)))
+  in
+  match initial with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    2
+  | Ok members -> (
+    let config =
+      {
+        Router.Router.default_config with
+        replicas;
+        quorum;
+        front_capacity;
+      }
+    in
+    let listen =
+      match tcp with
+      | Some port -> Serve.Lineserver.Tcp port
+      | None -> Serve.Lineserver.Unix_socket socket
+    in
+    let on_ready () =
+      (match listen with
+      | Serve.Lineserver.Unix_socket path ->
+        Printf.printf "bi router: unix socket %s" path
+      | Serve.Lineserver.Tcp port ->
+        Printf.printf "bi router: tcp 127.0.0.1:%d" port);
+      Printf.printf " -> %s (replicas %d, quorum %d)\n"
+        (String.concat "," members)
+        config.Router.Router.replicas config.Router.Router.quorum;
+      flush stdout
+    in
+    match
+      Router.Router.run ~on_ready ~metrics_out ?members_file ~config ~members
+        listen
+    with
+    | () ->
+      Printf.printf "bi router: stopped; metrics in %s\n" metrics_out;
+      0
+    | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1)
 
 (* --- chaos soak --- *)
 
@@ -327,7 +387,10 @@ let garbage_probes =
    requests and raw garbage — against a retrying client that must end
    every exchange in a valid answer or a structured error. *)
 let soak_worker ~connect ~stop_at ~seed ~retries tally =
-  let retry = { Serve.Client.default_retry with attempts = max 1 retries; seed } in
+  let retry =
+    { Serve.Client.default_retry with attempts = max 1 retries;
+      seed = Some seed }
+  in
   let counter = ref 0 in
   let draw () =
     let u = Serve.Chaos.unit_float ~seed ~counter:!counter in
@@ -451,6 +514,304 @@ let chaos_soak socket tcp clients seconds retries seed =
             ("malformed", Int malformed);
           ]));
   if malformed = 0 && io_unresolved = 0 && sent > 0 then 0 else 1
+
+(* --- cluster chaos soak --- *)
+
+(* Spawn a backend shard as a real child process: cluster chaos must be
+   able to kill -9 a shard without taking the harness down with it. *)
+let spawn_shard ~dir ~port ~index =
+  let path name = Filename.concat dir (Printf.sprintf "shard-%d%s" index name) in
+  let log =
+    Unix.openfile (path ".log") [ Unix.O_WRONLY; O_CREAT; O_APPEND ] 0o644
+  in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [|
+        Sys.executable_name; "serve"; "--tcp"; string_of_int port;
+        "--cache"; path ".jsonl"; "--shard-id"; Printf.sprintf "shard-%d" index;
+        "--metrics-out"; path "-metrics.json";
+      |]
+      Unix.stdin log log
+  in
+  Unix.close log;
+  pid
+
+let wait_shard_ready ~port ~deadline_at =
+  let rec go () =
+    if Unix.gettimeofday () > deadline_at then false
+    else
+      match Serve.Client.connect_tcp ~timeout_s:5. port with
+      | exception Unix.Unix_error _ ->
+        Thread.delay 0.1;
+        go ()
+      | c ->
+        let ok =
+          match Serve.Client.request c Serve.Protocol.health_request with
+          | Ok resp -> Serve.Protocol.is_ok resp
+          | Error _ -> false
+        in
+        Serve.Client.close c;
+        if ok then true
+        else begin
+          Thread.delay 0.1;
+          go ()
+        end
+  in
+  go ()
+
+let wait_exit ?(timeout_s = 10.) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Thread.delay 0.1;
+        go ()
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  go ()
+
+let shutdown_endpoint connect =
+  match connect () with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+    ignore (Serve.Client.request c Serve.Protocol.shutdown_request);
+    Serve.Client.close c
+
+(* The warm key whose answer must survive the shard kill byte-for-byte. *)
+let warm_name = "gworst-bliss"
+let warm_k = 3
+
+let fetch_warm ?(attempts = 10) connect =
+  match connect () with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("connect: " ^ Unix.error_message err)
+  | c -> (
+    let retry = { Serve.Client.default_retry with attempts } in
+    let r =
+      Serve.Client.request ~retry c
+        (Serve.Protocol.construction_request ~name:warm_name ~k:warm_k ())
+    in
+    Serve.Client.close c;
+    match r with
+    | Ok resp when Serve.Protocol.is_ok resp -> (
+      match (Sink.member "fingerprint" resp, Sink.member "analysis" resp) with
+      | Some (Sink.Str fp), Some a -> Ok (fp, Sink.to_string a, resp)
+      | _ -> Error ("response missing fields: " ^ Sink.to_string resp))
+    | Ok resp -> Error ("not ok: " ^ Sink.to_string resp)
+    | Error f -> Error (Serve.Client.failure_to_string f))
+
+(* Kill -9 a shard mid-soak, assert warm answers stay byte-identical
+   across the failover (via the router AND straight from the replica
+   shard, which is what proves the quorum write landed), restart the
+   shard, and assert identity again once the cluster has healed. *)
+let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
+  let dir = Filename.temp_dir "bi-cluster" "" in
+  let base_port = 20000 + (Unix.getpid () mod 10000) in
+  let ports = Array.init shards (fun i -> base_port + i) in
+  let members =
+    Array.to_list (Array.map (Printf.sprintf "127.0.0.1:%d") ports)
+  in
+  let port_of_member m = List.assoc m (List.combine members (Array.to_list ports)) in
+  let index_of_member m =
+    let p = port_of_member m in
+    let rec find i = if ports.(i) = p then i else find (i + 1) in
+    find 0
+  in
+  Printf.eprintf "cluster: %d shards in %s, ports %d-%d\n%!" shards dir
+    base_port (base_port + shards - 1);
+  let pids = Array.init shards (fun i -> spawn_shard ~dir ~port:ports.(i) ~index:i) in
+  let teardown_shards () =
+    Array.iteri
+      (fun i pid ->
+        shutdown_endpoint (fun () ->
+            Serve.Client.connect_tcp ~timeout_s:5. ports.(i));
+        wait_exit pid)
+      pids
+  in
+  let ready_deadline = Unix.gettimeofday () +. 30. in
+  if
+    not
+      (Array.for_all
+         (fun port -> wait_shard_ready ~port ~deadline_at:ready_deadline)
+         ports)
+  then begin
+    Printf.eprintf "cluster: shards failed to become ready\n%!";
+    teardown_shards ();
+    1
+  end
+  else begin
+    (* The router runs in-process (we assert on its behavior, not its
+       process isolation) on a private socket.  A front cache of one
+       entry forces nearly every soak request through real routing. *)
+    let router_sock = Filename.concat dir "router.sock" in
+    let config = { Router.Router.default_config with front_capacity = 1 } in
+    let ready_m = Mutex.create () in
+    let ready_c = Condition.create () in
+    let ready = ref false in
+    let router_th =
+      Thread.create
+        (fun () ->
+          Router.Router.run
+            ~on_ready:(fun () ->
+              Mutex.lock ready_m;
+              ready := true;
+              Condition.broadcast ready_c;
+              Mutex.unlock ready_m)
+            ~metrics_out:router_metrics_out ~config ~members
+            (Serve.Lineserver.Unix_socket router_sock))
+        ()
+    in
+    Mutex.lock ready_m;
+    while not !ready do
+      Condition.wait ready_c ready_m
+    done;
+    Mutex.unlock ready_m;
+    let connect_router () =
+      Serve.Client.connect_unix ~timeout_s:30. router_sock
+    in
+    let connect_shard m () =
+      Serve.Client.connect_tcp ~timeout_s:30. (port_of_member m)
+    in
+    let teardown () =
+      shutdown_endpoint connect_router;
+      Thread.join router_th;
+      teardown_shards ()
+    in
+    match fetch_warm connect_router with
+    | Error e ->
+      Printf.eprintf "cluster: warm fetch failed: %s\n%!" e;
+      teardown ();
+      1
+    | Ok (fp, bytes0, _) ->
+      (* The same deterministic ring the router built tells us which
+         shard owns the warm key — that one gets killed. *)
+      let ring = Router.Ring.create members in
+      let owners = Router.Ring.owners ring ~n:2 fp in
+      let victim_member = List.nth owners 0 in
+      let replica_member = List.nth owners 1 in
+      let victim = index_of_member victim_member in
+      Printf.eprintf "cluster: warm key %s owned by %s (replica %s)\n%!" fp
+        victim_member replica_member;
+      let checks = ref [] in
+      let check name ok =
+        Printf.eprintf "cluster: check %s: %s\n%!" name
+          (if ok then "ok" else "FAILED");
+        checks := (name, ok) :: !checks
+      in
+      let identical label = function
+        | Ok (fp', bytes, _) -> fp' = fp && bytes = bytes0
+        | Error e ->
+          Printf.eprintf "cluster: %s: %s\n%!" label e;
+          false
+      in
+      let t0 = Unix.gettimeofday () in
+      let stop_at = t0 +. float_of_int seconds in
+      let at frac = t0 +. (frac *. float_of_int seconds) in
+      let sleep_until t =
+        let dt = t -. Unix.gettimeofday () in
+        if dt > 0. then Thread.delay dt
+      in
+      let timeline () =
+        sleep_until (at 0.35);
+        Printf.eprintf "cluster: kill -9 shard-%d\n%!" victim;
+        (try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pids.(victim))
+         with Unix.Unix_error _ -> ());
+        sleep_until (at 0.5);
+        check "router_failover_identity"
+          (identical "router failover fetch" (fetch_warm connect_router));
+        check "replica_holds_quorum_copy"
+          (match fetch_warm ~attempts:5 (connect_shard replica_member) with
+          | Ok (fp', bytes, resp) ->
+            let cached =
+              match Sink.member "cached" resp with
+              | Some (Sink.Bool b) -> b
+              | _ -> false
+            in
+            fp' = fp && bytes = bytes0 && cached
+          | Error e ->
+            Printf.eprintf "cluster: replica fetch: %s\n%!" e;
+            false);
+        sleep_until (at 0.65);
+        Printf.eprintf "cluster: restart shard-%d\n%!" victim;
+        pids.(victim) <- spawn_shard ~dir ~port:ports.(victim) ~index:victim;
+        check "victim_restarted"
+          (wait_shard_ready ~port:ports.(victim)
+             ~deadline_at:(Unix.gettimeofday () +. 20.))
+      in
+      let timeline_th = Thread.create timeline () in
+      let tallies = Array.init clients (fun _ -> new_tally ()) in
+      let workers =
+        Array.mapi
+          (fun i tally ->
+            Thread.create
+              (fun () ->
+                soak_worker ~connect:connect_router ~stop_at
+                  ~seed:(seed + (7919 * (i + 1)))
+                  ~retries tally)
+              ())
+          tallies
+      in
+      Array.iter Thread.join workers;
+      Thread.join timeline_th;
+      check "router_identity_after_recovery"
+        (identical "post-recovery router fetch" (fetch_warm connect_router));
+      check "victim_store_identity"
+        (identical "restarted victim fetch"
+           (fetch_warm ~attempts:5 (connect_shard victim_member)));
+      teardown ();
+      let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let sent = sum (fun t -> t.sent)
+      and answered = sum (fun t -> t.answered)
+      and server_error = sum (fun t -> t.server_error)
+      and shed = sum (fun t -> t.shed)
+      and expired = sum (fun t -> t.expired)
+      and torn = sum (fun t -> t.torn)
+      and io_unresolved = sum (fun t -> t.io_unresolved)
+      and malformed = sum (fun t -> t.malformed) in
+      let all_checks_ok = List.for_all snd !checks in
+      print_endline
+        (Sink.to_string
+           (Sink.Obj
+              [
+                ("record", Str "cluster_chaos_soak");
+                ("shards", Int shards);
+                ("clients", Int clients);
+                ("seconds", Int seconds);
+                ("killed", Str (Printf.sprintf "shard-%d" victim));
+                ("sent", Int sent);
+                ("answered", Int answered);
+                ("server_error", Int server_error);
+                ("overloaded", Int shed);
+                ("deadline_exceeded", Int expired);
+                ("torn", Int torn);
+                ("io_unresolved", Int io_unresolved);
+                ("malformed", Int malformed);
+                ( "checks",
+                  Obj (List.rev_map (fun (n, ok) -> (n, Sink.Bool ok)) !checks)
+                );
+              ]));
+      if malformed = 0 && io_unresolved = 0 && sent > 0 && all_checks_ok then 0
+      else 1
+  end
+
+let chaos_entry socket tcp clients seconds retries seed cluster
+    router_metrics_out =
+  match cluster with
+  | None -> chaos_soak socket tcp clients seconds retries seed
+  | Some shards ->
+    if shards < 2 then begin
+      Printf.eprintf "error: --cluster needs at least 2 shards\n";
+      2
+    end
+    else cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out
 
 (* --- cmdliner wiring --- *)
 
@@ -619,13 +980,80 @@ let serve_cmd =
              Defaults to the $(b,BI_CHAOS) environment variable. Never use \
              in production.")
   in
+  let shard_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-id" ] ~docv:"ID"
+          ~doc:
+            "Name this node carries as a cluster shard; reported by the \
+             $(b,health) and $(b,stats) verbs so a router can tell its \
+             members apart.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Analysis server: cached exact ignorance measures over a socket")
     Term.(
       const serve $ socket_arg $ tcp_arg $ cache_arg $ capacity $ metrics_out
       $ jobs_arg $ deadline $ max_concurrent $ max_queue $ idle_timeout
-      $ chaos)
+      $ chaos $ shard_id)
+
+let router_cmd =
+  let members =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "members" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated shard addresses: a socket path, a bare port, \
+             or $(b,127.0.0.1:port).")
+  in
+  let members_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "members-file" ] ~docv:"FILE"
+          ~doc:
+            "File holding the member list (commas or whitespace); re-read \
+             on SIGHUP to change membership without a restart.")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt int Router.Router.default_config.Router.Router.replicas
+      & info [ "replicas" ] ~docv:"N" ~doc:"Owners per key on the hash ring.")
+  in
+  let quorum =
+    Arg.(
+      value
+      & opt int Router.Router.default_config.Router.Router.quorum
+      & info [ "quorum" ] ~docv:"W"
+          ~doc:"Copies a cache write must reach (at most $(b,--replicas)).")
+  in
+  let front_capacity =
+    Arg.(
+      value
+      & opt int Router.Router.default_config.Router.Router.front_capacity
+      & info [ "front-capacity" ] ~docv:"N"
+          ~doc:"Router-side answer cache (entries); also the warm set \
+                pushed to recovering shards.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt string "ROUTER_metrics.json"
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"File receiving the final router metrics dump on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Cluster front-end: consistent-hashes fingerprints across shards, \
+          replicates writes to a quorum, fails over on overload and loss, \
+          probes health and warms recovered members")
+    Term.(
+      const router $ socket_arg $ tcp_arg $ members $ members_file $ replicas
+      $ quorum $ front_capacity $ metrics_out)
 
 let query_cmd =
   let verb_arg =
@@ -635,7 +1063,8 @@ let query_cmd =
       & info [] ~docv:"VERB"
           ~doc:
             "One of: $(b,construction) NAME (named paper game), $(b,analyze) \
-             (game description JSON on stdin), $(b,stats), $(b,shutdown).")
+             (game description JSON on stdin), $(b,stats), $(b,health), \
+             $(b,shutdown).")
   in
   let name_arg =
     Arg.(
@@ -678,6 +1107,24 @@ let chaos_cmd =
       & opt int 0
       & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for the request mix.")
   in
+  let cluster =
+    Arg.(
+      value
+      & opt ~vopt:(Some 3) (some int) None
+      & info [ "cluster" ] ~docv:"N"
+          ~doc:
+            "Cluster mode: spawn $(docv) local shards (default 3) and a \
+             router, soak through the router, kill -9 the shard owning a \
+             warm key mid-soak, restart it, and additionally require warm \
+             answers to stay byte-identical across the failover.")
+  in
+  let router_metrics_out =
+    Arg.(
+      value
+      & opt string "ROUTER_metrics.json"
+      & info [ "router-metrics-out" ] ~docv:"FILE"
+          ~doc:"Cluster mode: file receiving the router metrics dump.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -685,8 +1132,8 @@ let chaos_cmd =
           and garbage requests; exits non-zero if any exchange ends in a \
           hang, a malformed response, or an unrecovered transport failure")
     Term.(
-      const chaos_soak $ socket_arg $ tcp_arg $ clients $ seconds
-      $ retries_arg 8 $ seed)
+      const chaos_entry $ socket_arg $ tcp_arg $ clients $ seconds
+      $ retries_arg 8 $ seed $ cluster $ router_metrics_out)
 
 let () =
   let doc = "explorer for the Bayesian-ignorance reproduction" in
@@ -695,5 +1142,5 @@ let () =
        (Cmd.group (Cmd.info "bi" ~doc)
           [
             construction_cmd; adversary_cmd; sec4_cmd; plane_cmd; serve_cmd;
-            query_cmd; chaos_cmd;
+            router_cmd; query_cmd; chaos_cmd;
           ]))

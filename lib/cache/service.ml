@@ -9,6 +9,7 @@ type t = {
   lru : value Lru.t;
   store : Store.t option;
   lock : Mutex.t;
+  shard : string option;
   mutable hits : int;
   mutable misses : int;
   loaded : int;
@@ -44,8 +45,8 @@ let needs_compaction ~entries ~distinct ~unreadable =
   total > 0
   && (unreadable * 10 >= total || (entries - distinct) * 2 >= max 1 entries)
 
-let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true) ()
-    =
+let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true)
+    ?shard () =
   let lru = Lru.create ~capacity in
   let loaded, invalid, quarantined, store =
     match store_path with
@@ -79,8 +80,8 @@ let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true) ()
       in
       (loaded, unreadable + undecodable, quarantined, Some (Store.open_append path))
   in
-  { lru; store; lock = Mutex.create (); hits = 0; misses = 0; loaded; invalid;
-    quarantined; closed = false }
+  { lru; store; lock = Mutex.create (); shard; hits = 0; misses = 0; loaded;
+    invalid; quarantined; closed = false }
 
 let key ~fingerprint ~query =
   if query = "" then fingerprint else fingerprint ^ "/" ^ query
@@ -146,6 +147,7 @@ let payload t k compute =
     compute
 
 type stats = {
+  shard : string option;
   hits : int;
   misses : int;
   length : int;
@@ -159,6 +161,7 @@ type stats = {
 let stats t =
   locked t (fun () ->
       {
+        shard = t.shard;
         hits = t.hits;
         misses = t.misses;
         length = Lru.length t.lru;
@@ -170,17 +173,21 @@ let stats t =
       })
 
 let stats_to_json (s : stats) =
+  let shard_field =
+    match s.shard with None -> [] | Some id -> [ ("shard", Sink.Str id) ]
+  in
   Sink.Obj
-    [
-      ("hits", Sink.Int s.hits);
-      ("misses", Sink.Int s.misses);
-      ("length", Sink.Int s.length);
-      ("capacity", Sink.Int s.capacity);
-      ("evictions", Sink.Int s.evictions);
-      ("loaded", Sink.Int s.loaded);
-      ("invalid", Sink.Int s.invalid);
-      ("quarantined", Sink.Int s.quarantined);
-    ]
+    (shard_field
+    @ [
+        ("hits", Sink.Int s.hits);
+        ("misses", Sink.Int s.misses);
+        ("length", Sink.Int s.length);
+        ("capacity", Sink.Int s.capacity);
+        ("evictions", Sink.Int s.evictions);
+        ("loaded", Sink.Int s.loaded);
+        ("invalid", Sink.Int s.invalid);
+        ("quarantined", Sink.Int s.quarantined);
+      ])
 
 let close t =
   locked t (fun () ->

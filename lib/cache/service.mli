@@ -16,7 +16,8 @@ type value =
 type t
 
 val create :
-  ?capacity:int -> ?store_path:string -> ?auto_compact:bool -> unit -> t
+  ?capacity:int -> ?store_path:string -> ?auto_compact:bool ->
+  ?shard:string -> unit -> t
 (** [create ()] builds an in-memory cache (default capacity 4096).
     With [~store_path], the file is replayed into the cache (latest
     entry per key wins; unverifiable lines are counted, not trusted)
@@ -25,7 +26,9 @@ val create :
     or whose stale-duplicate share reaches half is compacted before
     being reopened ({!Store.compact}: last valid entry per key kept,
     corrupt lines quarantined to the [.rej] sidecar, atomic rename) —
-    so crash damage and churn are bounded at every restart. *)
+    so crash damage and churn are bounded at every restart.  [~shard]
+    names the cluster shard this cache belongs to; the name rides along
+    in {!stats} so every stats/health response identifies its node. *)
 
 val key : fingerprint:string -> query:string -> string
 (** [key ~fingerprint ~query:""] is the fingerprint itself; otherwise
@@ -54,6 +57,7 @@ val payload :
 (** As {!analysis} for opaque JSON payloads. *)
 
 type stats = {
+  shard : string option;  (** Cluster shard identity, when configured. *)
   hits : int;
   misses : int;
   length : int;

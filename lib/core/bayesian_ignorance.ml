@@ -23,7 +23,9 @@
     - {!Cache}: canonical game fingerprints and the content-addressed
       result cache (in-memory LRU + append-only on-disk store).
     - {!Serve}: the concurrent analysis server and its line-JSON
-      protocol and client. *)
+      protocol and client.
+    - {!Router}: the cluster front-end — consistent-hash ring,
+      shard membership, quorum replication and failover. *)
 
 module Num = Bi_num
 module Ds = Bi_ds
@@ -39,4 +41,5 @@ module Constructions = Bi_constructions
 module Engine = Bi_engine
 module Cache = Bi_cache
 module Serve = Bi_serve
+module Router = Bi_router
 module Report = Report

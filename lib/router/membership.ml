@@ -1,0 +1,122 @@
+type state = Up | Suspect | Down
+
+let state_to_string = function
+  | Up -> "up"
+  | Suspect -> "suspect"
+  | Down -> "down"
+
+type entry = {
+  mutable state : state;
+  mutable failures : int;  (* consecutive probe failures *)
+  mutable next_probe : int;  (* tick at which the next probe is due *)
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable entries : (string * entry) list;  (* insertion-ordered *)
+  down_after : int;
+  max_backoff : int;
+}
+
+let default_down_after = 3
+let default_max_backoff = 16
+
+(* New members start Suspect with an immediately-due probe: they are
+   routable right away (last-resort traffic beats no traffic) but the
+   first successful probe reports [`Recovered], which is the router's
+   cue to warm them. *)
+let fresh_entry () = { state = Suspect; failures = 0; next_probe = 0 }
+
+let create ?(down_after = default_down_after)
+    ?(max_backoff = default_max_backoff) members =
+  if down_after < 1 then invalid_arg "Membership.create: down_after must be >= 1";
+  let seen = Hashtbl.create 8 in
+  let entries =
+    List.filter_map
+      (fun m ->
+        if Hashtbl.mem seen m then None
+        else begin
+          Hashtbl.add seen m ();
+          Some (m, fresh_entry ())
+        end)
+      members
+  in
+  { lock = Mutex.create (); entries; down_after; max_backoff }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let members t = locked t (fun () -> List.map fst t.entries)
+
+let state t m =
+  locked t (fun () ->
+      Option.map (fun e -> e.state) (List.assoc_opt m t.entries))
+
+let states t =
+  locked t (fun () -> List.map (fun (m, e) -> (m, e.state)) t.entries)
+
+let routable t =
+  locked t (fun () ->
+      List.filter_map
+        (fun (m, e) -> if e.state = Down then None else Some m)
+        t.entries)
+
+let due t ~now =
+  locked t (fun () ->
+      List.filter_map
+        (fun (m, e) -> if e.next_probe <= now then Some m else None)
+        t.entries)
+
+let note_success t ~now m =
+  locked t (fun () ->
+      match List.assoc_opt m t.entries with
+      | None -> `Ok
+      | Some e ->
+        let was = e.state in
+        e.state <- Up;
+        e.failures <- 0;
+        e.next_probe <- now + 1;
+        if was = Up then `Ok else `Recovered)
+
+(* Probe backoff is deterministic — no jitter needed, the router is the
+   only prober of its members: the [n]th consecutive failure defers the
+   next probe by [min max_backoff 2^n] ticks, so a dead shard costs one
+   connection attempt every capped interval instead of every tick. *)
+let note_failure t ~now m =
+  locked t (fun () ->
+      match List.assoc_opt m t.entries with
+      | None -> `Ok
+      | Some e ->
+        let was = e.state in
+        e.failures <- e.failures + 1;
+        e.state <- (if e.failures >= t.down_after then Down else Suspect);
+        let backoff =
+          if e.failures >= 30 then t.max_backoff
+          else min t.max_backoff (1 lsl e.failures)
+        in
+        e.next_probe <- now + backoff;
+        if e.state = Down && was <> Down then `Went_down else `Ok)
+
+let set_members t members =
+  locked t (fun () ->
+      let seen = Hashtbl.create 8 in
+      let keep = Hashtbl.create 8 in
+      List.iter (fun m -> Hashtbl.replace keep m ()) members;
+      let added = ref [] in
+      let entries =
+        List.filter_map
+          (fun m ->
+            if Hashtbl.mem seen m then None
+            else begin
+              Hashtbl.add seen m ();
+              match List.assoc_opt m t.entries with
+              | Some e -> Some (m, e)  (* known member keeps its state *)
+              | None ->
+                added := m :: !added;
+                Some (m, fresh_entry ())
+            end)
+          members
+      in
+      t.entries <- entries;
+      List.rev !added)

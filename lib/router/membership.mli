@@ -1,0 +1,53 @@
+(** The router's view of each shard: an up/suspect/down state machine
+    driven by health probes, with deterministic probe backoff.
+
+    Time is an abstract monotone tick (the router's poll loop counts
+    them); nothing here sleeps or talks to the network.  A member is
+    [Up] after a successful probe, [Suspect] after any failure (or
+    before its first probe), and [Down] after [down_after] consecutive
+    failures.  [Suspect] members still receive traffic — one slow probe
+    must not evict a healthy shard — while [Down] members are skipped
+    except as a last resort.  Consecutive failures back the probing off
+    exponentially up to [max_backoff] ticks; a single success resets
+    everything.  All operations are thread-safe. *)
+
+type state = Up | Suspect | Down
+
+val state_to_string : state -> string
+
+type t
+
+val create : ?down_after:int -> ?max_backoff:int -> string list -> t
+(** Members start [Suspect] with a probe due at tick 0, so the first
+    healthy probe reports [`Recovered] — the router warms on that
+    signal, which covers startup and member-addition with one code
+    path.  Duplicates are collapsed, order is preserved.  Defaults:
+    [down_after = 3], [max_backoff = 16].
+    @raise Invalid_argument when [down_after < 1]. *)
+
+val members : t -> string list
+
+val state : t -> string -> state option
+val states : t -> (string * state) list
+
+val routable : t -> string list
+(** Members currently worth trying: [Up] and [Suspect], in member
+    order. *)
+
+val due : t -> now:int -> string list
+(** Members whose next probe is due at tick [now]. *)
+
+val note_success : t -> now:int -> string -> [ `Recovered | `Ok ]
+(** Marks the member [Up], clears its failure count, schedules the next
+    routine probe for [now + 1].  [`Recovered] iff it was not [Up]
+    before — the warming trigger. *)
+
+val note_failure : t -> now:int -> string -> [ `Went_down | `Ok ]
+(** Counts a consecutive failure: [Suspect] until [down_after] of them,
+    then [Down] ([`Went_down] on that transition only); the next probe
+    is deferred by [min max_backoff (2^failures)] ticks. *)
+
+val set_members : t -> string list -> string list
+(** Replaces the member list (SIGHUP reload): surviving members keep
+    their state and probe schedule, departed members are dropped, new
+    members start like those in {!create}.  Returns the added members. *)

@@ -1,0 +1,69 @@
+type t = {
+  vnodes : int;
+  members : string list;  (* deduplicated, sorted *)
+  points : (int * string) array;  (* sorted by hash point *)
+}
+
+let default_vnodes = 64
+
+(* First 8 digest bytes folded big-endian, masked non-negative: a
+   deterministic 62-bit hash point, stable across runs and builds
+   (the cache fingerprints are MD5 for the same reason). *)
+let point_of s =
+  let d = Digest.string s in
+  let x = ref 0 in
+  for i = 0 to 7 do
+    x := (!x lsl 8) lor Char.code d.[i]
+  done;
+  !x land max_int
+
+let create ?(vnodes = default_vnodes) members =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let members = List.sort_uniq String.compare members in
+  let points =
+    List.concat_map
+      (fun m -> List.init vnodes (fun i -> (point_of (Printf.sprintf "%s#%d" m i), m)))
+      members
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { vnodes; members; points }
+
+let members t = t.members
+let vnodes t = t.vnodes
+
+(* Index of the first point clockwise from [h] (wrapping past the top
+   of the circle back to index 0). *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+let owners t ~n key =
+  let total = List.length t.members in
+  if total = 0 || n < 1 then []
+  else begin
+    let want = min n total in
+    let start = successor_index t (point_of key) in
+    let len = Array.length t.points in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let i = ref 0 in
+    while Hashtbl.length seen < want && !i < len do
+      let _, m = t.points.((start + !i) mod len) in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        acc := m :: !acc
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end
+
+let owner t key = match owners t ~n:1 key with [] -> None | m :: _ -> Some m

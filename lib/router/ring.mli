@@ -1,0 +1,36 @@
+(** The consistent-hash ring that assigns fingerprints to shards.
+
+    Each member contributes [vnodes] deterministic hash points (MD5 of
+    ["member#i"]); a key is owned by the member whose point follows the
+    key's own hash point clockwise.  The classic properties follow:
+    keys spread evenly for reasonable [vnodes], and adding or removing
+    one member only moves the keys adjacent to that member's points —
+    every other key keeps its owner, which is what lets the cluster
+    rehash on membership change without a global reshuffle.
+
+    A ring is immutable; membership changes build a new ring (cheap:
+    [members × vnodes] digests) and swap it in. *)
+
+type t
+
+val default_vnodes : int
+(** 64 — keeps the balance deviation across members within a few
+    percent while membership stays small. *)
+
+val create : ?vnodes:int -> string list -> t
+(** Duplicate member names are collapsed; order is irrelevant (members
+    are sorted, so equal member sets build identical rings).
+    @raise Invalid_argument when [vnodes < 1]. *)
+
+val members : t -> string list
+(** Sorted, deduplicated. *)
+
+val vnodes : t -> int
+
+val owners : t -> n:int -> string -> string list
+(** The first [min n (length members)] distinct members clockwise from
+    the key's hash point: the primary first, then the successors that
+    hold the key's replicas.  Empty iff the ring has no members. *)
+
+val owner : t -> string -> string option
+(** The primary alone. *)

@@ -1,0 +1,475 @@
+module Sink = Bi_engine.Sink
+module Client = Bi_serve.Client
+module Protocol = Bi_serve.Protocol
+module Lineserver = Bi_serve.Lineserver
+module Lru = Bi_cache.Lru
+module Fingerprint = Bi_cache.Fingerprint
+module Registry = Bi_constructions.Registry
+
+type config = {
+  replicas : int;
+  quorum : int;
+  vnodes : int;
+  front_capacity : int;
+  probe_interval_s : float;
+  probe_timeout_s : float;
+  shard_timeout_s : float;
+}
+
+let default_config =
+  {
+    replicas = 2;
+    quorum = 2;
+    vnodes = Ring.default_vnodes;
+    front_capacity = 4096;
+    probe_interval_s = 0.25;
+    probe_timeout_s = 2.;
+    shard_timeout_s = 30.;
+  }
+
+type t = {
+  config : config;
+  metrics : Metrics.t;
+  membership : Membership.t;
+  mutable ring : Ring.t;  (* immutable value, swapped under [ring_lock] *)
+  ring_lock : Mutex.t;
+  front : Sink.json Lru.t;  (* fingerprint -> encoded analysis *)
+  front_lock : Mutex.t;
+  ls : Lineserver.t;
+  members_file : string option;
+  reload : bool Atomic.t;  (* set by SIGHUP, consumed by the poller *)
+}
+
+(* --- member addresses ------------------------------------------------- *)
+
+let addr_of_member m =
+  let port_of s =
+    match int_of_string_opt s with
+    | Some p when p > 0 && p < 65536 -> Ok p
+    | _ -> Error (Printf.sprintf "member %S: invalid port" m)
+  in
+  if String.contains m '/' then Ok (Client.Unix_path m)
+  else
+    match String.rindex_opt m ':' with
+    | None -> Result.map (fun p -> Client.Tcp_port p) (port_of m)
+    | Some i ->
+      let host = String.sub m 0 i in
+      let port = String.sub m (i + 1) (String.length m - i - 1) in
+      if host = "127.0.0.1" || host = "localhost" then
+        Result.map (fun p -> Client.Tcp_port p) (port_of port)
+      else
+        Error
+          (Printf.sprintf
+             "member %S: only loopback (127.0.0.1) or socket-path members \
+              are supported"
+             m)
+
+let validate_members members =
+  if members = [] then Error "no members given"
+  else
+    List.fold_left
+      (fun acc m ->
+        match (acc, addr_of_member m) with
+        | (Error _ as e), _ -> e
+        | Ok (), Ok _ -> Ok ()
+        | Ok (), Error e -> Error e)
+      (Ok ()) members
+
+(* --- ring and front-cache access -------------------------------------- *)
+
+let current_ring t =
+  Mutex.lock t.ring_lock;
+  let r = t.ring in
+  Mutex.unlock t.ring_lock;
+  r
+
+let owners t fingerprint =
+  Ring.owners (current_ring t) ~n:t.config.replicas fingerprint
+
+let front_find t fingerprint =
+  Mutex.lock t.front_lock;
+  let v = Lru.find t.front fingerprint in
+  Mutex.unlock t.front_lock;
+  v
+
+let front_store t fingerprint analysis =
+  Mutex.lock t.front_lock;
+  Lru.add t.front fingerprint analysis;
+  Mutex.unlock t.front_lock
+
+let front_snapshot t =
+  Mutex.lock t.front_lock;
+  let entries = Lru.fold (fun acc k v -> (k, v) :: acc) [] t.front in
+  let length = Lru.length t.front and capacity = Lru.capacity t.front in
+  Mutex.unlock t.front_lock;
+  (entries, length, capacity)
+
+(* --- talking to shards ------------------------------------------------ *)
+
+(* One connection per exchange, no retry loop: a failed or overloaded
+   shard must surface immediately so the router can fail over to the
+   next owner instead of camping on a corpse; the health prober (not
+   the request path) is what decides a shard is down. *)
+let exchange t ?(timeout_s = t.config.shard_timeout_s) member request =
+  match addr_of_member member with
+  | Error e -> Error (Client.Io e)
+  | Ok addr -> (
+    match Client.make ~timeout_s addr with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Client.Io (Unix.error_message err))
+    | client ->
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () -> Client.request client request))
+
+let put_to t ~tick member ~fingerprint analysis =
+  Metrics.forward t.metrics;
+  match exchange t member (Protocol.put_request ~fingerprint analysis) with
+  | Ok resp when Protocol.is_ok resp ->
+    Metrics.replication t.metrics;
+    true
+  | Ok _ ->
+    Metrics.replication_failure t.metrics;
+    false
+  | Error _ ->
+    Metrics.replication_failure t.metrics;
+    ignore (Membership.note_failure t.membership ~now:tick member);
+    false
+
+(* Synchronous write fan-out after a fresh compute: the answering shard
+   already holds copy one; push copies to the remaining owners until
+   [quorum] copies exist.  Down owners are skipped (warming covers them
+   when they return); a missed quorum is counted, not failed — the
+   client has its answer, durability is degraded and visible. *)
+let replicate t ~tick ~answered_by ~fingerprint analysis =
+  let others =
+    List.filter
+      (fun m ->
+        m <> answered_by && Membership.state t.membership m <> Some Membership.Down)
+      (owners t fingerprint)
+  in
+  let needed = t.config.quorum - 1 in
+  let acks =
+    List.fold_left
+      (fun acks m ->
+        if acks >= needed then acks
+        else if put_to t ~tick m ~fingerprint analysis then acks + 1
+        else acks)
+      0 others
+  in
+  if acks < needed then Metrics.quorum_failure t.metrics
+
+(* --- request routing -------------------------------------------------- *)
+
+(* Candidate order for a key: its owners as the ring lists them
+   (primary, then successors), routable ones first; owners already
+   marked Down come last as a desperation measure — a Down shard that
+   just restarted may well answer, and a structured error beats none. *)
+let candidates t fingerprint =
+  let owners = owners t fingerprint in
+  let down m = Membership.state t.membership m = Some Membership.Down in
+  let live, dead = List.partition (fun m -> not (down m)) owners in
+  live @ dead
+
+let ok_from_front ~fingerprint analysis =
+  Sink.Obj
+    [
+      ("ok", Sink.Bool true);
+      ("fingerprint", Sink.Str fingerprint);
+      ("cached", Sink.Bool true);
+      ("analysis", analysis);
+    ]
+
+let no_shard_error fingerprint =
+  Protocol.error
+    (Printf.sprintf "no shard available for fingerprint %s" fingerprint)
+
+(* Forward an analysis request (as its original line, so deadline and
+   every other field ride along verbatim).  Failover policy: transport
+   failures and [overloaded] move to the next owner; [error] and
+   [deadline_exceeded] are deterministic verdicts and are returned
+   as-is — every shard would say the same, and the deadline belongs to
+   the client, not to the routing. *)
+let route_analysis t ~tick ~request ~fingerprint =
+  match front_find t fingerprint with
+  | Some analysis ->
+    Metrics.front_hit t.metrics;
+    ok_from_front ~fingerprint analysis
+  | None ->
+    let rec attempt last = function
+      | [] -> (
+        Metrics.unrouted t.metrics;
+        match last with
+        | Some resp -> resp
+        | None -> no_shard_error fingerprint)
+      | member :: rest -> (
+        Metrics.forward t.metrics;
+        match exchange t member request with
+        | Error (Client.Io _ | Client.Malformed _ | Client.Closed) ->
+          ignore (Membership.note_failure t.membership ~now:tick member);
+          if rest <> [] then Metrics.failover t.metrics;
+          attempt last rest
+        | Ok resp -> (
+          match Protocol.response_code resp with
+          | Some "ok" ->
+            (match Sink.member "analysis" resp with
+            | Some analysis ->
+              front_store t fingerprint analysis;
+              let fresh =
+                match Sink.member "cached" resp with
+                | Some (Sink.Bool cached) -> not cached
+                | _ -> false
+              in
+              if fresh then replicate t ~tick ~answered_by:member ~fingerprint analysis
+            | None -> ());
+            resp
+          | Some "overloaded" ->
+            if rest <> [] then Metrics.failover t.metrics;
+            attempt (Some resp) rest
+          | _ -> resp))
+    in
+    attempt None (candidates t fingerprint)
+
+(* A [put] arriving at the router is a client-driven write: fan it out
+   to every routable owner and demand the quorum ourselves. *)
+let route_put t ~tick ~fingerprint analysis =
+  front_store t fingerprint analysis;
+  let targets =
+    List.filter
+      (fun m -> Membership.state t.membership m <> Some Membership.Down)
+      (owners t fingerprint)
+  in
+  let acks =
+    List.fold_left
+      (fun acks m ->
+        if put_to t ~tick m ~fingerprint analysis then acks + 1 else acks)
+      0 targets
+  in
+  if acks >= min t.config.quorum (max 1 (List.length targets)) then
+    Protocol.ok_stored ~fingerprint
+  else begin
+    Metrics.quorum_failure t.metrics;
+    Protocol.error
+      (Printf.sprintf "quorum not met for %s: %d/%d acks" fingerprint acks
+         t.config.quorum)
+  end
+
+let members_json t =
+  Sink.Obj
+    (List.map
+       (fun (m, s) -> (m, Sink.Str (Membership.state_to_string s)))
+       (Membership.states t.membership))
+
+let front_stats_json t =
+  let _, length, capacity = front_snapshot t in
+  Sink.Obj [ ("length", Sink.Int length); ("capacity", Sink.Int capacity) ]
+
+let router_stats t =
+  Sink.Obj
+    [
+      ("ok", Sink.Bool true);
+      ("router", Metrics.to_json t.metrics);
+      ("members", members_json t);
+      ("front", front_stats_json t);
+    ]
+
+let router_health t =
+  Sink.Obj
+    [
+      ("ok", Sink.Bool true);
+      ("shard", Sink.Str "router");
+      ("inflight", Sink.Int (Metrics.inflight t.metrics));
+      ("members", members_json t);
+      ("cache", front_stats_json t);
+    ]
+
+let handle t ~tick line =
+  Metrics.enter t.metrics;
+  Fun.protect
+    ~finally:(fun () -> Metrics.leave t.metrics)
+    (fun () ->
+      match Protocol.parse_request line with
+      | Error e ->
+        Metrics.error t.metrics;
+        (Protocol.error e, `Continue)
+      | Ok { Protocol.query; _ } -> (
+        let request =
+          (* parse_request succeeded, so the line is valid JSON. *)
+          match Sink.of_string line with Ok j -> j | Error _ -> assert false
+        in
+        match query with
+        | Protocol.Analyze (graph, prior) ->
+          let fingerprint = Fingerprint.game graph ~prior in
+          (route_analysis t ~tick ~request ~fingerprint, `Continue)
+        | Protocol.Construction { name; k } -> (
+          match Registry.build name k with
+          | Error e ->
+            Metrics.error t.metrics;
+            (Protocol.error e, `Continue)
+          | Ok game ->
+            let fingerprint = Fingerprint.of_game game in
+            (route_analysis t ~tick ~request ~fingerprint, `Continue))
+        | Protocol.Put { fingerprint; analysis } ->
+          ( route_put t ~tick ~fingerprint
+              (Bi_cache.Codec.analysis_to_json analysis),
+            `Continue )
+        | Protocol.Stats -> (router_stats t, `Continue)
+        | Protocol.Health -> (router_health t, `Continue)
+        | Protocol.Shutdown -> (Protocol.ok_shutdown, `Stop)))
+
+(* --- health polling, warming, membership reload ----------------------- *)
+
+(* Push every front-cache entry the member owns: after a recovery or a
+   membership change the shard's disk may lag the cluster, and warming
+   from the router's own recent answers restores byte-identical warm
+   reads without recomputing anything. *)
+let warm t ~tick member =
+  let entries, _, _ = front_snapshot t in
+  List.iter
+    (fun (fingerprint, analysis) ->
+      if List.mem member (owners t fingerprint) then
+        if put_to t ~tick member ~fingerprint analysis then
+          Metrics.warmed t.metrics)
+    entries
+
+let probe t ~tick member =
+  Metrics.probe t.metrics;
+  let healthy =
+    match
+      exchange t ~timeout_s:t.config.probe_timeout_s member
+        Protocol.health_request
+    with
+    | Ok resp -> Protocol.is_ok resp
+    | Error _ -> false
+  in
+  if healthy then (
+    match Membership.note_success t.membership ~now:tick member with
+    | `Recovered ->
+      Metrics.marked_up t.metrics;
+      warm t ~tick member
+    | `Ok -> ())
+  else begin
+    Metrics.probe_failure t.metrics;
+    match Membership.note_failure t.membership ~now:tick member with
+    | `Went_down -> Metrics.marked_down t.metrics
+    | `Ok -> ()
+  end
+
+let parse_members s =
+  String.split_on_char ','
+    (String.map (function '\n' | '\r' | '\t' | ' ' -> ',' | c -> c) s)
+  |> List.filter_map (fun m ->
+         let m = String.trim m in
+         if m = "" then None else Some m)
+
+let reload_members t ~tick =
+  match t.members_file with
+  | None -> ()
+  | Some path -> (
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e ->
+      Printf.eprintf "router: members reload failed: %s\n%!" e
+    | content -> (
+      let members = parse_members content in
+      match validate_members members with
+      | Error e -> Printf.eprintf "router: members reload rejected: %s\n%!" e
+      | Ok () ->
+        let ring = Ring.create ~vnodes:t.config.vnodes members in
+        Mutex.lock t.ring_lock;
+        t.ring <- ring;
+        Mutex.unlock t.ring_lock;
+        let added = Membership.set_members t.membership members in
+        Printf.eprintf "router: members reloaded: %s%s\n%!"
+          (String.concat "," members)
+          (if added = [] then ""
+           else " (new: " ^ String.concat "," added ^ ")");
+        (* New members are probed (and warmed) on this same tick. *)
+        List.iter (probe t ~tick) added))
+
+let poller t =
+  let tick = ref 0 in
+  while not (Lineserver.stopping t.ls) do
+    incr tick;
+    if Atomic.exchange t.reload false then reload_members t ~tick:!tick;
+    List.iter (probe t ~tick:!tick) (Membership.due t.membership ~now:!tick);
+    Thread.delay t.config.probe_interval_s
+  done
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let dump_metrics t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let j =
+        Sink.Obj
+          [
+            ("record", Sink.Str "router_metrics");
+            ("router", Metrics.to_json t.metrics);
+            ("members", members_json t);
+            ("front", front_stats_json t);
+          ]
+      in
+      output_string oc (Sink.to_string j);
+      output_char oc '\n')
+
+let handle_conn t oc line =
+  (* The poller owns the tick clock; request threads read a coarse
+     now-ish tick for failure bookkeeping — exactness is irrelevant,
+     only monotonicity matters, and 0 under-runs every schedule. *)
+  let response, disposition = handle t ~tick:0 line in
+  let delivered =
+    try
+      output_string oc (Sink.to_string response);
+      output_char oc '\n';
+      flush oc;
+      true
+    with Sys_error _ -> false
+  in
+  match disposition with
+  | `Stop -> `Stop
+  | `Continue -> if delivered then `Continue else `Close
+
+let run ?on_ready ?metrics_out ?members_file ?(config = default_config)
+    ~members listen =
+  (match validate_members members with
+  | Ok () -> ()
+  | Error e -> failwith ("router: " ^ e));
+  if config.quorum < 1 then failwith "router: quorum must be >= 1";
+  if config.replicas < config.quorum then
+    failwith "router: replicas must be >= quorum";
+  let ls = Lineserver.create listen in
+  let t =
+    {
+      config;
+      metrics = Metrics.create ();
+      membership = Membership.create members;
+      ring = Ring.create ~vnodes:config.vnodes members;
+      ring_lock = Mutex.create ();
+      front = Lru.create ~capacity:(max 1 config.front_capacity);
+      front_lock = Mutex.create ();
+      ls;
+      members_file;
+      reload = Atomic.make false;
+    }
+  in
+  let previous_hup =
+    try
+      Some
+        (Sys.signal Sys.sighup
+           (Sys.Signal_handle (fun _ -> Atomic.set t.reload true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let poller_th = Thread.create poller t in
+  Lineserver.run ?on_ready ~handler:(handle_conn t) ls;
+  Thread.join poller_th;
+  (match previous_hup with
+  | Some h -> ( try Sys.set_signal Sys.sighup h with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  Option.iter (dump_metrics t) metrics_out

@@ -19,10 +19,11 @@ type retry = {
   attempts : int;
   base_delay_ms : int;
   max_delay_ms : int;
-  seed : int;
+  seed : int option;
 }
 
-let default_retry = { attempts = 5; base_delay_ms = 25; max_delay_ms = 2000; seed = 0 }
+let default_retry =
+  { attempts = 5; base_delay_ms = 25; max_delay_ms = 2000; seed = None }
 
 type t = {
   mutable ic : in_channel;
@@ -30,8 +31,25 @@ type t = {
   mutable state : [ `Live | `Broken | `Closed ];
   addr : addr;
   timeout_s : float option;
+  ident : int;  (* default jitter seed: unique per connection *)
   mutable waits : int;  (* jitter stream position across retries *)
 }
+
+(* The default jitter seed mixes the pid with a per-process connection
+   counter and the peer address, so a fleet of clients that all lose
+   the same shard does NOT replay one shared backoff sequence and
+   retry in lockstep (the thundering herd a fixed seed caused).  Tests
+   that need a reproducible schedule pass an explicit [seed]. *)
+let ident_counter = Atomic.make 0
+
+let derive_ident addr =
+  let tag =
+    match addr with
+    | Unix_path p -> "unix:" ^ p
+    | Tcp_port p -> "tcp:" ^ string_of_int p
+    | Unattached -> "unattached"
+  in
+  Hashtbl.hash (Unix.getpid (), Atomic.fetch_and_add ident_counter 1, tag)
 
 let open_addr = function
   | Unix_path path -> Unix.open_connection (Unix.ADDR_UNIX path)
@@ -48,13 +66,15 @@ let apply_timeout ic timeout_s =
 let make ?timeout_s addr =
   let ic, oc = open_addr addr in
   apply_timeout ic timeout_s;
-  { ic; oc; state = `Live; addr; timeout_s; waits = 0 }
+  { ic; oc; state = `Live; addr; timeout_s; ident = derive_ident addr;
+    waits = 0 }
 
 let connect_unix ?timeout_s path = make ?timeout_s (Unix_path path)
 let connect_tcp ?timeout_s port = make ?timeout_s (Tcp_port port)
 
 let of_channels ic oc =
-  { ic; oc; state = `Live; addr = Unattached; timeout_s = None; waits = 0 }
+  { ic; oc; state = `Live; addr = Unattached; timeout_s = None;
+    ident = derive_ident Unattached; waits = 0 }
 
 let teardown t =
   (try Unix.shutdown_connection t.ic
@@ -127,17 +147,23 @@ let reconnect t =
 
 (* Capped exponential backoff with deterministic jitter: wait [i] is
    [min max (base * 2^i)] scaled into [[1/2, 1)] by the seeded stream,
-   raised to the server's [retry_after_ms] hint when it is larger. *)
-let backoff_ms retry t ~attempt ~hint_ms =
-  let cap = max 1 retry.max_delay_ms in
-  let base = max 1 retry.base_delay_ms in
-  let raw =
-    if attempt >= 30 then cap else min cap (base * (1 lsl attempt))
-  in
-  let u = Chaos.unit_float ~seed:retry.seed ~counter:t.waits in
-  t.waits <- t.waits + 1;
+   raised to the server's [retry_after_ms] hint when it is larger.
+   Pure in all of its inputs so the qcheck laws can pin it down. *)
+let backoff_wait_ms ~base_delay_ms ~max_delay_ms ~seed ~wait_index ~attempt
+    ~hint_ms =
+  let cap = max 1 max_delay_ms in
+  let base = max 1 base_delay_ms in
+  let raw = if attempt >= 30 then cap else min cap (base * (1 lsl attempt)) in
+  let u = Chaos.unit_float ~seed ~counter:wait_index in
   let jittered = int_of_float (float_of_int raw *. (0.5 +. (0.5 *. u))) in
   max 1 (max jittered (Option.value hint_ms ~default:0))
+
+let backoff_ms retry t ~attempt ~hint_ms =
+  let seed = match retry.seed with Some s -> s | None -> t.ident in
+  let wait_index = t.waits in
+  t.waits <- t.waits + 1;
+  backoff_wait_ms ~base_delay_ms:retry.base_delay_ms
+    ~max_delay_ms:retry.max_delay_ms ~seed ~wait_index ~attempt ~hint_ms
 
 let sleep_ms ms = Thread.delay (float_of_int ms /. 1000.)
 

@@ -15,6 +15,13 @@
 
 type t
 
+type addr =
+  | Unix_path of string  (** A Unix-domain socket path. *)
+  | Tcp_port of int  (** A loopback TCP port. *)
+  | Unattached
+      (** No address (a client made with {!of_channels}); cannot
+          reconnect. *)
+
 type failure =
   | Io of string
       (** The transport failed: connect/read/write error, connection
@@ -32,11 +39,33 @@ type retry = {
   attempts : int;  (** Total tries, including the first. *)
   base_delay_ms : int;  (** Backoff starts here and doubles. *)
   max_delay_ms : int;  (** Per-wait cap. *)
-  seed : int;  (** Jitter stream seed ({!Chaos.unit_float}). *)
+  seed : int option;
+      (** Jitter stream seed ({!Chaos.unit_float}).  [None] — the
+          default — derives a seed from the pid, a per-process
+          connection counter and the peer address, so independent
+          clients that lose the same server spread their retries out
+          instead of replaying one shared jitter sequence in lockstep.
+          Pass [Some s] for a reproducible schedule in tests. *)
 }
 
 val default_retry : retry
-(** 5 attempts, 25 ms base, 2 s cap, seed 0. *)
+(** 5 attempts, 25 ms base, 2 s cap, derived (per-connection) seed. *)
+
+val backoff_wait_ms :
+  base_delay_ms:int ->
+  max_delay_ms:int ->
+  seed:int ->
+  wait_index:int ->
+  attempt:int ->
+  hint_ms:int option ->
+  int
+(** The pure backoff schedule: wait [attempt] is
+    [min max_delay_ms (base_delay_ms * 2^attempt)] scaled into
+    [[1/2, 1)] by the [(seed, wait_index)] jitter stream, raised to
+    [hint_ms] when the server's [retry_after_ms] hint is larger, and
+    never below 1 ms.  Without a hint the result lies in
+    [[1, max_delay_ms]]; a hint acts as a floor and may exceed the
+    cap.  Exposed for the qcheck laws. *)
 
 val connect_unix : ?timeout_s:float -> string -> t
 (** Connects to a Unix-domain socket path.  With [~timeout_s], reads
@@ -46,6 +75,12 @@ val connect_unix : ?timeout_s:float -> string -> t
 
 val connect_tcp : ?timeout_s:float -> int -> t
 (** Connects to the loopback TCP port. *)
+
+val make : ?timeout_s:float -> addr -> t
+(** Connects to an {!addr} — the general form of {!connect_unix} /
+    {!connect_tcp} (the router resolves member strings to addresses).
+    @raise Invalid_argument on {!addr.Unattached}.
+    @raise Unix.Unix_error when the server is not listening. *)
 
 val of_channels : in_channel -> out_channel -> t
 (** Wraps an existing connection.  Such a client has no address, so it

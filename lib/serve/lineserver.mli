@@ -1,0 +1,54 @@
+(** The line-oriented connection fabric shared by {!Server} and the
+    cluster router.
+
+    Owns everything about a socket endpoint that is not protocol:
+    binding the listener (with socket-clobber protection), a
+    thread-per-connection accept loop with bounded thread reaping,
+    per-connection idle timeouts, and the graceful-shutdown dance
+    (stop flag, self-connect poke to wake a blocked [accept],
+    [SHUTDOWN_RECEIVE] on live connections to unblock parked reads,
+    join-all on exit).  The caller supplies a handler that interprets
+    one input line and writes whatever response it wants. *)
+
+type listen = Unix_socket of string | Tcp of int
+(** TCP binds loopback only; no authentication is performed.  For
+    [Unix_socket], an existing path is probed before binding: only a
+    refused connection (a stale socket left by a crash) is unlinked — a
+    live server or a non-socket file makes {!create} raise [Failure]
+    instead of clobbering it. *)
+
+type t
+
+val create :
+  ?idle_timeout_s:float -> ?on_idle_close:(unit -> unit) -> listen -> t
+(** Binds the listening socket immediately (so a bad address fails
+    before any serving starts).  [idle_timeout_s > 0] closes
+    connections whose next request does not arrive in time, reporting
+    each through [on_idle_close].
+    @raise Failure when the listen address is held by a live server or
+    a non-socket file. *)
+
+val stopping : t -> bool
+(** True once shutdown has been initiated; long-running handlers poll
+    it to bail out early. *)
+
+val initiate_shutdown : t -> unit
+(** Stops accepting and wakes every blocked connection thread.
+    Idempotent, callable from any thread (including signal context and
+    handlers — returning [`Stop] from the handler does this). *)
+
+val run :
+  ?on_ready:(unit -> unit) ->
+  handler:(out_channel -> string -> [ `Continue | `Close | `Stop ]) ->
+  t ->
+  unit
+(** Accepts until shutdown (via {!initiate_shutdown}, a [`Stop] from
+    the handler, SIGINT or SIGTERM), then joins all connection threads
+    and closes + unlinks the listener.  [on_ready] fires once the
+    accept loop is about to start — tests use it to connect without
+    polling.  The handler runs on the connection's thread once per
+    non-blank line; it writes (or deliberately withholds) the response
+    on the given channel and returns [`Continue] to keep the
+    connection, [`Close] to drop it, or [`Stop] to shut the whole
+    server down.  Blank lines are skipped; read errors and idle
+    timeouts close the connection. *)

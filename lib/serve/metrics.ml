@@ -58,6 +58,7 @@ let leave t ~seconds =
       let b = bucket_of_seconds seconds in
       t.latency.(b) <- t.latency.(b) + 1)
 
+let inflight t = locked t (fun () -> t.queue_depth)
 let request t = locked t (fun () -> t.requests <- t.requests + 1)
 let error t = locked t (fun () -> t.errors <- t.errors + 1)
 let overload t = locked t (fun () -> t.overloaded <- t.overloaded + 1)

@@ -18,6 +18,10 @@ val leave : t -> seconds:float -> unit
 (** The request finished after [seconds]: lowers the gauge and records
     the latency. *)
 
+val inflight : t -> int
+(** The current in-flight gauge — requests entered and not yet left.
+    The [health] verb reports it so the router can weigh shards. *)
+
 val request : t -> unit
 val error : t -> unit
 

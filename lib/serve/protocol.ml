@@ -4,12 +4,15 @@ module Codec = Bi_cache.Codec
 type query =
   | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
   | Construction of { name : string; k : int }
+  | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
   | Stats
+  | Health
   | Shutdown
 
 type request = { query : query; deadline_ms : int option }
 
 let default_k = 4
+let max_k = 32
 
 let parse_deadline j =
   match Sink.member "deadline_ms" j with
@@ -18,6 +21,20 @@ let parse_deadline j =
   | Some v ->
     Error
       (Printf.sprintf "deadline_ms must be a positive integer, got %s"
+         (Sink.to_string v))
+
+(* Validated at parse time, mirroring [deadline_ms]: a k the solvers can
+   never serve (0, negative, or absurdly large) is a structured error on
+   arrival instead of a failure deep inside a construction builder. *)
+let parse_k j =
+  match Sink.member "k" j with
+  | None -> Ok default_k
+  | Some (Sink.Int k) when k >= 1 && k <= max_k -> Ok k
+  | Some (Sink.Int k) ->
+    Error (Printf.sprintf "construction: k must be in [1, %d], got %d" max_k k)
+  | Some v ->
+    Error
+      (Printf.sprintf "construction: k must be an integer, got %s"
          (Sink.to_string v))
 
 let parse_request line =
@@ -37,20 +54,31 @@ let parse_request line =
         | Error e -> Error (Printf.sprintf "analyze: %s" e)))
     | Some (Sink.Str "construction") -> (
       match Sink.member "name" j with
-      | Some (Sink.Str name) -> (
-        match Sink.member "k" j with
-        | None -> with_deadline (Construction { name; k = default_k })
-        | Some (Sink.Int k) -> with_deadline (Construction { name; k })
-        | Some v ->
-          Error
-            (Printf.sprintf "construction: k must be an integer, got %s"
-               (Sink.to_string v)))
+      | Some (Sink.Str name) ->
+        Result.bind (parse_k j) (fun k ->
+            with_deadline (Construction { name; k }))
       | Some v ->
         Error
           (Printf.sprintf "construction: name must be a string, got %s"
              (Sink.to_string v))
       | None -> Error "construction: missing \"name\"")
+    | Some (Sink.Str "put") -> (
+      match Sink.member "fingerprint" j with
+      | Some (Sink.Str "") -> Error "put: fingerprint must be non-empty"
+      | Some (Sink.Str fingerprint) -> (
+        match Sink.member "analysis" j with
+        | None -> Error "put: missing \"analysis\""
+        | Some body -> (
+          match Codec.analysis_of_json body with
+          | Ok analysis -> with_deadline (Put { fingerprint; analysis })
+          | Error e -> Error (Printf.sprintf "put: %s" e)))
+      | Some v ->
+        Error
+          (Printf.sprintf "put: fingerprint must be a string, got %s"
+             (Sink.to_string v))
+      | None -> Error "put: missing \"fingerprint\"")
     | Some (Sink.Str "stats") -> with_deadline Stats
+    | Some (Sink.Str "health") -> with_deadline Health
     | Some (Sink.Str "shutdown") -> with_deadline Shutdown
     | Some (Sink.Str op) -> Error (Printf.sprintf "unknown op %S" op)
     | Some v ->
@@ -72,7 +100,16 @@ let construction_request ?deadline_ms ~name ~k () =
     ([ ("op", Sink.Str "construction"); ("name", Str name); ("k", Int k) ]
     @ deadline_field deadline_ms)
 
+let put_request ~fingerprint analysis =
+  Sink.Obj
+    [
+      ("op", Sink.Str "put");
+      ("fingerprint", Str fingerprint);
+      ("analysis", analysis);
+    ]
+
 let stats_request = Sink.Obj [ ("op", Str "stats") ]
+let health_request = Sink.Obj [ ("op", Str "health") ]
 let shutdown_request = Sink.Obj [ ("op", Str "shutdown") ]
 
 let ok_analysis ~fingerprint ~cached analysis =
@@ -86,6 +123,22 @@ let ok_analysis ~fingerprint ~cached analysis =
 
 let ok_stats ~cache ~server =
   Sink.Obj [ ("ok", Bool true); ("cache", cache); ("server", server) ]
+
+let ok_health ~shard ~inflight ~cache =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("shard", Str shard);
+      ("inflight", Int inflight);
+      ("cache", cache);
+    ]
+
+let ok_stored ~fingerprint =
+  Sink.Obj
+    [ ("ok", Bool true); ("stored", Bool true); ("fingerprint", Str fingerprint) ]
+
+let shard_of j =
+  match Sink.member "shard" j with Some (Sink.Str s) -> Some s | _ -> None
 
 let ok_shutdown = Sink.Obj [ ("ok", Bool true); ("stopping", Bool true) ]
 

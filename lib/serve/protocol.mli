@@ -2,19 +2,29 @@
 
     One JSON object per line in each direction.  Requests carry an
     ["op"] field — [analyze] (inline game description), [construction]
-    (named paper family + size), [stats], [shutdown] — and may carry an
+    (named paper family + size), [put] (replicate a finished analysis
+    into the cache), [stats], [health], [shutdown] — and may carry an
     optional ["deadline_ms"] wall-clock budget.  Responses carry
     ["ok"]: analysis responses add the game fingerprint, whether the
     result came from cache, and the full analysis; failure responses
     add a machine-readable ["code"] ([error], [overloaded],
     [deadline_exceeded]) and a human-readable ["error"], and overload
-    responses add a ["retry_after_ms"] hint.  See DESIGN.md §3d–§3e
+    responses add a ["retry_after_ms"] hint.  See DESIGN.md §3d–§3f
     for worked examples and the failure model. *)
 
 type query =
   | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
   | Construction of { name : string; k : int }
+  | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
+      (** A cache write: store [analysis] under [fingerprint] without
+          computing anything.  The router uses it for quorum
+          replication and for warming shards after membership
+          changes. *)
   | Stats
+  | Health
+      (** Liveness + identity probe: answered with the shard id, the
+          in-flight request depth and the cache statistics, never shed
+          and never queued behind solver work. *)
   | Shutdown
 
 type request = {
@@ -26,6 +36,12 @@ type request = {
 
 val default_k : int
 (** Size used when a [construction] request omits ["k"]. *)
+
+val max_k : int
+(** Largest ["k"] accepted at parse time.  A [construction] request
+    with [k < 1] or [k > max_k] is rejected with a structured error on
+    arrival — mirroring the [deadline_ms] validation — instead of
+    failing deep inside a construction builder or exhausting memory. *)
 
 val parse_request : string -> (request, string) result
 
@@ -40,7 +56,15 @@ val analyze_request :
 val construction_request :
   ?deadline_ms:int -> name:string -> k:int -> unit -> Bi_engine.Sink.json
 
+val put_request :
+  fingerprint:string -> Bi_engine.Sink.json -> Bi_engine.Sink.json
+(** [put_request ~fingerprint analysis_json] — the JSON argument is the
+    already-encoded ["analysis"] value (as found in an [ok_analysis]
+    response), so a router can replicate a shard's answer without
+    decoding it. *)
+
 val stats_request : Bi_engine.Sink.json
+val health_request : Bi_engine.Sink.json
 val shutdown_request : Bi_engine.Sink.json
 
 (** Response builders (server side). *)
@@ -53,6 +77,20 @@ val ok_analysis :
 
 val ok_stats :
   cache:Bi_engine.Sink.json -> server:Bi_engine.Sink.json -> Bi_engine.Sink.json
+
+val ok_health :
+  shard:string ->
+  inflight:int ->
+  cache:Bi_engine.Sink.json ->
+  Bi_engine.Sink.json
+(** Health response: shard identity, in-flight request depth, cache
+    (store) statistics. *)
+
+val ok_stored : fingerprint:string -> Bi_engine.Sink.json
+(** Acknowledges a [put]: ["stored"]: [true]. *)
+
+val shard_of : Bi_engine.Sink.json -> string option
+(** The ["shard"] field of a health response, when present. *)
 
 val ok_shutdown : Bi_engine.Sink.json
 

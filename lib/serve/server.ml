@@ -6,7 +6,7 @@ module Fingerprint = Bi_cache.Fingerprint
 module Bncs = Bi_ncs.Bayesian_ncs
 module Registry = Bi_constructions.Registry
 
-type listen = Unix_socket of string | Tcp of int
+type listen = Lineserver.listen = Unix_socket of string | Tcp of int
 
 type limits = {
   max_concurrent : int;
@@ -24,19 +24,13 @@ type t = {
   metrics : Metrics.t;
   limits : limits;
   chaos : Chaos.t option;
-  lock : Mutex.t;  (* guards [inflight], [conns], [threads], [finished] *)
+  ls : Lineserver.t;
+  lock : Mutex.t;  (* guards [inflight] *)
   cond : Condition.t;  (* signalled when an in-flight computation ends *)
   inflight : (string, unit) Hashtbl.t;
-  conns : (int, Unix.file_descr) Hashtbl.t;
-  threads : (int, Thread.t) Hashtbl.t;
-  mutable finished : int list;  (* conn ids whose threads have exited *)
-  mutable next_conn : int;
   adm_lock : Mutex.t;  (* guards [running] and [queued] *)
   mutable running : int;  (* analyses currently computing *)
   mutable queued : int;  (* leaders waiting for a compute slot *)
-  stop : bool Atomic.t;
-  mutable listen_fd : Unix.file_descr;
-  listen : listen;
 }
 
 (* How a request can fail before or during its analysis. *)
@@ -79,7 +73,7 @@ let try_admit t ~budget =
       else begin
         Mutex.unlock t.adm_lock;
         let bail =
-          if Atomic.get t.stop then Some (Msg "server is shutting down")
+          if Lineserver.stopping t.ls then Some (Msg "server is shutting down")
           else if Budget.expired budget then Some Deadline
           else None
         in
@@ -162,35 +156,6 @@ let analysis t ~budget ~chaos_delay_ms ~fingerprint build =
   in
   obtain ~waited:false
 
-(* --- shutdown -------------------------------------------------------- *)
-
-(* [accept] is woken by connecting to our own listening address — a
-   plain [close] does not reliably interrupt a blocked [accept]. *)
-let poke_listener t =
-  let domain, addr =
-    match t.listen with
-    | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-    | Tcp port ->
-      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-  in
-  match Unix.socket domain Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    (try Unix.connect fd addr with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-
-let initiate_shutdown t =
-  if Atomic.compare_and_set t.stop false true then begin
-    poke_listener t;
-    (* Unblock connection threads parked in [input_line]. *)
-    Mutex.lock t.lock;
-    Hashtbl.iter
-      (fun _ fd ->
-        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-      t.conns;
-    Mutex.unlock t.lock
-  end
-
 (* --- request handling ------------------------------------------------ *)
 
 let budget_of t deadline_ms =
@@ -229,6 +194,20 @@ let handle_query t ~budget ~chaos_delay_ms query =
       let fingerprint = Fingerprint.of_game game in
       analysis_response t ~fingerprint
         (analysis t ~budget ~chaos_delay_ms ~fingerprint (fun () -> Ok game)))
+  (* [put] and [health] are cluster-control verbs: like [stats] they are
+     never shed and never queue behind solver work, so replication and
+     liveness probing keep working on a saturated shard. *)
+  | Protocol.Put { fingerprint; analysis } ->
+    chaos_sleep chaos_delay_ms;
+    Service.insert_analysis t.cache fingerprint analysis;
+    (Protocol.ok_stored ~fingerprint, `Continue)
+  | Protocol.Health ->
+    chaos_sleep chaos_delay_ms;
+    let stats = Service.stats t.cache in
+    let shard = Option.value stats.Service.shard ~default:"unnamed" in
+    ( Protocol.ok_health ~shard ~inflight:(Metrics.inflight t.metrics)
+        ~cache:(Service.stats_to_json stats),
+      `Continue )
   | Protocol.Stats ->
     chaos_sleep chaos_delay_ms;
     ( Protocol.ok_stats
@@ -262,102 +241,44 @@ let handle_line t ~chaos_delay_ms line =
   Metrics.leave t.metrics ~seconds:(Unix.gettimeofday () -. t0);
   (response, disposition)
 
-let serve_conn t conn_id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let finally () =
-    Mutex.lock t.lock;
-    Hashtbl.remove t.conns conn_id;
-    t.finished <- conn_id :: t.finished;
-    Mutex.unlock t.lock;
-    try Unix.close fd with Unix.Unix_error _ -> ()
+(* One protocol exchange, including the chaos transport decision: a
+   dropped or truncated response leaves the client with wreckage, so
+   the connection is closed rather than left desynchronized. *)
+let handle_conn_line t oc line =
+  let action =
+    match t.chaos with
+    | None -> Chaos.deliver
+    | Some c -> Chaos.response_action c
   in
-  Fun.protect ~finally (fun () ->
-      let rec loop () =
-        match input_line ic with
-        | exception End_of_file -> ()
-        | exception Sys_error _ -> ()
-        (* SO_RCVTIMEO expiring surfaces as [Sys_blocked_io]. *)
-        | exception Sys_blocked_io -> Metrics.idle_close t.metrics
-        | line when String.trim line = "" -> loop ()
-        | line ->
-          let action =
-            match t.chaos with
-            | None -> Chaos.deliver
-            | Some c -> Chaos.response_action c
-          in
-          if Chaos.faulty action then Metrics.fault_injected t.metrics;
-          let response, disposition =
-            handle_line t ~chaos_delay_ms:action.Chaos.delay_ms line
-          in
-          let alive =
-            let s = Sink.to_string response in
-            match action.Chaos.transport with
-            | `Drop -> false
-            | `Truncate ->
-              (* A torn write: half the line, no newline, then hang up —
-                 the same wreckage a crash mid-response leaves. *)
-              (try
-                 output_string oc (String.sub s 0 (String.length s / 2));
-                 flush oc
-               with Sys_error _ -> ());
-              false
-            | `Deliver -> (
-              try
-                output_string oc s;
-                output_char oc '\n';
-                flush oc;
-                true
-              with Sys_error _ -> false)
-          in
-          (match disposition with
-          | `Stop -> initiate_shutdown t
-          | `Continue -> if alive && not (Atomic.get t.stop) then loop ())
-      in
-      loop ())
+  if Chaos.faulty action then Metrics.fault_injected t.metrics;
+  let response, disposition =
+    handle_line t ~chaos_delay_ms:action.Chaos.delay_ms line
+  in
+  let alive =
+    let s = Sink.to_string response in
+    match action.Chaos.transport with
+    | `Drop -> false
+    | `Truncate ->
+      (* A torn write: half the line, no newline, then hang up —
+         the same wreckage a crash mid-response leaves. *)
+      (try
+         output_string oc (String.sub s 0 (String.length s / 2));
+         flush oc
+       with Sys_error _ -> ());
+      false
+    | `Deliver -> (
+      try
+        output_string oc s;
+        output_char oc '\n';
+        flush oc;
+        true
+      with Sys_error _ -> false)
+  in
+  match disposition with
+  | `Stop -> `Stop
+  | `Continue -> if alive then `Continue else `Close
 
 (* --- lifecycle ------------------------------------------------------- *)
-
-(* Refuses to clobber another server's socket: an existing path is
-   probed with a connect — only a refused connection proves the socket
-   is stale and safe to unlink.  A live listener or a non-socket file
-   is an error, not a casualty. *)
-let bind_listener = function
-  | Unix_socket path ->
-    if Sys.file_exists path then begin
-      (match (Unix.lstat path).Unix.st_kind with
-      | Unix.S_SOCK -> ()
-      | _ ->
-        failwith
-          (Printf.sprintf "refusing to replace %s: not a socket" path));
-      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let verdict =
-        match Unix.connect probe (Unix.ADDR_UNIX path) with
-        | () -> `Live
-        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
-        | exception Unix.Unix_error (err, _, _) -> `Unknown err
-      in
-      (try Unix.close probe with Unix.Unix_error _ -> ());
-      match verdict with
-      | `Stale -> Unix.unlink path
-      | `Live ->
-        failwith
-          (Printf.sprintf "a server is already listening on %s" path)
-      | `Unknown err ->
-        failwith
-          (Printf.sprintf "cannot probe %s (%s); not replacing it" path
-             (Unix.error_message err))
-    end;
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 16;
-    fd
-  | Tcp port ->
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-    Unix.listen fd 16;
-    fd
 
 let dump_metrics t path =
   let oc = open_out path in
@@ -375,93 +296,29 @@ let dump_metrics t path =
       output_string oc (Sink.to_string j);
       output_char oc '\n')
 
-(* Join connection threads that have announced their exit; called from
-   the accept loop so the thread table stays bounded by the number of
-   live connections instead of growing for the server's lifetime. *)
-let reap t =
-  Mutex.lock t.lock;
-  let done_ = t.finished in
-  t.finished <- [];
-  let ths =
-    List.filter_map
-      (fun id ->
-        match Hashtbl.find_opt t.threads id with
-        | Some th ->
-          Hashtbl.remove t.threads id;
-          Some th
-        | None -> None)
-      done_
+let run ?pool ?metrics_out ?on_ready ?(limits = default_limits) ?chaos ~cache
+    listen =
+  let metrics = Metrics.create () in
+  let ls =
+    Lineserver.create ~idle_timeout_s:limits.idle_timeout_s
+      ~on_idle_close:(fun () -> Metrics.idle_close metrics)
+      listen
   in
-  Mutex.unlock t.lock;
-  List.iter Thread.join ths
-
-let run ?pool ?metrics_out ?(on_ready = fun () -> ())
-    ?(limits = default_limits) ?chaos ~cache listen =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let listen_fd = bind_listener listen in
   let t =
     {
       cache;
       pool;
-      metrics = Metrics.create ();
+      metrics;
       limits;
       chaos;
+      ls;
       lock = Mutex.create ();
       cond = Condition.create ();
       inflight = Hashtbl.create 16;
-      conns = Hashtbl.create 16;
-      threads = Hashtbl.create 16;
-      finished = [];
-      next_conn = 0;
       adm_lock = Mutex.create ();
       running = 0;
       queued = 0;
-      stop = Atomic.make false;
-      listen_fd;
-      listen;
     }
   in
-  let stop_on_signal = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
-  let previous_int = Sys.signal Sys.sigint stop_on_signal in
-  let previous_term = Sys.signal Sys.sigterm stop_on_signal in
-  on_ready ();
-  let rec accept_loop () =
-    reap t;
-    if not (Atomic.get t.stop) then
-      match Unix.accept t.listen_fd with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | exception Unix.Unix_error (_, _, _) -> ()
-      | fd, _ ->
-        if Atomic.get t.stop then
-          try Unix.close fd with Unix.Unix_error _ -> ()
-        else begin
-          if limits.idle_timeout_s > 0. then
-            Unix.setsockopt_float fd Unix.SO_RCVTIMEO limits.idle_timeout_s;
-          (* Register the thread under the lock before it can finish:
-             [serve_conn]'s exit path takes the same lock, so the table
-             entry always exists by the time its id reaches [finished]. *)
-          Mutex.lock t.lock;
-          let conn_id = t.next_conn in
-          t.next_conn <- conn_id + 1;
-          Hashtbl.replace t.conns conn_id fd;
-          let th = Thread.create (fun () -> serve_conn t conn_id fd) () in
-          Hashtbl.replace t.threads conn_id th;
-          Mutex.unlock t.lock;
-          accept_loop ()
-        end
-  in
-  accept_loop ();
-  let remaining =
-    Mutex.lock t.lock;
-    let ths = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
-    Mutex.unlock t.lock;
-    ths
-  in
-  List.iter Thread.join remaining;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (match listen with
-  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ());
-  Option.iter (dump_metrics t) metrics_out;
-  Sys.set_signal Sys.sigint previous_int;
-  Sys.set_signal Sys.sigterm previous_term
+  Lineserver.run ?on_ready ~handler:(handle_conn_line t) ls;
+  Option.iter (dump_metrics t) metrics_out

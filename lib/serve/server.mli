@@ -29,12 +29,14 @@
     stops accepting, wakes idle connections, joins all connection
     threads, optionally dumps metrics, and returns. *)
 
-type listen = Unix_socket of string | Tcp of int
+type listen = Lineserver.listen = Unix_socket of string | Tcp of int
 (** TCP binds loopback only; the server performs no authentication.
     For [Unix_socket], an existing path is probed before binding: only
     a refused connection (a stale socket left by a crash) is unlinked —
     a live server or a non-socket file makes [run] raise [Failure]
-    instead of clobbering it. *)
+    instead of clobbering it.  (The socket machinery — accept loop,
+    thread-per-connection, graceful shutdown — lives in {!Lineserver};
+    this module supplies the protocol handler on top.) *)
 
 type limits = {
   max_concurrent : int;  (** Analyses computing at once. *)

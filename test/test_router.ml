@@ -1,0 +1,365 @@
+(* Tests for the cluster front-end: consistent-hash ring laws,
+   membership state machine, and an end-to-end router over in-process
+   shards — forward, front cache, quorum replication, failover with
+   byte-identical warm answers, and structured errors when every shard
+   is gone. *)
+
+module Ring = Bi_router.Ring
+module Membership = Bi_router.Membership
+module Router = Bi_router.Router
+module Protocol = Bi_serve.Protocol
+module Server = Bi_serve.Server
+module Client = Bi_serve.Client
+module Service = Bi_cache.Service
+module Sink = Bi_engine.Sink
+
+(* --- ring laws --------------------------------------------------------- *)
+
+let gen_member = QCheck2.Gen.(map (Printf.sprintf "shard-%d") (int_range 0 9))
+
+let gen_members =
+  QCheck2.Gen.(list_size (int_range 2 6) gen_member)
+
+let gen_key = QCheck2.Gen.(map (Printf.sprintf "fp-%d") int)
+
+(* Adding one member moves a key only onto that member: every other key
+   keeps its previous owner.  This is the property that makes membership
+   changes cheap — the cluster never reshuffles keys between survivors. *)
+let ring_stable_under_addition =
+  QCheck2.Test.make ~name:"adding a member moves keys only onto it" ~count:300
+    QCheck2.Gen.(tup3 gen_members (int_range 10 19) gen_key)
+    (fun (members, extra, key) ->
+      let added = Printf.sprintf "shard-%d" extra in
+      let before = Ring.create members in
+      let after = Ring.create (added :: members) in
+      match (Ring.owner before key, Ring.owner after key) with
+      | Some old_owner, Some new_owner ->
+        new_owner = old_owner || new_owner = added
+      | _ -> false)
+
+(* The mirror law: removing a member only moves that member's keys. *)
+let ring_stable_under_removal =
+  QCheck2.Test.make ~name:"removing a member strands only its keys" ~count:300
+    QCheck2.Gen.(tup2 gen_members gen_key)
+    (fun (members, key) ->
+      QCheck2.assume (List.length (List.sort_uniq compare members) >= 2);
+      let ring = Ring.create members in
+      let victim = List.hd (Ring.members ring) in
+      let survivor_ring =
+        Ring.create (List.filter (fun m -> m <> victim) members)
+      in
+      match Ring.owner ring key with
+      | Some owner when owner <> victim ->
+        Ring.owner survivor_ring key = Some owner
+      | _ -> true)
+
+(* Replica sets are distinct members, primary first, and never larger
+   than the membership. *)
+let ring_owner_sets =
+  QCheck2.Test.make ~name:"owner lists are distinct and bounded" ~count:300
+    QCheck2.Gen.(tup3 gen_members (int_range 1 5) gen_key)
+    (fun (members, n, key) ->
+      let ring = Ring.create members in
+      let owners = Ring.owners ring ~n key in
+      let distinct = List.sort_uniq compare owners in
+      List.length owners = min n (List.length (Ring.members ring))
+      && List.length distinct = List.length owners
+      && Ring.owner ring key = Some (List.hd owners))
+
+(* With the default vnodes, 1k fingerprints spread across 5 shards
+   within a 3x band of the fair share — no shard is starved or crushed. *)
+let test_ring_balance () =
+  let members = List.init 5 (Printf.sprintf "shard-%d") in
+  let ring = Ring.create members in
+  let counts = Hashtbl.create 8 in
+  let keys = 1000 in
+  for i = 0 to keys - 1 do
+    (* Keys shaped like real fingerprints: hex digests. *)
+    let key = Digest.to_hex (Digest.string (Printf.sprintf "game-%d" i)) in
+    match Ring.owner ring key with
+    | Some m ->
+      Hashtbl.replace counts m (1 + Option.value ~default:0 (Hashtbl.find_opt counts m))
+    | None -> Alcotest.fail "ring with members owned nothing"
+  done;
+  let fair = keys / List.length members in
+  List.iter
+    (fun m ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts m) in
+      if n < fair / 3 || n > fair * 3 then
+        Alcotest.failf "%s owns %d of %d keys (fair share %d)" m n keys fair)
+    members
+
+(* Equal member sets build identical rings regardless of order or
+   duplication — SIGHUP reloads with a shuffled file must not rehash. *)
+let test_ring_canonical () =
+  let a = Ring.create [ "s1"; "s2"; "s3" ] in
+  let b = Ring.create [ "s3"; "s1"; "s2"; "s1" ] in
+  Alcotest.(check (list string)) "members" (Ring.members a) (Ring.members b);
+  for i = 0 to 99 do
+    let key = Printf.sprintf "k%d" i in
+    Alcotest.(check (option string)) key (Ring.owner a key) (Ring.owner b key)
+  done
+
+(* --- membership state machine ----------------------------------------- *)
+
+let test_membership_lifecycle () =
+  let m = Membership.create [ "a"; "b" ] in
+  Alcotest.(check (list string)) "members" [ "a"; "b" ] (Membership.members m);
+  (* Everyone starts Suspect with a probe due immediately. *)
+  Alcotest.(check (list string)) "all due at 0" [ "a"; "b" ]
+    (Membership.due m ~now:0);
+  Alcotest.(check (list string)) "suspects are routable" [ "a"; "b" ]
+    (Membership.routable m);
+  (* First success is a recovery (the warming trigger); repeats are not. *)
+  (match Membership.note_success m ~now:0 "a" with
+  | `Recovered -> ()
+  | `Ok -> Alcotest.fail "first success must report `Recovered");
+  (match Membership.note_success m ~now:1 "a" with
+  | `Ok -> ()
+  | `Recovered -> Alcotest.fail "repeat success must not re-trigger warming");
+  Alcotest.(check bool) "a is Up" true
+    (Membership.state m "a" = Some Membership.Up);
+  (* Three consecutive failures take a member Down, once. *)
+  (match Membership.note_failure m ~now:1 "b" with
+  | `Ok -> ()
+  | `Went_down -> Alcotest.fail "down too early");
+  ignore (Membership.note_failure m ~now:3 "b");
+  (match Membership.note_failure m ~now:7 "b" with
+  | `Went_down -> ()
+  | `Ok -> Alcotest.fail "third failure must report `Went_down");
+  Alcotest.(check bool) "b is Down" true
+    (Membership.state m "b" = Some Membership.Down);
+  Alcotest.(check (list string)) "down members are not routable" [ "a" ]
+    (Membership.routable m);
+  (* Recovery resets everything. *)
+  (match Membership.note_success m ~now:20 "b" with
+  | `Recovered -> ()
+  | `Ok -> Alcotest.fail "coming back from Down must report `Recovered");
+  Alcotest.(check (list string)) "both routable again" [ "a"; "b" ]
+    (Membership.routable m)
+
+(* Probe backoff is deterministic: after f consecutive failures the next
+   probe is min max_backoff (2^f) ticks out. *)
+let test_membership_backoff () =
+  let m = Membership.create ~max_backoff:8 [ "a" ] in
+  ignore (Membership.note_failure m ~now:0 "a");
+  Alcotest.(check (list string)) "not due before the backoff" []
+    (Membership.due m ~now:1);
+  Alcotest.(check (list string)) "due after 2 ticks" [ "a" ]
+    (Membership.due m ~now:2);
+  ignore (Membership.note_failure m ~now:2 "a");
+  Alcotest.(check (list string)) "second backoff is 4 ticks" [ "a" ]
+    (Membership.due m ~now:6);
+  ignore (Membership.note_failure m ~now:6 "a");
+  ignore (Membership.note_failure m ~now:14 "a");
+  (* 2^4 = 16 exceeds max_backoff = 8: capped. *)
+  Alcotest.(check (list string)) "backoff capped" [ "a" ]
+    (Membership.due m ~now:22)
+
+let test_membership_reload () =
+  let m = Membership.create [ "a"; "b" ] in
+  ignore (Membership.note_success m ~now:0 "a");
+  let added = Membership.set_members m [ "a"; "c" ] in
+  Alcotest.(check (list string)) "added members reported" [ "c" ] added;
+  Alcotest.(check (list string)) "membership replaced" [ "a"; "c" ]
+    (Membership.members m);
+  (* Survivors keep their state; newcomers start Suspect and due now. *)
+  Alcotest.(check bool) "a still Up" true
+    (Membership.state m "a" = Some Membership.Up);
+  Alcotest.(check bool) "c starts Suspect" true
+    (Membership.state m "c" = Some Membership.Suspect);
+  Alcotest.(check bool) "b forgotten" true (Membership.state m "b" = None)
+
+let test_parse_members () =
+  Alcotest.(check (list string))
+    "commas and whitespace"
+    [ "/tmp/a.sock"; "127.0.0.1:7401"; "7402" ]
+    (Router.parse_members "/tmp/a.sock, 127.0.0.1:7401\n7402");
+  Alcotest.(check (list string)) "empty" [] (Router.parse_members " \n ,, ")
+
+(* --- end-to-end: router over two in-process shards --------------------- *)
+
+let get_bool key j =
+  match Sink.member key j with Some (Sink.Bool b) -> Some b | _ -> None
+
+let request_ok client req =
+  match Client.request client req with
+  | Error f -> Alcotest.fail (Client.failure_to_string f)
+  | Ok resp ->
+    Alcotest.(check bool) "response ok" true (Protocol.is_ok resp);
+    resp
+
+let with_ready_thread f =
+  let ready = Mutex.create () and readied = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.signal readied;
+    Mutex.unlock ready
+  in
+  let th = Thread.create (fun () -> f ~on_ready) () in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait readied ready
+  done;
+  Mutex.unlock ready;
+  th
+
+let start_shard ~dir ~name =
+  let socket = Filename.concat dir (name ^ ".sock") in
+  let cache = Service.create ~shard:name () in
+  let th =
+    with_ready_thread (fun ~on_ready ->
+        Server.run ~on_ready ~cache (Server.Unix_socket socket))
+  in
+  (socket, cache, th)
+
+let stop_endpoint socket =
+  try
+    let c = Client.connect_unix socket in
+    ignore (Client.request c Protocol.shutdown_request);
+    Client.close c
+  with Unix.Unix_error _ -> ()
+
+let analysis_bytes resp =
+  Sink.to_string (Option.get (Sink.member "analysis" resp))
+
+let test_router_end_to_end () =
+  let dir = Filename.temp_file "bi_router" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_a, cache_a, th_a = start_shard ~dir ~name:"shard-a" in
+  let sock_b, cache_b, th_b = start_shard ~dir ~name:"shard-b" in
+  let members = [ sock_a; sock_b ] in
+  let router_sock = Filename.concat dir "router.sock" in
+  (* front_capacity = 1 so the second construction evicts the first from
+     the front cache, forcing the failover path below to hit shards. *)
+  let config =
+    {
+      Router.default_config with
+      front_capacity = 1;
+      probe_interval_s = 0.05;
+      shard_timeout_s = 5.;
+    }
+  in
+  let th_router =
+    with_ready_thread (fun ~on_ready ->
+        Router.run ~on_ready ~config ~members
+          (Bi_serve.Lineserver.Unix_socket router_sock))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_endpoint router_sock;
+      Thread.join th_router;
+      stop_endpoint sock_a;
+      stop_endpoint sock_b;
+      Thread.join th_a;
+      Thread.join th_b;
+      Service.close cache_a;
+      Service.close cache_b)
+    (fun () ->
+      let c = Client.connect_unix router_sock in
+      (* A router answers the control verbs itself. *)
+      let h = request_ok c Protocol.health_request in
+      Alcotest.(check (option string)) "router health" (Some "router")
+        (Protocol.shard_of h);
+      ignore (request_ok c Protocol.stats_request);
+      (* Cold key: the router forwards, a shard computes. *)
+      let req2 = Protocol.construction_request ~name:"gworst-bliss" ~k:2 () in
+      let r2 = request_ok c req2 in
+      Alcotest.(check (option bool)) "cold compute" (Some false)
+        (get_bool "cached" r2);
+      let fp2 =
+        match Sink.member "fingerprint" r2 with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      let bytes2 = analysis_bytes r2 in
+      (* Same key again: front cache, byte-identical. *)
+      let r2' = request_ok c req2 in
+      Alcotest.(check (option bool)) "front cache hit" (Some true)
+        (get_bool "cached" r2');
+      Alcotest.(check string) "front cache byte-identical" bytes2
+        (analysis_bytes r2');
+      (* With 2 members and quorum 2, replication has pushed the entry
+         to both shards: each answers it cached, byte-identically. *)
+      List.iter
+        (fun sock ->
+          let d = Client.connect_unix sock in
+          let r = request_ok d req2 in
+          Alcotest.(check (option bool))
+            (sock ^ " holds a quorum copy") (Some true) (get_bool "cached" r);
+          Alcotest.(check string) (sock ^ " copy byte-identical") bytes2
+            (analysis_bytes r);
+          Client.close d)
+        members;
+      (* A put through the router must reach the quorum too. *)
+      let stored =
+        request_ok c
+          (Protocol.put_request ~fingerprint:fp2
+             (Option.get (Sink.member "analysis" r2)))
+      in
+      Alcotest.(check (option bool)) "router put stored" (Some true)
+        (get_bool "stored" stored);
+      (* Evict fp2 from the 1-entry front cache... *)
+      ignore (request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:3 ()));
+      (* ...kill fp2's primary owner, and ask again through the router:
+         failover must serve the replica's copy, byte-identical. *)
+      let ring = Ring.create members in
+      let primary = Option.get (Ring.owner ring fp2) in
+      let replica = List.find (fun m -> m <> primary) members in
+      stop_endpoint primary;
+      Thread.join (if primary = sock_a then th_a else th_b);
+      let r2'' = request_ok c req2 in
+      Alcotest.(check (option bool)) "failover hits the replica's cache"
+        (Some true) (get_bool "cached" r2'');
+      Alcotest.(check string) "failover byte-identical" bytes2
+        (analysis_bytes r2'');
+      (* Both shards gone: a fresh key must come back as a structured
+         error, never a hang or a torn line. *)
+      stop_endpoint replica;
+      Thread.join (if replica = sock_a then th_a else th_b);
+      (match
+         Client.request c (Protocol.construction_request ~name:"gworst-bliss" ~k:4 ())
+       with
+      | Ok resp ->
+        Alcotest.(check bool) "structured error with no shards" false
+          (Protocol.is_ok resp)
+      | Error f -> Alcotest.fail (Client.failure_to_string f));
+      (* Control verbs keep working even with every shard gone. *)
+      ignore (request_ok c Protocol.stats_request);
+      let bye = request_ok c Protocol.shutdown_request in
+      Alcotest.(check (option bool)) "router stopping" (Some true)
+        (get_bool "stopping" bye);
+      Client.close c)
+
+let () =
+  Alcotest.run "bi_router"
+    [
+      ( "ring",
+        [
+          QCheck_alcotest.to_alcotest ring_stable_under_addition;
+          QCheck_alcotest.to_alcotest ring_stable_under_removal;
+          QCheck_alcotest.to_alcotest ring_owner_sets;
+          Alcotest.test_case "balance across 1k fingerprints" `Quick
+            test_ring_balance;
+          Alcotest.test_case "canonical under order and duplicates" `Quick
+            test_ring_canonical;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "lifecycle up/suspect/down" `Quick
+            test_membership_lifecycle;
+          Alcotest.test_case "deterministic probe backoff" `Quick
+            test_membership_backoff;
+          Alcotest.test_case "reload preserves survivors" `Quick
+            test_membership_reload;
+          Alcotest.test_case "member list parsing" `Quick test_parse_members;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "end to end with failover" `Quick
+            test_router_end_to_end;
+        ] );
+    ]

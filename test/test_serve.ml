@@ -65,7 +65,34 @@ let test_parse_requests () =
       {|{"op":"stats","deadline_ms":0}|};
       {|{"op":"stats","deadline_ms":-5}|};
       {|{"op":"stats","deadline_ms":"soon"}|};
-    ]
+      (* k is validated at parse time: 0, negative, or past max_k must
+         be structured errors, not deep solver failures *)
+      {|{"op":"construction","name":"diamond","k":0}|};
+      {|{"op":"construction","name":"diamond","k":-3}|};
+      (Printf.sprintf {|{"op":"construction","name":"diamond","k":%d}|}
+         (Protocol.max_k + 1));
+      (* put needs a non-empty fingerprint and a decodable analysis *)
+      {|{"op":"put","fingerprint":"abc"}|};
+      {|{"op":"put","analysis":{}}|};
+      {|{"op":"put","fingerprint":"","analysis":{}}|};
+      {|{"op":"put","fingerprint":"abc","analysis":{"bogus":1}}|};
+    ];
+  (* the k bounds themselves are accepted *)
+  (match Protocol.parse_request {|{"op":"construction","name":"diamond","k":1}|} with
+  | Ok { Protocol.query = Protocol.Construction { k = 1; _ }; _ } -> ()
+  | _ -> Alcotest.fail "k = 1 rejected");
+  (match
+     Protocol.parse_request
+       (Printf.sprintf {|{"op":"construction","name":"diamond","k":%d}|}
+          Protocol.max_k)
+   with
+  | Ok { Protocol.query = Protocol.Construction { k; _ }; _ } ->
+    Alcotest.(check int) "k = max_k accepted" Protocol.max_k k
+  | _ -> Alcotest.fail "k = max_k rejected");
+  (* health parses like the other control verbs *)
+  match Protocol.parse_request {|{"op":"health"}|} with
+  | Ok { Protocol.query = Protocol.Health; _ } -> ()
+  | _ -> Alcotest.fail "health request"
 
 let test_response_codes () =
   Alcotest.(check (option string)) "ok" (Some "ok")
@@ -153,6 +180,62 @@ let test_metrics_accounting () =
     Alcotest.(check int) "both latencies bucketed" 2 count
   | _ -> Alcotest.fail "histogram missing"
 
+(* --- retry backoff laws ----------------------------------------------- *)
+
+(* Without a hint, every wait lies in [1, max_delay_ms] for any seed,
+   position and attempt — the schedule can never stall or overshoot. *)
+let backoff_within_bounds =
+  QCheck2.Test.make ~name:"backoff waits lie in [1, max_delay_ms]" ~count:500
+    QCheck2.Gen.(
+      tup4 (int_range 1 5000) (int_range 1 5000) int (int_range 0 62))
+    (fun (base, cap, seed, attempt) ->
+      let w =
+        Client.backoff_wait_ms ~base_delay_ms:base ~max_delay_ms:cap ~seed
+          ~wait_index:attempt ~attempt ~hint_ms:None
+      in
+      w >= 1 && w <= max 1 cap)
+
+(* The server's retry_after_ms hint is a floor: the client never knocks
+   again sooner than the server asked, even past the backoff cap. *)
+let backoff_hint_floor =
+  QCheck2.Test.make ~name:"retry_after_ms hint is a floor" ~count:500
+    QCheck2.Gen.(tup3 int (int_range 0 30) (int_range 0 10_000))
+    (fun (seed, attempt, hint) ->
+      let w =
+        Client.backoff_wait_ms ~base_delay_ms:25 ~max_delay_ms:2000 ~seed
+          ~wait_index:attempt ~attempt ~hint_ms:(Some hint)
+      in
+      w >= hint && w >= 1)
+
+(* Distinct seeds must produce distinct jitter sequences — the whole
+   point of deriving per-connection seeds is that a fleet of clients
+   does not retry in lockstep after losing the same server. *)
+let backoff_seed_distinct =
+  QCheck2.Test.make ~name:"distinct seeds give distinct jitter sequences"
+    ~count:200
+    QCheck2.Gen.(tup2 int int)
+    (fun (s1, s2) ->
+      QCheck2.assume (s1 <> s2);
+      let sequence seed =
+        List.init 16 (fun i ->
+            Client.backoff_wait_ms ~base_delay_ms:1000
+              ~max_delay_ms:1_000_000 ~seed ~wait_index:i ~attempt:10
+              ~hint_ms:None)
+      in
+      sequence s1 <> sequence s2)
+
+(* Same seed, same positions: the schedule is reproducible, which is
+   what tests that pass an explicit seed rely on. *)
+let backoff_deterministic =
+  QCheck2.Test.make ~name:"backoff is deterministic per seed" ~count:200
+    QCheck2.Gen.(tup2 int (int_range 0 30))
+    (fun (seed, i) ->
+      let once () =
+        Client.backoff_wait_ms ~base_delay_ms:25 ~max_delay_ms:2000 ~seed
+          ~wait_index:i ~attempt:i ~hint_ms:None
+      in
+      once () = once ())
+
 (* --- chaos configuration ---------------------------------------------- *)
 
 let test_chaos_parse () =
@@ -180,13 +263,13 @@ let test_chaos_parse () =
 
 (* --- end-to-end over a Unix socket ------------------------------------ *)
 
-let with_server ?store_path ?limits ?chaos f =
+let with_server ?store_path ?limits ?chaos ?shard f =
   let dir = Filename.temp_file "bi_serve" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let socket = Filename.concat dir "bi.sock" in
   let metrics_out = Filename.concat dir "metrics.json" in
-  let cache = Service.create ?store_path () in
+  let cache = Service.create ?store_path ?shard () in
   let ready = Mutex.create () and readied = Condition.create () in
   let is_ready = ref false in
   let server =
@@ -294,6 +377,53 @@ let test_end_to_end () =
       ignore (request_ok c Protocol.shutdown_request);
       Client.close c);
   Sys.remove store_path
+
+(* Health names the shard and exposes load; put inserts an analysis
+   that later construction requests answer byte-identically — the two
+   verbs the router builds its membership and replication on. *)
+let test_health_and_put () =
+  let captured = ref None in
+  with_server ~shard:"shard-a" (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      let h = request_ok c Protocol.health_request in
+      Alcotest.(check (option string))
+        "health names the shard" (Some "shard-a") (Protocol.shard_of h);
+      (match Sink.member "inflight" h with
+      | Some (Sink.Int n) ->
+        Alcotest.(check bool) "inflight counts this request" true (n >= 1)
+      | _ -> Alcotest.fail "inflight missing");
+      (match Sink.member "cache" h with
+      | Some (Sink.Obj _) -> ()
+      | _ -> Alcotest.fail "cache stats missing");
+      let r =
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ())
+      in
+      let fp =
+        match Sink.member "fingerprint" r with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      captured := Some (fp, Option.get (Sink.member "analysis" r));
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c);
+  let fp, analysis = Option.get !captured in
+  (* A cold server warmed over the wire answers from cache, byte for
+     byte what the original shard computed. *)
+  with_server (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      let stored = request_ok c (Protocol.put_request ~fingerprint:fp analysis) in
+      Alcotest.(check (option bool)) "stored" (Some true)
+        (get_bool "stored" stored);
+      let r =
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ())
+      in
+      Alcotest.(check (option bool)) "answered from the pushed copy"
+        (Some true) (get_bool "cached" r);
+      Alcotest.(check string) "byte-identical analysis"
+        (Sink.to_string analysis)
+        (Sink.to_string (Option.get (Sink.member "analysis" r)));
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
 
 let test_metrics_dump () =
   with_server (fun ~socket ~metrics_out ->
@@ -410,7 +540,8 @@ let test_load_shedding () =
       Thread.join slow;
       (* retrying rides out the overload *)
       let retry =
-        { Client.default_retry with attempts = 12; base_delay_ms = 100; seed = 5 }
+        { Client.default_retry with attempts = 12; base_delay_ms = 100;
+          seed = Some 5 }
       in
       (match Client.request ~retry c2 req with
       | Error f -> Alcotest.fail (Client.failure_to_string f)
@@ -525,11 +656,16 @@ let () =
           Alcotest.test_case "hostile inputs" `Quick test_parse_hostile_inputs;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "chaos spec parsing" `Quick test_chaos_parse;
+          QCheck_alcotest.to_alcotest backoff_within_bounds;
+          QCheck_alcotest.to_alcotest backoff_hint_floor;
+          QCheck_alcotest.to_alcotest backoff_seed_distinct;
+          QCheck_alcotest.to_alcotest backoff_deterministic;
         ] );
       ( "server",
         [
           Alcotest.test_case "end to end over a unix socket" `Quick
             test_end_to_end;
+          Alcotest.test_case "health and put verbs" `Quick test_health_and_put;
           Alcotest.test_case "metrics dump on shutdown" `Quick test_metrics_dump;
           Alcotest.test_case "survives garbage on the wire" `Quick
             test_survives_garbage;
