@@ -11,7 +11,11 @@
    plus bechamel micro-benchmarks of the computational kernels.
 
    Usage: dune exec bench/main.exe [-- [--jobs N] [--cache FILE] section ...]
-   where section is any of: table1 figures checks sec4 ablations micro.
+   where section is any of: table1 figures checks sec4 ablations certified
+   micro.  The certified section cross-checks the certified solver tier
+   against exhaustion on the overlap window, then pushes the Table-1
+   quantities to k = 20..50 with machine-checked certificates, writing
+   its rows to BENCH_certified.json.
    With no section arguments, everything runs.  --jobs N (or BI_JOBS=N)
    runs the exhaustive solvers on N worker domains; results are
    bit-identical to --jobs 1.  --cache FILE attaches the
@@ -31,6 +35,7 @@ let sections =
     ("checks", Checks.run);
     ("sec4", Sec4.run);
     ("ablations", Ablations.run);
+    ("certified", Certified.run);
     ("micro", Micro.run);
   ]
 
@@ -46,10 +51,10 @@ let parse_args args =
     | ("--jobs" | "-j") :: rest -> (
       match rest with
       | n :: rest' -> (
-        match int_of_string_opt n with
-        | Some n when n >= 1 -> go (Some n) cache acc rest'
-        | _ ->
-          Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        match Pool.parse_jobs n with
+        | Ok n -> go (Some n) cache acc rest'
+        | Error e ->
+          Printf.eprintf "--jobs: %s\n" e;
           exit 1)
       | [] ->
         Printf.eprintf "--jobs expects an argument\n";
@@ -68,6 +73,12 @@ let parse_args args =
   go None None [] args
 
 let () =
+  (* A malformed BI_JOBS is an operator error, not a silent jobs=1 run. *)
+  (match Pool.env_jobs () with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1);
   let jobs_opt, cache_path, requested =
     parse_args (List.tl (Array.to_list Sys.argv))
   in

@@ -55,6 +55,55 @@ let construction_json ~name ~k ~fingerprint ~cached analysis =
       ("observation_2_2", Bool (Measures.observation_2_2_holds report));
     ]
 
+let certified_construction_json ~name ~k ~fingerprint ~cached payload =
+  Sink.Obj
+    [
+      ("record", Str "construction");
+      ("construction", Str name);
+      ("k", Int k);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("mode", Str "certified");
+      ("certified", payload);
+    ]
+
+(* Rendered from the JSON payload rather than the certificate record, so
+   cached answers (where only the payload survives) print identically. *)
+let print_certified payload =
+  let bracket_cell field =
+    match Sink.member field payload with
+    | Some b ->
+      let endpoint m =
+        match Sink.member m b with Some (Sink.Str v) -> v | _ -> "?"
+      in
+      let lo = endpoint "lo" and hi = endpoint "hi" in
+      if String.equal lo hi then lo else Printf.sprintf "[%s, %s]" lo hi
+    | None -> "?"
+  in
+  let int_of field =
+    match Sink.member field payload with Some (Sink.Int n) -> n | _ -> 0
+  in
+  let bool_of field =
+    match Sink.member field payload with Some (Sink.Bool b) -> b | _ -> false
+  in
+  print_endline
+    (Report.table
+       ~header:[ "quantity"; "certified bracket" ]
+       [
+         [ "optP"; bracket_cell "opt_p" ];
+         [ "best-eqP"; bracket_cell "best_eq_p" ];
+         [ "worst-eqP"; bracket_cell "worst_eq_p" ];
+         [ "optC"; bracket_cell "opt_c" ];
+         [ "best-eqC"; bracket_cell "best_eq_c" ];
+         [ "worst-eqC"; bracket_cell "worst_eq_c" ];
+       ]);
+  Printf.printf
+    "\n%d equilibria from %d descent starts; branch-and-bound %s in %d nodes\n"
+    (int_of "equilibria") (int_of "descent_starts")
+    (if bool_of "bnb_certified" then "closed (optimum certified)"
+     else "open (bracket only)")
+    (int_of "bnb_nodes")
+
 (* Unknown names exit 1, a [k] the family rejects exits 2. *)
 let build_or_exit name k =
   match Constructions.Registry.build name k with
@@ -63,35 +112,79 @@ let build_or_exit name k =
     Printf.eprintf "error: %s\n" msg;
     exit (if List.mem name Constructions.Registry.names then 2 else 1)
 
-let construction name k jobs json cache_path =
+let construction name k jobs json cache_path mode =
   Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
       let game, build_span =
         Engine.Timer.timed (fun () -> build_or_exit name k)
       in
       let fingerprint = Cache.Fingerprint.of_game game in
+      let mode =
+        Certify.Mode.resolve ~valid_profiles:(Bncs.valid_profile_count game)
+          mode
+      in
       let cache =
         Option.map (fun path -> Cache.Service.create ~store_path:path ()) cache_path
       in
-      let (analysis, cached), solve_span =
-        Engine.Timer.timed (fun () ->
-            match cache with
-            | None -> (Bncs.analyze ~pool game, false)
-            | Some c ->
-              Cache.Service.analysis c fingerprint (fun () ->
-                  Bncs.analyze ~pool game))
-      in
-      Option.iter Cache.Service.close cache;
-      if json then
-        print_endline
-          (Sink.to_string (construction_json ~name ~k ~fingerprint ~cached analysis))
-      else begin
-        Printf.printf "construction %s, parameter %d\n\n" name k;
-        print_report analysis.Bncs.report;
-        Format.printf "@.[build: %a; solve: %a%s]@." Engine.Timer.pp_seconds
-          build_span.Engine.Timer.seconds Engine.Timer.pp_seconds
-          solve_span.Engine.Timer.seconds
-          (if cached then " (cached)" else "")
-      end);
+      (match mode with
+      | Certify.Mode.Auto -> assert false (* resolve never returns Auto *)
+      | Certify.Mode.Exhaustive ->
+        let (analysis, cached), solve_span =
+          Engine.Timer.timed (fun () ->
+              match cache with
+              | None -> (Bncs.analyze ~pool game, false)
+              | Some c ->
+                Cache.Service.analysis c fingerprint (fun () ->
+                    Bncs.analyze ~pool game))
+        in
+        if json then
+          print_endline
+            (Sink.to_string
+               (construction_json ~name ~k ~fingerprint ~cached analysis))
+        else begin
+          Printf.printf "construction %s, parameter %d\n\n" name k;
+          print_report analysis.Bncs.report;
+          Format.printf "@.[build: %a; solve: %a%s]@." Engine.Timer.pp_seconds
+            build_span.Engine.Timer.seconds Engine.Timer.pp_seconds
+            solve_span.Engine.Timer.seconds
+            (if cached then " (cached)" else "")
+        end
+      | Certify.Mode.Certified ->
+        (* Tier-qualified key: certified answers never collide with
+           exhaustive cache entries for the same game. *)
+        let key =
+          Cache.Fingerprint.with_mode fingerprint
+            ~mode:(Certify.Mode.cache_tag Certify.Mode.Certified)
+        in
+        let solve () =
+          let cert = Certify.Solve.certify ~pool game in
+          (match Certify.Solve.check game cert with
+          | Ok () -> ()
+          | Error e ->
+            Printf.eprintf "error: certificate rejected: %s\n" e;
+            exit 3);
+          Certify.Solve.to_json cert
+        in
+        let (payload, cached), solve_span =
+          Engine.Timer.timed (fun () ->
+              match cache with
+              | None -> (solve (), false)
+              | Some c -> Cache.Service.payload c key solve)
+        in
+        if json then
+          print_endline
+            (Sink.to_string
+               (certified_construction_json ~name ~k ~fingerprint:key ~cached
+                  payload))
+        else begin
+          Printf.printf "construction %s, parameter %d (certified tier)\n\n"
+            name k;
+          print_certified payload;
+          Format.printf "@.[build: %a; solve: %a%s]@." Engine.Timer.pp_seconds
+            build_span.Engine.Timer.seconds Engine.Timer.pp_seconds
+            solve_span.Engine.Timer.seconds
+            (if cached then " (cached)" else "")
+        end);
+      Option.iter Cache.Service.close cache);
   0
 
 let adversary levels samples seed =
@@ -236,25 +329,35 @@ let retry_of ~retries ~retry_base_ms =
         base_delay_ms = retry_base_ms;
       }
 
-let query socket tcp verb name k deadline retries retry_base_ms =
+let query socket tcp verb name k deadline retries retry_base_ms mode =
   let deadline_field =
     match deadline with
     | None -> []
     | Some ms -> [ ("deadline_ms", Sink.Int ms) ]
+  in
+  (* Match the protocol builders: the default tier is never written, so
+     default-tier requests stay byte-identical to pre-mode ones. *)
+  let mode_field =
+    match mode with
+    | Certify.Mode.Exhaustive -> []
+    | m -> [ ("mode", Sink.Str (Certify.Mode.to_string m)) ]
   in
   let request =
     match verb with
     | "construction" -> (
       match name with
       | Some name ->
-        Ok (Serve.Protocol.construction_request ?deadline_ms:deadline ~name ~k ())
+        Ok
+          (Serve.Protocol.construction_request ?deadline_ms:deadline ~mode
+             ~name ~k ())
       | None -> Error "query construction: NAME argument required")
     | "analyze" -> (
       match Sink.of_string (In_channel.input_all stdin) with
       | Ok game ->
         Ok
           (Sink.Obj
-             ([ ("op", Sink.Str "analyze"); ("game", game) ] @ deadline_field))
+             ([ ("op", Sink.Str "analyze"); ("game", game) ]
+             @ mode_field @ deadline_field))
       | Error e -> Error (Printf.sprintf "game description on stdin: %s" e))
     | "stats" -> Ok Serve.Protocol.stats_request
     | "health" -> Ok Serve.Protocol.health_request
@@ -820,15 +923,47 @@ open Cmdliner
 let k_arg default =
   Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc:"Size parameter.")
 
+(* Jobs counts are validated at parse time (>= 1, structured error),
+   mirroring the serve protocol's [k] validation: a bad --jobs is a
+   usage error on arrival, not a silent clamp inside the pool. *)
+let jobs_conv =
+  let parse s =
+    match Engine.Pool.parse_jobs s with
+    | Ok n -> Ok n
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int (Engine.Pool.default_size ())
+    & opt jobs_conv (Engine.Pool.default_size ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the exhaustive solvers (defaults to \
            $(b,BI_JOBS) or 1; clamped to the core count). Results are \
            identical for any value.")
+
+let mode_conv =
+  let parse s =
+    match Certify.Mode.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf m = Format.pp_print_string ppf (Certify.Mode.to_string m) in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Certify.Mode.default
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Solver tier: $(b,exhaustive) enumerates every profile for exact \
+           point values; $(b,certified) runs potential descent, \
+           branch-and-bound and smoothness bounds, returning \
+           machine-checked interval brackets that scale to k in the tens; \
+           $(b,auto) picks by valid-profile count.")
 
 let cache_arg =
   Arg.(
@@ -868,7 +1003,9 @@ let construction_cmd =
   in
   Cmd.v
     (Cmd.info "construction" ~doc:"Exact ignorance measures of a paper construction")
-    Term.(const construction $ name_arg $ k_arg 4 $ jobs_arg $ json_arg $ cache_arg)
+    Term.(
+      const construction $ name_arg $ k_arg 4 $ jobs_arg $ json_arg $ cache_arg
+      $ mode_arg)
 
 let adversary_cmd =
   let levels =
@@ -1086,7 +1223,7 @@ let query_cmd =
     Term.(
       const query $ socket_arg $ tcp_arg $ verb_arg $ name_arg
       $ k_arg Serve.Protocol.default_k $ deadline $ retries_arg 0
-      $ retry_base_arg)
+      $ retry_base_arg $ mode_arg)
 
 let chaos_cmd =
   let clients =
@@ -1136,6 +1273,12 @@ let chaos_cmd =
       $ retries_arg 8 $ seed $ cluster $ router_metrics_out)
 
 let () =
+  (* Surface a malformed BI_JOBS before any command runs off jobs = 1. *)
+  (match Engine.Pool.env_jobs () with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2);
   let doc = "explorer for the Bayesian-ignorance reproduction" in
   exit
     (Cmd.eval'

@@ -66,3 +66,6 @@ let game graph ~prior = digest_hex (description graph ~prior)
 
 let of_game g =
   game (Bi_ncs.Bayesian_ncs.graph g) ~prior:(Bi_ncs.Bayesian_ncs.prior g)
+
+let with_mode fp ~mode =
+  if mode = "" || mode = "exhaustive" then fp else fp ^ "+" ^ mode

@@ -32,3 +32,10 @@ val of_game : Bi_ncs.Bayesian_ncs.t -> string
 val digest_hex : string -> string
 (** MD5 of arbitrary bytes in lowercase hex — the hash used throughout
     the cache (store entry checksums, compound keys). *)
+
+val with_mode : string -> mode:string -> string
+(** Solver-tier-qualified fingerprint: [fp] itself for the exhaustive
+    tier (["exhaustive"] or [""]) — byte-identical to every fingerprint
+    this library ever issued, so existing cache entries keep their keys
+    — and [fp ^ "+" ^ mode] for any other tier, so cached answers never
+    cross tiers. *)

@@ -1,0 +1,310 @@
+open Bi_num
+module Bayesian = Bi_bayes.Bayesian
+module Bncs = Bi_ncs.Bayesian_ncs
+module Dist = Bi_prob.Dist
+module Graph = Bi_graph.Graph
+module Budget = Bi_engine.Budget
+
+type certificate = {
+  profile : Bayesian.strategy_profile;
+  value : Extended.t;
+  variables : (int * int) array;
+  ledger : (int array * Rat.t) list;
+  nodes : int;
+}
+
+type outcome = {
+  value : Extended.t;
+  profile : Bayesian.strategy_profile;
+  certificate : certificate option;
+  lower : Extended.t;
+  nodes : int;
+}
+
+(* Everything the bound needs, shared verbatim between the search and
+   the certificate replay so both price nodes identically. *)
+type env = {
+  players : int;
+  n_types : int array;
+  vars : (int * int) array;
+  states : (int array * Rat.t) array;
+  n_edges : int;
+  edge_cost : Rat.t array;
+  paths : int array array array; (* player -> action -> edge ids *)
+  valid : int array array array; (* player -> type -> valid actions *)
+  (* DFS scratch *)
+  count : int array array; (* state -> edge -> committed load *)
+  state_cost : Rat.t array; (* state -> committed union cost *)
+  m : int array; (* per-edge remaining-agent multiplicity *)
+  stamp : int array; (* agent-dedup marks for [m] *)
+  tok : int ref;
+}
+
+let make_env g =
+  let bg = Bncs.game g in
+  let players = Bayesian.players bg in
+  let n_types = Array.init players (Bayesian.n_types bg) in
+  let vars =
+    let all = ref [] in
+    for i = players - 1 downto 0 do
+      let marg = Bayesian.type_marginal bg i in
+      for ti = Array.length marg - 1 downto 0 do
+        if Stdlib.(Rat.sign marg.(ti) > 0) then
+          all := ((i, ti), marg.(ti)) :: !all
+      done
+    done;
+    let arr = Array.of_list !all in
+    Array.stable_sort (fun (_, a) (_, b) -> Rat.compare b a) arr;
+    Array.map fst arr
+  in
+  let states = Array.of_list (Dist.to_list (Bayesian.prior bg)) in
+  let graph = Bncs.graph g in
+  let n_edges = Graph.n_edges graph in
+  { players; n_types; vars; states; n_edges;
+    edge_cost = Array.init n_edges (Graph.cost graph);
+    paths =
+      Array.init players (fun i -> Array.map Array.of_list (Bncs.actions g i));
+    valid =
+      Array.init players (fun i ->
+          Array.init n_types.(i) (fun ti ->
+              Array.of_list (Bncs.valid_actions g i ti)));
+    count = Array.make_matrix (Array.length states) n_edges 0;
+    state_cost = Array.make (Array.length states) Rat.zero;
+    m = Array.make n_edges 0;
+    stamp = Array.make n_edges (-1);
+    tok = ref 0 }
+
+let realized env s i ti = (fst env.states.(s)).(i) = ti
+
+let commit env i ti a =
+  let path = env.paths.(i).(a) in
+  for s = 0 to Array.length env.states - 1 do
+    if realized env s i ti then
+      Array.iter
+        (fun e ->
+          let c = env.count.(s) in
+          c.(e) <- c.(e) + 1;
+          if c.(e) = 1 then
+            env.state_cost.(s) <- Rat.add env.state_cost.(s) env.edge_cost.(e))
+        path
+  done
+
+let uncommit env i ti a =
+  let path = env.paths.(i).(a) in
+  for s = 0 to Array.length env.states - 1 do
+    if realized env s i ti then
+      Array.iter
+        (fun e ->
+          let c = env.count.(s) in
+          c.(e) <- c.(e) - 1;
+          if c.(e) = 0 then
+            env.state_cost.(s) <- Rat.sub env.state_cost.(s) env.edge_cost.(e))
+        path
+  done
+
+(* Cheapest valid path of (i, ti) priced on uncommitted edges in state
+   [s] — at full cost, or at the [1/m(e)] fractional share. *)
+let min_discounted env s i ti ~share =
+  let best = ref None in
+  Array.iter
+    (fun a ->
+      let acc = ref Rat.zero in
+      Array.iter
+        (fun e ->
+          if env.count.(s).(e) = 0 then
+            let c =
+              if share then Rat.div_int env.edge_cost.(e) env.m.(e)
+              else env.edge_cost.(e)
+            in
+            acc := Rat.add !acc c)
+        env.paths.(i).(a);
+      match !best with
+      | Some b when Rat.(b <= !acc) -> ()
+      | _ -> best := Some !acc)
+    env.valid.(i).(ti);
+  match !best with Some b -> b | None -> Rat.zero
+
+let bound env depth =
+  let nvars = Array.length env.vars in
+  let total = ref Rat.zero in
+  for s = 0 to Array.length env.states - 1 do
+    let _, w = env.states.(s) in
+    Array.fill env.m 0 env.n_edges 0;
+    for v = depth to nvars - 1 do
+      let i, ti = env.vars.(v) in
+      if realized env s i ti then begin
+        incr env.tok;
+        let t = !(env.tok) in
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun e ->
+                if env.count.(s).(e) = 0 && env.stamp.(e) <> t then begin
+                  env.stamp.(e) <- t;
+                  env.m.(e) <- env.m.(e) + 1
+                end)
+              env.paths.(i).(a))
+          env.valid.(i).(ti)
+      end
+    done;
+    let single = ref Rat.zero and share = ref Rat.zero in
+    for v = depth to nvars - 1 do
+      let i, ti = env.vars.(v) in
+      if realized env s i ti then begin
+        single := Rat.max !single (min_discounted env s i ti ~share:false);
+        share := Rat.add !share (min_discounted env s i ti ~share:true)
+      end
+    done;
+    total :=
+      Rat.add !total
+        (Rat.mul w (Rat.add env.state_cost.(s) (Rat.max !single !share)))
+  done;
+  !total
+
+let leaf_value env =
+  let acc = ref Rat.zero in
+  Array.iteri
+    (fun s (_, w) -> acc := Rat.add !acc (Rat.mul w env.state_cost.(s)))
+    env.states;
+  !acc
+
+let base_profile env =
+  Array.init env.players (fun i ->
+      Array.init env.n_types.(i) (fun ti -> env.valid.(i).(ti).(0)))
+
+let profile_of env choice =
+  let p = base_profile env in
+  Array.iteri (fun v (i, ti) -> p.(i).(ti) <- choice.(v)) env.vars;
+  p
+
+let default_incumbent g =
+  let bg = Bncs.game g in
+  let s = Bayesian.benevolent_descent bg (Bncs.shortest_path_profile g) in
+  (Bncs.social_cost g s, s)
+
+let optimum ?(budget = Budget.unlimited) ?(node_budget = 5_000_000) ?incumbent
+    g =
+  let env = make_env g in
+  let inc_value, inc_profile =
+    match incumbent with Some vp -> vp | None -> default_incumbent g
+  in
+  let best_val = ref inc_value
+  and best_profile = ref inc_profile
+  and ledger = ref []
+  and nodes = ref 0
+  and exhausted = ref true in
+  let nvars = Array.length env.vars in
+  let choice = Array.make (Stdlib.max nvars 1) (-1) in
+  let lower = bound env 0 in
+  let rec go depth =
+    if depth = nvars then begin
+      let v = Extended.of_rat (leaf_value env) in
+      if Extended.(v < !best_val) then begin
+        best_val := v;
+        best_profile := profile_of env choice
+      end
+    end
+    else begin
+      let i, ti = env.vars.(depth) in
+      Array.iter
+        (fun a ->
+          if !exhausted then begin
+            Budget.check budget;
+            incr nodes;
+            if !nodes > node_budget then exhausted := false
+            else begin
+              commit env i ti a;
+              choice.(depth) <- a;
+              let b = bound env (depth + 1) in
+              if Extended.(Extended.of_rat b < !best_val) then go (depth + 1)
+              else ledger := (Array.sub choice 0 (depth + 1), b) :: !ledger;
+              uncommit env i ti a
+            end
+          end)
+        env.valid.(i).(ti)
+    end
+  in
+  go 0;
+  let value = !best_val and profile = !best_profile in
+  let certificate =
+    if !exhausted then
+      Some
+        { profile; value; variables = env.vars; ledger = List.rev !ledger;
+          nodes = !nodes }
+    else None
+  in
+  { value; profile; certificate; lower = Extended.of_rat lower;
+    nodes = !nodes }
+
+let root_lower g = Extended.of_rat (bound (make_env g) 0)
+
+exception Fail of string
+
+let shape_check env profile =
+  if Array.length profile <> env.players then
+    raise (Fail "witness has the wrong number of players");
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> env.n_types.(i) then
+        raise (Fail (Printf.sprintf "witness player %d: wrong type count" i));
+      Array.iter
+        (fun ai ->
+          if ai < 0 || ai >= Array.length env.paths.(i) then
+            raise
+              (Fail (Printf.sprintf "witness player %d: action out of range" i)))
+        row)
+    profile
+
+let check g cert =
+  let env = make_env g in
+  try
+    if env.vars <> cert.variables then
+      raise (Fail "branching order differs from the game's");
+    shape_check env cert.profile;
+    if not (Extended.equal (Bncs.social_cost g cert.profile) cert.value) then
+      raise (Fail "certified value differs from the witness's social cost");
+    let value_rat =
+      match Extended.to_rat_opt cert.value with
+      | Some v -> v
+      | None -> raise (Fail "certified value must be finite")
+    in
+    let tbl = Hashtbl.create (List.length cert.ledger) in
+    List.iter
+      (fun (p, b) ->
+        let key = Array.to_list p in
+        if Hashtbl.mem tbl key then raise (Fail "duplicate ledger prefix");
+        Hashtbl.add tbl key b)
+      cert.ledger;
+    let cap = (cert.nodes * 10) + 1000 in
+    let visited = ref 0 in
+    let nvars = Array.length env.vars in
+    let choice = Array.make (Stdlib.max nvars 1) (-1) in
+    let rec go depth =
+      if depth = nvars then begin
+        if Rat.(leaf_value env < value_rat) then
+          raise (Fail "a leaf beats the certified value")
+      end
+      else begin
+        let i, ti = env.vars.(depth) in
+        Array.iter
+          (fun a ->
+            incr visited;
+            if !visited > cap then raise (Fail "replay exceeded the node cap");
+            commit env i ti a;
+            choice.(depth) <- a;
+            (match
+               Hashtbl.find_opt tbl (Array.to_list (Array.sub choice 0 (depth + 1)))
+             with
+            | Some b ->
+              if not (Rat.equal b (bound env (depth + 1))) then
+                raise (Fail "a ledger bound differs from its recomputation");
+              if Rat.(b < value_rat) then
+                raise (Fail "a ledger bound fails to dominate the value")
+            | None -> go (depth + 1));
+            uncommit env i ti a)
+          env.valid.(i).(ti)
+      end
+    in
+    go 0;
+    Ok ()
+  with Fail e -> Error e

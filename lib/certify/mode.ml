@@ -1,0 +1,31 @@
+type t = Exhaustive | Certified | Auto
+
+let default = Exhaustive
+
+let to_string = function
+  | Exhaustive -> "exhaustive"
+  | Certified -> "certified"
+  | Auto -> "auto"
+
+let of_string = function
+  | "exhaustive" -> Ok Exhaustive
+  | "certified" -> Ok Certified
+  | "auto" -> Ok Auto
+  | s ->
+    Error
+      (Printf.sprintf
+         "mode must be \"exhaustive\", \"certified\" or \"auto\", got %S" s)
+
+(* Exhaustion scans every valid profile; at ~2e5 profiles a full
+   analysis still lands well under a second, past it the certified tier
+   is both faster and budget-friendly. *)
+let auto_threshold = 2e5
+
+let resolve ~valid_profiles = function
+  | Auto -> if valid_profiles > auto_threshold then Certified else Exhaustive
+  | m -> m
+
+let cache_tag = function
+  | Exhaustive -> ""
+  | Certified -> "certified"
+  | Auto -> invalid_arg "Mode.cache_tag: resolve Auto before keying"

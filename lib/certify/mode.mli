@@ -1,0 +1,41 @@
+(** Solver-tier selection, plumbed from the CLI, the bench harness and
+    the serve protocol down into the NCS solvers.
+
+    - [Exhaustive]: enumerate every valid strategy profile (the seed
+      repo's only tier) — exact values and witnesses, exponential cost.
+    - [Certified]: the {!Solve} tier — potential descent, branch and
+      bound and smoothness brackets, each answer carried by a
+      machine-checkable certificate.  Reaches k = 20–50 on the paper's
+      constructions.
+    - [Auto]: resolve per game by comparing the valid-profile count
+      against {!auto_threshold}; small games exhaust (and share the
+      exhaustive cache tier), large ones certify.
+
+    Cache entries never cross tiers: the exhaustive tier keeps the bare
+    game fingerprint (so every pre-existing store entry keeps its key),
+    the certified tier appends a suffix.  [Auto] always resolves to one
+    of the other two before any cache key is formed. *)
+
+type t = Exhaustive | Certified | Auto
+
+val default : t
+(** [Exhaustive] — the wire protocol's back-compat default for requests
+    that carry no ["mode"] field. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** ["exhaustive" | "certified" | "auto"]; anything else is a
+    structured error naming the offender. *)
+
+val auto_threshold : float
+(** Valid-profile count above which [Auto] resolves to [Certified]. *)
+
+val resolve : valid_profiles:float -> t -> t
+(** [resolve ~valid_profiles m] is [m] for the concrete tiers and the
+    threshold decision for [Auto]; never returns [Auto]. *)
+
+val cache_tag : t -> string
+(** The tier tag appended to cache keys and fingerprints:
+    [""] for [Exhaustive] (byte-identical keys for every existing cache
+    entry), ["certified"] for [Certified].
+    @raise Invalid_argument on [Auto] — resolve it first. *)

@@ -1,0 +1,59 @@
+open Bi_num
+
+type smoothness = { players : int; lambda : Rat.t; mu : Rat.t }
+
+let fair_share ~players =
+  if players < 1 then invalid_arg "Smooth.fair_share: need at least one player";
+  { players; lambda = Rat.of_int players; mu = Rat.zero }
+
+let check { players; lambda; mu } =
+  if players < 1 then Error "smoothness: need at least one player"
+  else if Stdlib.(Rat.sign mu < 0) || Rat.(mu >= one) then
+    Error "smoothness: mu must lie in [0, 1)"
+  else if Stdlib.(Rat.sign lambda <= 0) then
+    Error "smoothness: lambda must be positive"
+  else begin
+    let bad = ref None in
+    for x = 0 to players do
+      for x' = 0 to players do
+        if !bad = None then begin
+          let lhs = Rat.of_ints x' (Stdlib.max 1 x) in
+          let rhs =
+            Rat.add
+              (if x' >= 1 then lambda else Rat.zero)
+              (if x >= 1 then mu else Rat.zero)
+          in
+          if Rat.(lhs > rhs) then bad := Some (x, x')
+        end
+      done
+    done;
+    match !bad with
+    | Some (x, x') ->
+      Error
+        (Printf.sprintf "smoothness inequality fails at load %d, target %d" x
+           x')
+    | None -> Ok ()
+  end
+
+let poa_factor { lambda; mu; _ } = Rat.div lambda (Rat.sub Rat.one mu)
+
+type potential_bracket = { players : int; upper : Rat.t }
+
+let potential ~players =
+  if players < 1 then invalid_arg "Smooth.potential: need at least one player";
+  { players; upper = Rat.harmonic players }
+
+let check_potential { players; upper } =
+  if players < 1 then Error "potential bracket: need at least one player"
+  else begin
+    let bad = ref None in
+    for x = 1 to players do
+      if !bad = None then begin
+        let h = Rat.harmonic x in
+        if Rat.(h < one) || Rat.(h > upper) then bad := Some x
+      end
+    done;
+    match !bad with
+    | Some x -> Error (Printf.sprintf "potential bracket fails at load %d" x)
+    | None -> Ok ()
+  end

@@ -1,0 +1,56 @@
+(** (λ, μ)-smoothness and potential brackets: certified price-of-anarchy
+    and price-of-stability factors that hold for {e any} common prior,
+    used to bracket equilibrium quantities when exact witnesses are out
+    of reach.
+
+    {b Smoothness.}  Fair cost sharing puts agent share [c(e)/load(e)]
+    on each bought edge.  A deviator moving onto edge [e] against a
+    profile loading it with [x] pays at most [c(e)/max(1, x)], so if
+    [x*] agents use [e] in the deviation profile, the per-edge deviation
+    total is at most [x*/max(1,x) . c(e)].  A pair (λ, μ) is {e smooth}
+    for [k] players when for all loads [x, x* in [0, k]]:
+
+    {[ x*/max(1,x)  <=  λ.[x* >= 1] + μ.[x >= 1] ]}
+
+    Summing over edges gives the per-type-profile smoothness inequality
+    [Σ_i c_i(opt_i, s_{-i}) <= λ C(opt) + μ C(s)].  Because the optimal
+    strategy profile deviation [opt_i(t_i)] depends only on agent [i]'s
+    own type, the inequality survives the interim equilibrium
+    conditions under any common prior: taking expectations,
+    [worst-eqP <= λ/(1-μ) . optP].  {!fair_share} is the pair (k, 0),
+    giving the universal factor [k] (Lemma 3.1's engine).
+
+    {b Potential bracket.}  The Rosenthal potential satisfies
+    [C(s) <= Φ(s) <= H(k) . C(s)] pointwise, because
+    [1 <= H(x) <= H(k)] for loads [1 <= x <= k]; the same bracket holds
+    in expectation for the Bayesian potential.  The potential minimizer
+    is an equilibrium, so [best-eqP <= H(k) . optP] (Lemma 3.8's
+    engine).
+
+    Both facts are shipped as data plus a {!check} that re-verifies the
+    defining inequalities over the full load grid in exact arithmetic —
+    the downstream brackets in {!Solve} cite them and are only as good
+    as these checks. *)
+
+open Bi_num
+
+type smoothness = { players : int; lambda : Rat.t; mu : Rat.t }
+
+val fair_share : players:int -> smoothness
+(** (λ, μ) = (k, 0). *)
+
+val check : smoothness -> (unit, string) result
+(** Verify [0 <= μ < 1], [λ > 0] and the load-grid inequality above for
+    every [x, x* in [0, players]]. *)
+
+val poa_factor : smoothness -> Rat.t
+(** [λ / (1 - μ)] — the certified [worst-eqP / optP] factor. *)
+
+type potential_bracket = { players : int; upper : Rat.t }
+
+val potential : players:int -> potential_bracket
+(** [upper = H(players)]. *)
+
+val check_potential : potential_bracket -> (unit, string) result
+(** Verify [1 <= H(x) <= upper] for every load [x in [1, players]] —
+    [upper] is the certified [best-eqP / optP] factor. *)

@@ -22,6 +22,9 @@
       line-oriented JSON result sink.
     - {!Cache}: canonical game fingerprints and the content-addressed
       result cache (in-memory LRU + append-only on-disk store).
+    - {!Certify}: the certified solver tier — potential descent,
+      branch-and-bound and smoothness brackets, all emitting
+      machine-checkable certificates in exact arithmetic.
     - {!Serve}: the concurrent analysis server and its line-JSON
       protocol and client.
     - {!Router}: the cluster front-end — consistent-hash ring,
@@ -40,6 +43,7 @@ module Minimax = Bi_minimax
 module Constructions = Bi_constructions
 module Engine = Bi_engine
 module Cache = Bi_cache
+module Certify = Bi_certify
 module Serve = Bi_serve
 module Router = Bi_router
 module Report = Report

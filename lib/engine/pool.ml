@@ -55,15 +55,26 @@ let with_pool size f =
   let pool = create size in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* Validated at parse time, like the serve protocol's [k]: a jobs count
+   the pool can never honor (zero, negative, non-numeric) is a
+   structured error at the entry point instead of a silent clamp or a
+   failure inside the pool. *)
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "jobs must be >= 1, got %d" n)
+  | None -> Error (Printf.sprintf "jobs must be a positive integer, got %S" s)
+
 let env_jobs () =
   match Sys.getenv_opt "BI_JOBS" with
-  | None -> None
+  | None -> Ok None
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | _ -> None)
+    match parse_jobs s with
+    | Ok n -> Ok (Some n)
+    | Error e -> Error (Printf.sprintf "BI_JOBS: %s" e))
 
-let default_size () = Option.value (env_jobs ()) ~default:1
+let default_size () =
+  match env_jobs () with Ok (Some n) -> n | Ok None | Error _ -> 1
 let recommended_jobs requested = max 1 (min requested (Domain.recommended_domain_count ()))
 
 let submit pool task =

@@ -25,11 +25,22 @@ val shutdown : t -> unit
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool size f] runs [f] on a fresh pool and always shuts it down. *)
 
-val env_jobs : unit -> int option
-(** The [BI_JOBS] environment variable, when set to a positive integer. *)
+val parse_jobs : string -> (int, string) result
+(** Parse-time validation of a jobs count: a positive integer, or a
+    structured error naming the offending value — mirroring the serve
+    protocol's [k] validation instead of silently clamping or failing
+    inside the pool.  Shared by [--jobs] flags and [BI_JOBS]. *)
+
+val env_jobs : unit -> (int option, string) result
+(** The [BI_JOBS] environment variable through {!parse_jobs}:
+    [Ok None] when unset, [Ok (Some n)] when valid, [Error _] (with the
+    variable named) when set to something the pool can never honor.
+    Entry points check this once at startup and exit with the message. *)
 
 val default_size : unit -> int
-(** [env_jobs ()] or 1. *)
+(** A valid [BI_JOBS] or 1.  Malformed [BI_JOBS] also falls back to 1
+    here so this stays total; entry points report it via {!env_jobs}
+    before ever calling this. *)
 
 val recommended_jobs : int -> int
 (** Clamps a requested pool size to [Domain.recommended_domain_count ()].

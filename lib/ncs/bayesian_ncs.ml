@@ -152,6 +152,15 @@ let types g i = Array.copy g.types.(i)
 let actions g i = Array.copy g.actions.(i)
 let valid_actions g i ti = g.valid.(i).(ti)
 
+(* Float for the same reason as [Complete.profile_count]: the count
+   exists to detect enumeration infeasibility, where ints overflow. *)
+let valid_profile_count g =
+  let acc = ref 1.0 in
+  Array.iter
+    (Array.iter (fun vs -> acc := !acc *. float_of_int (List.length vs)))
+    g.valid;
+  !acc
+
 let complete_game g pair_profile =
   let key = Array.to_list pair_profile in
   match Hashtbl.find_opt g.complete_memo key with

@@ -49,6 +49,12 @@ val complete_game : t -> (int * int) array -> Complete.t
 (** The underlying complete-information NCS game for a pair profile;
     memoized. *)
 
+val valid_profile_count : t -> float
+(** Number of valid strategy profiles (the space the exhaustive solvers
+    scan), as a float — it overflows an int exactly when enumeration is
+    infeasible.  The certified tier's [auto] mode compares this against
+    its threshold to choose between exhaustion and certification. *)
+
 val valid_strategy_profiles : t -> Bi_bayes.Bayesian.strategy_profile Seq.t
 
 val bayesian_equilibria : t -> Bi_bayes.Bayesian.strategy_profile Seq.t

@@ -40,6 +40,13 @@ let paths g i = Array.to_list g.path_table.(i)
 
 let action_edges g profile i = g.path_table.(i).(profile.(i))
 
+(* As a float: the whole point of the count is deciding when this space
+   is too large to enumerate, i.e. exactly when an int would overflow. *)
+let profile_count g =
+  Array.fold_left
+    (fun acc row -> acc *. float_of_int (Array.length row))
+    1.0 g.path_table
+
 (* Load-vector plumbing.  The exhaustive solvers evaluate millions of
    profiles, so cost queries are phrased against a caller-owned load
    vector that is filled once per profile and adjusted by deltas for

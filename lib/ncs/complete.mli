@@ -46,6 +46,11 @@ val profile_space : t -> int array Seq.t
 (** Every path profile, in the lexicographic order the exhaustive
     solvers scan. *)
 
+val profile_count : t -> float
+(** Size of {!profile_space} as a float (it overflows an int exactly
+    when it matters).  The certified tier's [auto] mode compares this
+    against its enumeration threshold to pick a solver. *)
+
 val optimum :
   ?pool:Bi_engine.Pool.t -> ?budget:Bi_engine.Budget.t -> t -> Rat.t * int array
 (** Social optimum over path profiles, by exhaustive product search.

@@ -93,10 +93,29 @@ let average xs =
   | [] -> invalid_arg "Rat.average: empty list"
   | _ -> div_int (sum xs) (List.length xs)
 
+(* Harmonic numbers are memoized as an immutable prefix table
+   [H(0) .. H(n)] behind an [Atomic]: readers snapshot the whole array,
+   a miss installs a grown copy.  Entries are never mutated in place, so
+   a racing writer can only replace the table with one holding the same
+   prefix — the loser's work is wasted, never wrong.  Domain-safe
+   without locks, which matters because the solvers call [harmonic]
+   from pool workers. *)
+let harmonic_table = Atomic.make [| zero |]
+
 let harmonic n =
   if Stdlib.(n < 0) then invalid_arg "Rat.harmonic: negative argument";
-  let rec go acc i = if Stdlib.(i > n) then acc else go (add acc (of_ints 1 i)) (i + 1) in
-  go zero 1
+  let table = Atomic.get harmonic_table in
+  let len = Array.length table in
+  if Stdlib.(n < len) then table.(n)
+  else begin
+    let grown = Array.make (n + 1) zero in
+    Array.blit table 0 grown 0 len;
+    for i = len to n do
+      grown.(i) <- add grown.(i - 1) (of_ints 1 i)
+    done;
+    Atomic.set harmonic_table grown;
+    grown.(n)
+  end
 
 let pow x n =
   if Stdlib.(n >= 0) then make (B.pow x.num n) (B.pow x.den n)

@@ -61,7 +61,9 @@ val average : t list -> t
 
 val harmonic : int -> t
 (** [harmonic n] is [H(n) = 1 + 1/2 + ... + 1/n]; [harmonic 0 = zero].
-    @raise Invalid_argument on negative [n]. *)
+    Memoized behind a domain-safe atomic prefix table — the potential
+    descent and smoothness engines evaluate harmonic numbers in every
+    inner loop.  @raise Invalid_argument on negative [n]. *)
 
 val pow : t -> int -> t
 (** Integer powers; negative exponents invert.

@@ -297,17 +297,32 @@ let handle t ~tick line =
           (* parse_request succeeded, so the line is valid JSON. *)
           match Sink.of_string line with Ok j -> j | Error _ -> assert false
         in
+        (* Routing keys are tier-qualified, so exhaustive and certified
+           answers for the same game live on (possibly) different owners
+           and never alias; certified responses carry no ["analysis"]
+           member, so the front cache (which stores only that member)
+           naturally ignores them. *)
+        let mode_key fingerprint mode =
+          match mode with
+          | Bi_certify.Mode.Auto ->
+            (* The router never builds games, so it cannot resolve
+               [auto]; route on the certified key (deterministic for
+               any replica count) and let the owning shard resolve. *)
+            Fingerprint.with_mode fingerprint
+              ~mode:(Bi_certify.Mode.cache_tag Bi_certify.Mode.Certified)
+          | m -> Fingerprint.with_mode fingerprint ~mode:(Bi_certify.Mode.cache_tag m)
+        in
         match query with
-        | Protocol.Analyze (graph, prior) ->
-          let fingerprint = Fingerprint.game graph ~prior in
+        | Protocol.Analyze { graph; prior; mode } ->
+          let fingerprint = mode_key (Fingerprint.game graph ~prior) mode in
           (route_analysis t ~tick ~request ~fingerprint, `Continue)
-        | Protocol.Construction { name; k } -> (
+        | Protocol.Construction { name; k; mode } -> (
           match Registry.build name k with
           | Error e ->
             Metrics.error t.metrics;
             (Protocol.error e, `Continue)
           | Ok game ->
-            let fingerprint = Fingerprint.of_game game in
+            let fingerprint = mode_key (Fingerprint.of_game game) mode in
             (route_analysis t ~tick ~request ~fingerprint, `Continue))
         | Protocol.Put { fingerprint; analysis } ->
           ( route_put t ~tick ~fingerprint

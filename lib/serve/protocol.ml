@@ -1,9 +1,14 @@
 module Sink = Bi_engine.Sink
 module Codec = Bi_cache.Codec
+module Mode = Bi_certify.Mode
 
 type query =
-  | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
-  | Construction of { name : string; k : int }
+  | Analyze of {
+      graph : Bi_graph.Graph.t;
+      prior : (int * int) array Bi_prob.Dist.t;
+      mode : Mode.t;
+    }
+  | Construction of { name : string; k : int; mode : Mode.t }
   | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
   | Stats
   | Health
@@ -37,6 +42,16 @@ let parse_k j =
       (Printf.sprintf "construction: k must be an integer, got %s"
          (Sink.to_string v))
 
+(* Validated like [k]: an absent field is the exhaustive tier (the only
+   tier pre-mode servers ever had, so old clients keep their exact
+   behavior — and their cache keys), anything else must name a tier. *)
+let parse_mode j =
+  match Sink.member "mode" j with
+  | None -> Ok Mode.default
+  | Some (Sink.Str s) -> Mode.of_string s
+  | Some v ->
+    Error (Printf.sprintf "mode must be a string, got %s" (Sink.to_string v))
+
 let parse_request line =
   match Sink.of_string line with
   | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
@@ -50,13 +65,16 @@ let parse_request line =
       | None -> Error "analyze: missing \"game\""
       | Some game -> (
         match Codec.game_of_json game with
-        | Ok (graph, prior) -> with_deadline (Analyze (graph, prior))
+        | Ok (graph, prior) ->
+          Result.bind (parse_mode j) (fun mode ->
+              with_deadline (Analyze { graph; prior; mode }))
         | Error e -> Error (Printf.sprintf "analyze: %s" e)))
     | Some (Sink.Str "construction") -> (
       match Sink.member "name" j with
       | Some (Sink.Str name) ->
         Result.bind (parse_k j) (fun k ->
-            with_deadline (Construction { name; k }))
+            Result.bind (parse_mode j) (fun mode ->
+                with_deadline (Construction { name; k; mode })))
       | Some v ->
         Error
           (Printf.sprintf "construction: name must be a string, got %s"
@@ -90,14 +108,22 @@ let deadline_field deadline_ms =
   | None -> []
   | Some ms -> [ ("deadline_ms", Sink.Int ms) ]
 
-let analyze_request ?deadline_ms graph ~prior =
+(* Emitted only for non-default tiers, so requests from mode-aware
+   clients to pre-mode servers stay byte-identical to old requests. *)
+let mode_field = function
+  | Mode.Exhaustive -> []
+  | m -> [ ("mode", Sink.Str (Mode.to_string m)) ]
+
+let analyze_request ?deadline_ms ?(mode = Mode.default) graph ~prior =
   Sink.Obj
     ([ ("op", Sink.Str "analyze"); ("game", Codec.game_to_json graph ~prior) ]
+    @ mode_field mode
     @ deadline_field deadline_ms)
 
-let construction_request ?deadline_ms ~name ~k () =
+let construction_request ?deadline_ms ?(mode = Mode.default) ~name ~k () =
   Sink.Obj
     ([ ("op", Sink.Str "construction"); ("name", Str name); ("k", Int k) ]
+    @ mode_field mode
     @ deadline_field deadline_ms)
 
 let put_request ~fingerprint analysis =
@@ -119,6 +145,16 @@ let ok_analysis ~fingerprint ~cached analysis =
       ("fingerprint", Str fingerprint);
       ("cached", Bool cached);
       ("analysis", Codec.analysis_to_json analysis);
+    ]
+
+let ok_certified ~fingerprint ~cached certified =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("mode", Str (Mode.to_string Mode.Certified));
+      ("certified", certified);
     ]
 
 let ok_stats ~cache ~server =

@@ -13,8 +13,15 @@
     for worked examples and the failure model. *)
 
 type query =
-  | Analyze of Bi_graph.Graph.t * (int * int) array Bi_prob.Dist.t
-  | Construction of { name : string; k : int }
+  | Analyze of {
+      graph : Bi_graph.Graph.t;
+      prior : (int * int) array Bi_prob.Dist.t;
+      mode : Bi_certify.Mode.t;
+          (** Solver tier.  Absent on the wire means
+              {!Bi_certify.Mode.Exhaustive}, so pre-mode clients keep
+              their exact behavior and cache keys. *)
+    }
+  | Construction of { name : string; k : int; mode : Bi_certify.Mode.t }
   | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
       (** A cache write: store [analysis] under [fingerprint] without
           computing anything.  The router uses it for quorum
@@ -49,12 +56,20 @@ val parse_request : string -> (request, string) result
 
 val analyze_request :
   ?deadline_ms:int ->
+  ?mode:Bi_certify.Mode.t ->
   Bi_graph.Graph.t ->
   prior:(int * int) array Bi_prob.Dist.t ->
   Bi_engine.Sink.json
 
 val construction_request :
-  ?deadline_ms:int -> name:string -> k:int -> unit -> Bi_engine.Sink.json
+  ?deadline_ms:int ->
+  ?mode:Bi_certify.Mode.t ->
+  name:string ->
+  k:int ->
+  unit ->
+  Bi_engine.Sink.json
+(** Both builders emit a ["mode"] field only for non-default tiers, so
+    default-tier requests are byte-identical to pre-mode requests. *)
 
 val put_request :
   fingerprint:string -> Bi_engine.Sink.json -> Bi_engine.Sink.json
@@ -74,6 +89,14 @@ val ok_analysis :
   cached:bool ->
   Bi_ncs.Bayesian_ncs.analysis ->
   Bi_engine.Sink.json
+
+val ok_certified :
+  fingerprint:string -> cached:bool -> Bi_engine.Sink.json -> Bi_engine.Sink.json
+(** Certified-tier success: carries the tier-qualified fingerprint, a
+    ["mode"] marker and the bracket payload under ["certified"] (the
+    JSON argument, as produced by {!Bi_certify.Solve.to_json}) — and
+    deliberately no ["analysis"] member, so caches keyed on exhaustive
+    answers can never pick it up. *)
 
 val ok_stats :
   cache:Bi_engine.Sink.json -> server:Bi_engine.Sink.json -> Bi_engine.Sink.json

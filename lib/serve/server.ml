@@ -5,6 +5,8 @@ module Service = Bi_cache.Service
 module Fingerprint = Bi_cache.Fingerprint
 module Bncs = Bi_ncs.Bayesian_ncs
 module Registry = Bi_constructions.Registry
+module Mode = Bi_certify.Mode
+module Solve = Bi_certify.Solve
 
 type listen = Lineserver.listen = Unix_socket of string | Tcp of int
 
@@ -99,31 +101,39 @@ let release_slot t =
 
 (* --- request coalescing ---------------------------------------------- *)
 
-(* One leader computes per fingerprint; duplicates wait on [cond] and
+(* One leader computes per cache key; duplicates wait on [cond] and
    are answered from cache when the leader lands.  A leader that fails
    broadcasts too, so a waiter re-checks, finds neither a cached value
    nor an in-flight leader, and takes over the computation itself.
    The chaos compute delay runs inside the admission slot, so injected
-   latency exercises the load-shedding path like real slow work. *)
-let analysis t ~budget ~chaos_delay_ms ~fingerprint build =
+   latency exercises the load-shedding path like real slow work.
+
+   Generic over {!Service.value} so both solver tiers coalesce through
+   the same in-flight table: [decode] projects a cached value of the
+   expected shape (tier-qualified keys make a shape clash impossible,
+   but a mismatch still reads as a miss rather than a crash), [encode]
+   injects a fresh result, and [solve] does the leader's work. *)
+let compute (type a) t ~budget ~chaos_delay_ms ~key
+    ~(decode : Service.value -> a option) ~(encode : a -> Service.value)
+    (solve : unit -> (a, failure) result) =
   Mutex.lock t.lock;
   let rec obtain ~waited =
-    match Service.find_analysis t.cache fingerprint with
-    | Some a ->
+    match Option.bind (Service.find t.cache key) decode with
+    | Some v ->
       if waited then Metrics.coalesce t.metrics else Metrics.hit t.metrics;
       Mutex.unlock t.lock;
-      Ok (a, true)
+      Ok (v, true)
     | None ->
       if Budget.expired budget then begin
         Mutex.unlock t.lock;
         Error Deadline
       end
-      else if Hashtbl.mem t.inflight fingerprint then begin
+      else if Hashtbl.mem t.inflight key then begin
         Condition.wait t.cond t.lock;
         obtain ~waited:true
       end
       else begin
-        Hashtbl.add t.inflight fingerprint ();
+        Hashtbl.add t.inflight key ();
         Mutex.unlock t.lock;
         Metrics.miss t.metrics;
         let result =
@@ -136,25 +146,42 @@ let analysis t ~budget ~chaos_delay_ms ~fingerprint build =
                 chaos_sleep chaos_delay_ms;
                 if Budget.expired budget then Error Deadline
                 else
-                match build () with
-                | Error e -> Error (Msg e)
-                | exception Invalid_argument msg -> Error (Msg msg)
-                | Ok game -> (
-                  match Bncs.analyze ?pool:t.pool ~budget game with
-                  | a ->
-                    Service.insert_analysis t.cache fingerprint a;
-                    Ok (a, false)
+                  match solve () with
+                  | Ok v ->
+                    Service.insert t.cache key (encode v);
+                    Ok (v, false)
+                  | Error _ as e -> e
                   | exception Budget.Expired -> Error Deadline
-                  | exception exn -> Error (Msg (Printexc.to_string exn))))
+                  | exception Invalid_argument msg -> Error (Msg msg)
+                  | exception exn -> Error (Msg (Printexc.to_string exn)))
         in
         Mutex.lock t.lock;
-        Hashtbl.remove t.inflight fingerprint;
+        Hashtbl.remove t.inflight key;
         Condition.broadcast t.cond;
         Mutex.unlock t.lock;
         result
       end
   in
   obtain ~waited:false
+
+let analysis t ~budget ~chaos_delay_ms ~fingerprint build =
+  compute t ~budget ~chaos_delay_ms ~key:fingerprint
+    ~decode:(function Service.Analysis a -> Some a | Service.Payload _ -> None)
+    ~encode:(fun a -> Service.Analysis a)
+    (fun () ->
+      match build () with
+      | Error e -> Error (Msg e)
+      | Ok game -> Ok (Bncs.analyze ?pool:t.pool ~budget game))
+
+let certified t ~budget ~chaos_delay_ms ~key build =
+  compute t ~budget ~chaos_delay_ms ~key
+    ~decode:(function Service.Payload j -> Some j | Service.Analysis _ -> None)
+    ~encode:(fun j -> Service.Payload j)
+    (fun () ->
+      match build () with
+      | Error e -> Error (Msg e)
+      | Ok game ->
+        Ok (Solve.to_json (Solve.certify ?pool:t.pool ~budget game)))
 
 (* --- request handling ------------------------------------------------ *)
 
@@ -165,35 +192,74 @@ let budget_of t deadline_ms =
   | None, cap -> Budget.of_timeout_ms cap
   | Some ms, cap -> Budget.of_timeout_ms (min ms cap)
 
-let analysis_response t ~fingerprint result =
-  match result with
-  | Ok (a, cached) -> (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
-  | Error (Overloaded hint) ->
+let failure_response t = function
+  | Overloaded hint ->
     Metrics.overload t.metrics;
     (Protocol.overloaded ~retry_after_ms:hint, `Continue)
-  | Error Deadline ->
+  | Deadline ->
     Metrics.deadline_exceeded t.metrics;
     (Protocol.deadline_exceeded, `Continue)
-  | Error (Msg e) ->
+  | Msg e ->
     Metrics.error t.metrics;
     (Protocol.error e, `Continue)
 
+let analysis_response t ~fingerprint result =
+  match result with
+  | Ok (a, cached) -> (Protocol.ok_analysis ~fingerprint ~cached a, `Continue)
+  | Error f -> failure_response t f
+
+let certified_response t ~fingerprint result =
+  match result with
+  | Ok (payload, cached) ->
+    (Protocol.ok_certified ~fingerprint ~cached payload, `Continue)
+  | Error f -> failure_response t f
+
+(* Tier dispatch.  The exhaustive tier keys the cache on the bare game
+   fingerprint — byte-identical requests and responses to every pre-mode
+   deployment — while the certified tier appends its tag, so entries
+   never cross tiers.  [Auto] must build the game to count its valid
+   profiles; the resolved tier then reuses the built game. *)
+let rec handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode build =
+  match mode with
+  | Mode.Exhaustive ->
+    analysis_response t ~fingerprint
+      (analysis t ~budget ~chaos_delay_ms ~fingerprint build)
+  | Mode.Certified ->
+    let key =
+      Fingerprint.with_mode fingerprint ~mode:(Mode.cache_tag Mode.Certified)
+    in
+    certified_response t ~fingerprint:key
+      (certified t ~budget ~chaos_delay_ms ~key build)
+  | Mode.Auto -> (
+    match build () with
+    | Error e ->
+      Metrics.error t.metrics;
+      (Protocol.error e, `Continue)
+    | exception Invalid_argument msg ->
+      Metrics.error t.metrics;
+      (Protocol.error msg, `Continue)
+    | Ok game ->
+      let mode =
+        Mode.resolve ~valid_profiles:(Bncs.valid_profile_count game) Mode.Auto
+      in
+      handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
+          Ok game))
+
 let handle_query t ~budget ~chaos_delay_ms query =
   match query with
-  | Protocol.Analyze (graph, prior) ->
+  | Protocol.Analyze { graph; prior; mode } ->
     let fingerprint = Fingerprint.game graph ~prior in
-    analysis_response t ~fingerprint
-      (analysis t ~budget ~chaos_delay_ms ~fingerprint (fun () ->
-           Ok (Bncs.make graph ~prior)))
-  | Protocol.Construction { name; k } -> (
+    handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
+        Ok (Bncs.make graph ~prior))
+  | Protocol.Construction { name; k; mode } -> (
     match Registry.build name k with
     | Error e ->
       Metrics.error t.metrics;
       (Protocol.error e, `Continue)
     | Ok game ->
       let fingerprint = Fingerprint.of_game game in
-      analysis_response t ~fingerprint
-        (analysis t ~budget ~chaos_delay_ms ~fingerprint (fun () -> Ok game)))
+      handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
+          Ok game))
   (* [put] and [health] are cluster-control verbs: like [stats] they are
      never shed and never queue behind solver work, so replication and
      liveness probing keep working on a saturated shard. *)

@@ -373,6 +373,33 @@ let test_sink_concurrent_emit () =
     (domains * lines_per_domain) !count;
   Sys.remove path
 
+(* Jobs counts are validated on arrival, both on the command line and in
+   BI_JOBS: a count the pool cannot honor is a structured error, never a
+   silent clamp to one worker. *)
+let test_parse_jobs () =
+  (match Pool.parse_jobs "4" with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "plain count accepted");
+  (match Pool.parse_jobs " 2 " with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "surrounding whitespace trimmed");
+  List.iter
+    (fun s ->
+      match Pool.parse_jobs s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must be rejected" s))
+    [ "0"; "-3"; "abc"; ""; "2.5" ];
+  Unix.putenv "BI_JOBS" "3";
+  (match Pool.env_jobs () with
+  | Ok (Some 3) -> ()
+  | _ -> Alcotest.fail "well-formed BI_JOBS honored");
+  Unix.putenv "BI_JOBS" "nope";
+  (match Pool.env_jobs () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed BI_JOBS must be an error");
+  (* putenv cannot unset; leave the default behind for later tests *)
+  Unix.putenv "BI_JOBS" "1"
+
 let parser_qtests =
   List.map QCheck_alcotest.to_alcotest [ prop_parse_print_roundtrip ]
 
@@ -414,5 +441,6 @@ let () =
             test_pool_exception_propagation;
           Alcotest.test_case "nested and empty ranges" `Quick
             test_pool_nested_and_empty;
+          Alcotest.test_case "jobs validation" `Quick test_parse_jobs;
         ] );
     ]

@@ -289,6 +289,21 @@ let test_harmonic () =
   Alcotest.check rat "H(50)-H(49)" (Rat.of_ints 1 50)
     (Rat.sub (Rat.harmonic 50) (Rat.harmonic 49))
 
+(* The memo table behind [Rat.harmonic] must be invisible: every call,
+   in any order, returns exactly the naively recomputed partial sum. *)
+let prop_harmonic_memo =
+  QCheck2.Test.make ~name:"memoized harmonic = direct recomputation"
+    ~count:100
+    QCheck2.Gen.(int_range 0 200)
+    (fun n ->
+      let direct =
+        List.fold_left
+          (fun acc i -> Rat.add acc (Rat.of_ints 1 i))
+          Rat.zero
+          (List.init n (fun i -> i + 1))
+      in
+      Rat.equal (Rat.harmonic n) direct)
+
 let test_rat_average () =
   Alcotest.check rat "average" (Rat.of_ints 1 2)
     (Rat.average [ Rat.zero; Rat.one ]);
@@ -352,7 +367,7 @@ let qtests =
     [ prop_add; prop_sub; prop_mul; prop_divmod; prop_compare;
       prop_string_roundtrip; prop_mul_div_cancel; prop_gcd_divides;
       prop_rat_field; prop_rat_add_comm; prop_rat_order_total;
-      prop_rat_float_consistent ]
+      prop_rat_float_consistent; prop_harmonic_memo ]
 
 let tier_qtests =
   List.map QCheck_alcotest.to_alcotest

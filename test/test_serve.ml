@@ -23,13 +23,16 @@ let test_parse_requests () =
   (match Protocol.parse_request {|{"op":"construction","name":"diamond","k":2}|} with
   | Ok
       {
-        Protocol.query = Protocol.Construction { name = "diamond"; k = 2 };
+        Protocol.query =
+          Protocol.Construction
+            { name = "diamond"; k = 2; mode = Bi_certify.Mode.Exhaustive };
         deadline_ms = None;
       } ->
     ()
   | _ -> Alcotest.fail "construction request");
   (match Protocol.parse_request {|{"op":"construction","name":"affine"}|} with
-  | Ok { Protocol.query = Protocol.Construction { name = "affine"; k }; _ } ->
+  | Ok { Protocol.query = Protocol.Construction { name = "affine"; k; _ }; _ }
+    ->
     Alcotest.(check int) "default k" Protocol.default_k k
   | _ -> Alcotest.fail "construction default k");
   (match Protocol.parse_request {|{"op":"stats"}|} with
@@ -47,7 +50,11 @@ let test_parse_requests () =
     Sink.to_string (Protocol.analyze_request ~deadline_ms:40 graph ~prior)
   in
   (match Protocol.parse_request line with
-  | Ok { Protocol.query = Protocol.Analyze (graph', prior'); deadline_ms } ->
+  | Ok
+      {
+        Protocol.query = Protocol.Analyze { graph = graph'; prior = prior'; _ };
+        deadline_ms;
+      } ->
     Alcotest.(check (option int)) "deadline round-trips" (Some 40) deadline_ms;
     Alcotest.(check string) "analyze round-trips the game"
       (Bi_cache.Fingerprint.game graph ~prior)
@@ -109,6 +116,74 @@ let test_response_codes () =
     (Protocol.response_code Protocol.deadline_exceeded);
   Alcotest.(check (option string)) "not a response" None
     (Protocol.response_code (Sink.Obj [ ("x", Sink.Int 1) ]))
+
+(* The solver-tier field: builders round-trip every tier, an absent
+   field is the exhaustive tier (so pre-mode clients and servers agree),
+   a default-tier request is byte-identical to a pre-mode request, and
+   tier-qualified cache keys leave exhaustive fingerprints untouched. *)
+let test_mode_round_trip () =
+  let module Mode = Bi_certify.Mode in
+  let tiers = [ Mode.Exhaustive; Mode.Certified; Mode.Auto ] in
+  List.iter
+    (fun mode ->
+      match
+        Protocol.parse_request
+          (Sink.to_string
+             (Protocol.construction_request ~mode ~name:"affine" ~k:3 ()))
+      with
+      | Ok { Protocol.query = Protocol.Construction { mode = m; _ }; _ } ->
+        Alcotest.(check string) "construction mode round-trips"
+          (Mode.to_string mode) (Mode.to_string m)
+      | _ -> Alcotest.fail "construction request with mode")
+    tiers;
+  let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one) ] in
+  let prior = Dist.uniform [ [| (0, 1) |] ] in
+  List.iter
+    (fun mode ->
+      match
+        Protocol.parse_request
+          (Sink.to_string (Protocol.analyze_request ~mode graph ~prior))
+      with
+      | Ok { Protocol.query = Protocol.Analyze { mode = m; _ }; _ } ->
+        Alcotest.(check string) "analyze mode round-trips"
+          (Mode.to_string mode) (Mode.to_string m)
+      | _ -> Alcotest.fail "analyze request with mode")
+    tiers;
+  (match
+     Protocol.parse_request {|{"op":"construction","name":"affine","k":2}|}
+   with
+  | Ok
+      {
+        Protocol.query = Protocol.Construction { mode = Mode.Exhaustive; _ };
+        _;
+      } ->
+    ()
+  | _ -> Alcotest.fail "absent mode must default to the exhaustive tier");
+  Alcotest.(check string) "default-tier request is byte-identical"
+    (Sink.to_string (Protocol.construction_request ~name:"affine" ~k:2 ()))
+    (Sink.to_string
+       (Protocol.construction_request ~mode:Mode.Exhaustive ~name:"affine"
+          ~k:2 ()));
+  Alcotest.(check bool) "default-tier request carries no mode member" true
+    (Sink.member "mode" (Protocol.construction_request ~name:"affine" ~k:2 ())
+    = None);
+  (match
+     Protocol.parse_request
+       {|{"op":"construction","name":"affine","mode":"fast"}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tier must be a parse error");
+  (match
+     Protocol.parse_request {|{"op":"construction","name":"affine","mode":7}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-string mode must be a parse error");
+  Alcotest.(check string) "empty tag keeps the bare fingerprint" "abc"
+    (Bi_cache.Fingerprint.with_mode "abc" ~mode:"");
+  Alcotest.(check string) "exhaustive tag keeps the bare fingerprint" "abc"
+    (Bi_cache.Fingerprint.with_mode "abc" ~mode:"exhaustive");
+  Alcotest.(check string) "certified tier is suffixed" "abc+certified"
+    (Bi_cache.Fingerprint.with_mode "abc" ~mode:"certified")
 
 (* parse_request must be total: any byte salad gets Ok or Error, never
    an exception (a [Stack_overflow] here would kill a server thread). *)
@@ -381,6 +456,45 @@ let test_end_to_end () =
 (* Health names the shard and exposes load; put inserts an analysis
    that later construction requests answer byte-identically — the two
    verbs the router builds its membership and replication on. *)
+(* The certified tier over the wire: first answer computes, the repeat
+   is served from cache under the tier-qualified fingerprint, the
+   response carries the bracket payload and no ["analysis"] member, and
+   the exhaustive tier for the same game is untouched. *)
+let test_certified_tier () =
+  let store_path = Filename.temp_file "bi_serve_cert" ".jsonl" in
+  Sys.remove store_path;
+  with_server ~store_path (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      let req =
+        Protocol.construction_request ~mode:Bi_certify.Mode.Certified
+          ~name:"gworst-bliss" ~k:3 ()
+      in
+      let r1 = request_ok c req in
+      let r2 = request_ok c req in
+      Alcotest.(check (option bool)) "first computes" (Some false)
+        (get_bool "cached" r1);
+      Alcotest.(check (option bool)) "repeat served from cache" (Some true)
+        (get_bool "cached" r2);
+      Alcotest.(check bool) "bracket payload present" true
+        (Sink.member "certified" r1 <> None);
+      Alcotest.(check bool) "no exhaustive analysis member" true
+        (Sink.member "analysis" r1 = None);
+      (match Sink.member "fingerprint" r1 with
+      | Some (Sink.Str fp) ->
+        Alcotest.(check bool) "tier-qualified fingerprint" true
+          (Filename.check_suffix fp "+certified")
+      | _ -> Alcotest.fail "fingerprint missing");
+      let r3 =
+        request_ok c
+          (Protocol.construction_request ~name:"gworst-bliss" ~k:3 ())
+      in
+      Alcotest.(check (option bool)) "exhaustive tier computes fresh"
+        (Some false) (get_bool "cached" r3);
+      Alcotest.(check bool) "exhaustive answer has its analysis" true
+        (Sink.member "analysis" r3 <> None);
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
 let test_health_and_put () =
   let captured = ref None in
   with_server ~shard:"shard-a" (fun ~socket ~metrics_out:_ ->
@@ -652,6 +766,8 @@ let () =
         [
           Alcotest.test_case "request parsing" `Quick test_parse_requests;
           Alcotest.test_case "response codes" `Quick test_response_codes;
+          Alcotest.test_case "solver-tier round-trip" `Quick
+            test_mode_round_trip;
           QCheck_alcotest.to_alcotest fuzz_parse_total;
           Alcotest.test_case "hostile inputs" `Quick test_parse_hostile_inputs;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
@@ -665,6 +781,8 @@ let () =
         [
           Alcotest.test_case "end to end over a unix socket" `Quick
             test_end_to_end;
+          Alcotest.test_case "certified tier over the wire" `Quick
+            test_certified_tier;
           Alcotest.test_case "health and put verbs" `Quick test_health_and_put;
           Alcotest.test_case "metrics dump on shutdown" `Quick test_metrics_dump;
           Alcotest.test_case "survives garbage on the wire" `Quick
