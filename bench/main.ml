@@ -41,13 +41,22 @@ let sections =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] [--cache FILE] [section ...]\navailable sections: %s\n"
+    "usage: main.exe [--jobs N] [--cache FILE] [--compare FILE] [section ...]\n\
+     available sections: %s\n"
     (String.concat ", " (List.map fst sections));
   exit 1
 
 let parse_args args =
   let rec go jobs cache acc = function
     | [] -> (jobs, cache, List.rev acc)
+    | "--compare" :: rest -> (
+      match rest with
+      | path :: rest' ->
+        Micro.compare_with := Some path;
+        go jobs cache acc rest'
+      | [] ->
+        Printf.eprintf "--compare expects a baseline file argument\n";
+        exit 1)
     | ("--jobs" | "-j") :: rest -> (
       match rest with
       | n :: rest' -> (
@@ -138,4 +147,7 @@ let () =
               ("major_words", Float span.Engine.Timer.major_words);
               ("jobs", Int jobs);
             ])
-        requested)
+        requested);
+  (* The micro regression gate reports after its section so every other
+     requested section still runs; the process exit is what CI checks. *)
+  if !Micro.regression_failed then exit 1

@@ -75,10 +75,27 @@ let rat_cmp_small_test =
          ignore (Rat.compare u v);
          ignore (Rat.compare x u)))
 
+(* A single fixed comparison is too little work per run: the ~0.25 µs
+   signal drowns in loop and clock overhead and the OLS fit collapses
+   (r² ≈ 0.10 in earlier trajectories).  Walk a batch of fresh,
+   pairwise-distinct large operands instead — every run does 32 full
+   cross-multiplication compares on multi-limb magnitudes, and the
+   accumulated sum keeps the work observable.  (The kernel is named
+   [x32] so trajectory tooling never compares it against the old
+   single-compare series.) *)
+let rat_cmp_large_pairs =
+  Array.init 32 (fun i ->
+      ( Rat.pow (Rat.of_ints (7 + i) 3) 40,
+        Rat.pow (Rat.of_ints (15 + (2 * i)) 7) 38 ))
+
 let rat_cmp_large_test =
-  let x = Rat.pow (Rat.of_ints 7 3) 40 and y = Rat.pow (Rat.of_ints 15 7) 38 in
-  Test.make ~name:"rat compare, large operands"
-    (Staged.stage (fun () -> ignore (Rat.compare x y)))
+  Test.make ~name:"rat compare, large operands x32"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         Array.iter
+           (fun (x, y) -> acc := !acc + Rat.compare x y)
+           rat_cmp_large_pairs;
+         ignore (Sys.opaque_identity !acc)))
 
 (* Per-profile cost kernel: social cost of every profile of a 4-agent
    complete-information NCS game (4 paths each: two parallel edges and
@@ -134,7 +151,7 @@ let benchmark () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 256) ()
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 256) ()
   in
   let raw_results = Benchmark.all cfg instances tests in
   let ols =
@@ -152,44 +169,153 @@ let img (window, results) =
   Bechamel_notty.Multiple.image_of_ols_results ~rect:window
     ~predictor:Measure.run results
 
+(* Per-kernel estimates in a plain form: (name, ns_per_run, r²). *)
+let estimate_rows results =
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some by_name ->
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Some e
+            | _ -> None
+          in
+          (name, ns, Analyze.OLS.r_square ols) :: acc)
+        by_name []
+    in
+    List.sort compare rows
+
 (* Persist the per-kernel OLS estimates as JSON lines so the bench
    trajectory has machine-readable points to compare successive PRs
    against (BENCH_micro.json, sibling of BENCH_results.json). *)
-let persist_estimates results =
+let persist_estimates rows =
   let micro_sink = Engine.Sink.create "BENCH_micro.json" in
   Engine.Sink.emit micro_sink
     [ ("record", Str "run"); ("suite", Str "micro kernels") ];
-  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
-   | None -> ()
-   | Some by_name ->
-     let rows =
-       Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
-     in
-     List.iter
-       (fun (name, ols) ->
-         let ns_per_run =
-           match Analyze.OLS.estimates ols with
-           | Some (e :: _) -> Engine.Sink.Float e
-           | _ -> Engine.Sink.Null
-         in
-         let r2 =
-           match Analyze.OLS.r_square ols with
-           | Some r -> Engine.Sink.Float r
-           | None -> Engine.Sink.Null
-         in
-         Engine.Sink.emit micro_sink
-           [
-             ("record", Str "micro");
-             ("name", Str name);
-             ("ns_per_run", ns_per_run);
-             ("r_square", r2);
-           ])
-       (List.sort compare rows));
+  List.iter
+    (fun (name, ns, r2) ->
+      let opt_float = function
+        | Some v -> Engine.Sink.Float v
+        | None -> Engine.Sink.Null
+      in
+      Engine.Sink.emit micro_sink
+        [
+          ("record", Str "micro");
+          ("name", Str name);
+          ("ns_per_run", opt_float ns);
+          ("r_square", opt_float r2);
+        ])
+    rows;
   Engine.Sink.close micro_sink
+
+(* OLS fits below this are measuring noise, not the kernel; the footer
+   names them so a silently broken harness shows up in the transcript. *)
+let r2_floor = 0.9
+
+let r2_footer rows =
+  let fits = List.filter_map (fun (_, _, r2) -> r2) rows in
+  match fits with
+  | [] -> print_endline "(r-square sanity: no OLS fits reported)"
+  | _ ->
+    let low =
+      List.filter
+        (fun (_, _, r2) -> match r2 with Some r -> r < r2_floor | None -> true)
+        rows
+    in
+    let min_r2 = List.fold_left Stdlib.min 1.0 fits in
+    if low = [] then
+      Printf.printf "(r-square sanity: all %d kernels >= %.2f, min %.3f)\n"
+        (List.length rows) r2_floor min_r2
+    else begin
+      Printf.printf "(r-square sanity: min %.3f; below %.2f:" min_r2 r2_floor;
+      List.iter
+        (fun (name, _, r2) ->
+          Printf.printf " %s=%s" name
+            (match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "n/a"))
+        low;
+      print_endline ")"
+    end
+
+(* --compare: per-kernel speedup against a committed baseline file, with
+   a regression gate.  The baseline is read before the sink truncates
+   BENCH_micro.json, so comparing a run against its own previous output
+   file works.  Kernels present on only one side are reported but not
+   gated — renames and new kernels are not regressions. *)
+
+let compare_with : string option ref = ref None
+let regression_failed = ref false
+let regression_tolerance = 1.25
+
+let load_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+    Printf.eprintf "--compare: %s\n" e;
+    exit 1
+  | body ->
+    String.split_on_char '\n' body
+    |> List.filter_map (fun line ->
+           if String.trim line = "" then None
+           else
+             match Engine.Sink.of_string line with
+             | Error _ -> None
+             | Ok j -> (
+               match
+                 ( Engine.Sink.member "record" j,
+                   Engine.Sink.member "name" j,
+                   Engine.Sink.member "ns_per_run" j )
+               with
+               | Some (Str "micro"), Some (Str name), Some (Float ns) ->
+                 Some (name, ns)
+               | Some (Str "micro"), Some (Str name), Some (Int ns) ->
+                 Some (name, float_of_int ns)
+               | _ -> None))
+
+let print_comparison baseline rows =
+  print_endline "";
+  Printf.printf "%-46s %14s %14s %9s\n" "vs baseline" "base ns/run"
+    "now ns/run" "speedup";
+  let worst = ref None in
+  List.iter
+    (fun (name, ns, _) ->
+      match (ns, List.assoc_opt name baseline) with
+      | Some now, Some base ->
+        let speedup = base /. now in
+        let flag =
+          if now > base *. regression_tolerance then begin
+            (match !worst with
+            | Some (_, w) when w <= speedup -> ()
+            | _ -> worst := Some (name, speedup));
+            "  REGRESSION"
+          end
+          else ""
+        in
+        Printf.printf "%-46s %14.1f %14.1f %8.2fx%s\n" name base now speedup
+          flag
+      | Some now, None ->
+        Printf.printf "%-46s %14s %14.1f %9s\n" name "-" now "new"
+      | None, _ -> ())
+    rows;
+  List.iter
+    (fun (name, base) ->
+      if not (List.exists (fun (n, _, _) -> n = name) rows) then
+        Printf.printf "%-46s %14.1f %14s %9s\n" name base "-" "gone")
+    baseline;
+  match !worst with
+  | Some (name, speedup) ->
+    Printf.printf
+      "regression gate: %s slowed to %.2fx of baseline (tolerance %.2fx)\n"
+      name (1. /. speedup) regression_tolerance;
+    regression_failed := true
+  | None ->
+    Printf.printf "regression gate: no kernel beyond %.0f%% of baseline\n"
+      ((regression_tolerance -. 1.) *. 100.)
 
 let run ~pool:_ ~sink:_ ~cache:_ =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_endline "";
+  let baseline = Option.map load_baseline !compare_with in
   let results, _ = benchmark () in
   let window =
     match Notty_unix.winsize Unix.stdout with
@@ -197,6 +323,9 @@ let run ~pool:_ ~sink:_ ~cache:_ =
     | None -> { Bechamel_notty.w = 100; h = 1 }
   in
   img (window, results) |> Notty_unix.eol |> Notty_unix.output_image;
-  persist_estimates results;
+  let rows = estimate_rows results in
+  persist_estimates rows;
   print_endline "(per-kernel OLS estimates -> BENCH_micro.json)";
+  r2_footer rows;
+  Option.iter (fun b -> print_comparison b rows) baseline;
   print_endline ""

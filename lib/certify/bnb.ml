@@ -38,6 +38,13 @@ type env = {
   m : int array; (* per-edge remaining-agent multiplicity *)
   stamp : int array; (* agent-dedup marks for [m] *)
   tok : int ref;
+  (* Reusable rational accumulators, one per nesting level of the bound
+     (path sum inside share sum inside the weighted total), so pricing a
+     node allocates no intermediate rationals.  [env] is per-call and
+     single-domain, so plain mutation is safe. *)
+  pacc : Rat.Acc.t;
+  sacc : Rat.Acc.t;
+  tacc : Rat.Acc.t;
 }
 
 let make_env g =
@@ -72,7 +79,10 @@ let make_env g =
     state_cost = Array.make (Array.length states) Rat.zero;
     m = Array.make n_edges 0;
     stamp = Array.make n_edges (-1);
-    tok = ref 0 }
+    tok = ref 0;
+    pacc = Rat.Acc.create ();
+    sacc = Rat.Acc.create ();
+    tacc = Rat.Acc.create () }
 
 let realized env s i ti = (fst env.states.(s)).(i) = ti
 
@@ -108,25 +118,24 @@ let min_discounted env s i ti ~share =
   let best = ref None in
   Array.iter
     (fun a ->
-      let acc = ref Rat.zero in
+      Rat.Acc.clear env.pacc;
       Array.iter
         (fun e ->
-          if env.count.(s).(e) = 0 then
-            let c =
-              if share then Rat.div_int env.edge_cost.(e) env.m.(e)
-              else env.edge_cost.(e)
-            in
-            acc := Rat.add !acc c)
+          if env.count.(s).(e) = 0 then begin
+            if share then Rat.Acc.add_div_int env.pacc env.edge_cost.(e) env.m.(e)
+            else Rat.Acc.add env.pacc env.edge_cost.(e)
+          end)
         env.paths.(i).(a);
+      let acc = Rat.Acc.to_rat env.pacc in
       match !best with
-      | Some b when Rat.(b <= !acc) -> ()
-      | _ -> best := Some !acc)
+      | Some b when Rat.(b <= acc) -> ()
+      | _ -> best := Some acc)
     env.valid.(i).(ti);
   match !best with Some b -> b | None -> Rat.zero
 
 let bound env depth =
   let nvars = Array.length env.vars in
-  let total = ref Rat.zero in
+  Rat.Acc.clear env.tacc;
   for s = 0 to Array.length env.states - 1 do
     let _, w = env.states.(s) in
     Array.fill env.m 0 env.n_edges 0;
@@ -147,26 +156,28 @@ let bound env depth =
           env.valid.(i).(ti)
       end
     done;
-    let single = ref Rat.zero and share = ref Rat.zero in
+    let single = ref Rat.zero in
+    Rat.Acc.clear env.sacc;
     for v = depth to nvars - 1 do
       let i, ti = env.vars.(v) in
       if realized env s i ti then begin
         single := Rat.max !single (min_discounted env s i ti ~share:false);
-        share := Rat.add !share (min_discounted env s i ti ~share:true)
+        Rat.Acc.add env.sacc (min_discounted env s i ti ~share:true)
       end
     done;
-    total :=
-      Rat.add !total
-        (Rat.mul w (Rat.add env.state_cost.(s) (Rat.max !single !share)))
+    let share = Rat.Acc.to_rat env.sacc in
+    (* w*(state_cost + tail) folded as two fused multiply-adds. *)
+    Rat.Acc.add_mul env.tacc w env.state_cost.(s);
+    Rat.Acc.add_mul env.tacc w (Rat.max !single share)
   done;
-  !total
+  Rat.Acc.to_rat env.tacc
 
 let leaf_value env =
-  let acc = ref Rat.zero in
+  Rat.Acc.clear env.tacc;
   Array.iteri
-    (fun s (_, w) -> acc := Rat.add !acc (Rat.mul w env.state_cost.(s)))
+    (fun s (_, w) -> Rat.Acc.add_mul env.tacc w env.state_cost.(s))
     env.states;
-  !acc
+  Rat.Acc.to_rat env.tacc
 
 let base_profile env =
   Array.init env.players (fun i ->
@@ -238,6 +249,23 @@ let optimum ?(budget = Budget.unlimited) ?(node_budget = 5_000_000) ?incumbent
 
 let root_lower g = Extended.of_rat (bound (make_env g) 0)
 
+(* Ledger prefixes share their leading choices, and the polymorphic
+   hash only inspects a bounded prefix of a key — hashing them as lists
+   collapses a deep replay's ledger into a handful of buckets and turns
+   every lookup into a linear scan.  Fold the whole prefix instead. *)
+module Prefix = struct
+  type t = int array
+
+  let equal = Stdlib.( = )
+
+  let hash p =
+    let h = ref (Array.length p) in
+    Array.iter (fun a -> h := (!h * 31) + a + 1) p;
+    !h land max_int
+end
+
+module Ptbl = Hashtbl.Make (Prefix)
+
 exception Fail of string
 
 let shape_check env profile =
@@ -268,12 +296,11 @@ let check g cert =
       | Some v -> v
       | None -> raise (Fail "certified value must be finite")
     in
-    let tbl = Hashtbl.create (List.length cert.ledger) in
+    let tbl = Ptbl.create (List.length cert.ledger) in
     List.iter
       (fun (p, b) ->
-        let key = Array.to_list p in
-        if Hashtbl.mem tbl key then raise (Fail "duplicate ledger prefix");
-        Hashtbl.add tbl key b)
+        if Ptbl.mem tbl p then raise (Fail "duplicate ledger prefix");
+        Ptbl.add tbl p b)
       cert.ledger;
     let cap = (cert.nodes * 10) + 1000 in
     let visited = ref 0 in
@@ -292,9 +319,7 @@ let check g cert =
             if !visited > cap then raise (Fail "replay exceeded the node cap");
             commit env i ti a;
             choice.(depth) <- a;
-            (match
-               Hashtbl.find_opt tbl (Array.to_list (Array.sub choice 0 (depth + 1)))
-             with
+            (match Ptbl.find_opt tbl (Array.sub choice 0 (depth + 1)) with
             | Some b ->
               if not (Rat.equal b (bound env (depth + 1))) then
                 raise (Fail "a ledger bound differs from its recomputation");

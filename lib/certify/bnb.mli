@@ -70,6 +70,7 @@ val root_lower : Bi_ncs.Bayesian_ncs.t -> Extended.t
 (** The root relaxation on its own — the sound [optP] lower bound an
     exhausted budget leaves behind, recomputable by anyone. *)
 
+
 val check : Bi_ncs.Bayesian_ncs.t -> certificate -> (unit, string) result
 (** Replay the certified tree (see above).  The replay recomputes the
     branching order, the witness's social cost and every ledger bound

@@ -2,11 +2,22 @@ open Bi_num
 
 type smoothness = { players : int; lambda : Rat.t; mu : Rat.t }
 
-let fair_share ~players =
-  if players < 1 then invalid_arg "Smooth.fair_share: need at least one player";
-  { players; lambda = Rat.of_int players; mu = Rat.zero }
+(* With [?hc], grid rationals and harmonic numbers are interned in the
+   caller's hash-cons table, so repeated checks (certify, then check,
+   then every bench replay on the same table) hand back physically equal
+   values and comparisons short-circuit. *)
 
-let check { players; lambda; mu } =
+let grid_rat hc n d =
+  match hc with Some h -> Rat.Hc.of_ints h n d | None -> Rat.of_ints n d
+
+let harmonic hc n =
+  match hc with Some h -> Rat.Hc.harmonic h n | None -> Rat.harmonic n
+
+let fair_share ?hc ~players () =
+  if players < 1 then invalid_arg "Smooth.fair_share: need at least one player";
+  { players; lambda = grid_rat hc players 1; mu = Rat.zero }
+
+let check ?hc { players; lambda; mu } =
   if players < 1 then Error "smoothness: need at least one player"
   else if Stdlib.(Rat.sign mu < 0) || Rat.(mu >= one) then
     Error "smoothness: mu must lie in [0, 1)"
@@ -17,7 +28,7 @@ let check { players; lambda; mu } =
     for x = 0 to players do
       for x' = 0 to players do
         if !bad = None then begin
-          let lhs = Rat.of_ints x' (Stdlib.max 1 x) in
+          let lhs = grid_rat hc x' (Stdlib.max 1 x) in
           let rhs =
             Rat.add
               (if x' >= 1 then lambda else Rat.zero)
@@ -39,17 +50,17 @@ let poa_factor { lambda; mu; _ } = Rat.div lambda (Rat.sub Rat.one mu)
 
 type potential_bracket = { players : int; upper : Rat.t }
 
-let potential ~players =
+let potential ?hc ~players () =
   if players < 1 then invalid_arg "Smooth.potential: need at least one player";
-  { players; upper = Rat.harmonic players }
+  { players; upper = harmonic hc players }
 
-let check_potential { players; upper } =
+let check_potential ?hc { players; upper } =
   if players < 1 then Error "potential bracket: need at least one player"
   else begin
     let bad = ref None in
     for x = 1 to players do
       if !bad = None then begin
-        let h = Rat.harmonic x in
+        let h = harmonic hc x in
         if Rat.(h < one) || Rat.(h > upper) then bad := Some x
       end
     done;

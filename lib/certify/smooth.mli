@@ -36,10 +36,17 @@ open Bi_num
 
 type smoothness = { players : int; lambda : Rat.t; mu : Rat.t }
 
-val fair_share : players:int -> smoothness
+(** All entry points take an optional hash-cons table [?hc]: when given,
+    the [j/k] grid rationals and harmonic numbers they produce are
+    interned in it, so a solver threading one table through its
+    smoothness checks, potential brackets and descent replays shares one
+    canonical (physically equal) [H(k)] chain and grid — and rational
+    comparisons on them short-circuit. *)
+
+val fair_share : ?hc:Rat.Hc.t -> players:int -> unit -> smoothness
 (** (λ, μ) = (k, 0). *)
 
-val check : smoothness -> (unit, string) result
+val check : ?hc:Rat.Hc.t -> smoothness -> (unit, string) result
 (** Verify [0 <= μ < 1], [λ > 0] and the load-grid inequality above for
     every [x, x* in [0, players]]. *)
 
@@ -48,9 +55,9 @@ val poa_factor : smoothness -> Rat.t
 
 type potential_bracket = { players : int; upper : Rat.t }
 
-val potential : players:int -> potential_bracket
+val potential : ?hc:Rat.Hc.t -> players:int -> unit -> potential_bracket
 (** [upper = H(players)]. *)
 
-val check_potential : potential_bracket -> (unit, string) result
+val check_potential : ?hc:Rat.Hc.t -> potential_bracket -> (unit, string) result
 (** Verify [1 <= H(x) <= upper] for every load [x in [1, players]] —
     [upper] is the certified [best-eqP / optP] factor. *)

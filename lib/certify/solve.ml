@@ -116,8 +116,12 @@ let solve_game ?pool ?budget ?seeds ?node_budget g =
 
 let certify ?pool ?budget ?seeds ?node_budget g =
   let players = Bncs.players g in
-  let smoothness = Smooth.fair_share ~players in
-  let potential = Smooth.potential ~players in
+  (* One hash-cons table per certification: the smoothness grid, the
+     potential bracket and every per-state re-derivation intern their
+     recurring rationals here, sharing one canonical H(k) chain. *)
+  let hc = Rat.Hc.create () in
+  let smoothness = Smooth.fair_share ~hc ~players () in
+  let potential = Smooth.potential ~hc ~players () in
   let opt_p, eq_p, descent_starts =
     solve_game ?pool ?budget ?seeds ?node_budget g
   in
@@ -189,8 +193,9 @@ let check g cert =
     if cert.potential.Smooth.players = players then Ok ()
     else Error "potential bracket is for a different player count"
   in
-  let* () = Smooth.check cert.smoothness in
-  let* () = Smooth.check_potential cert.potential in
+  let hc = Rat.Hc.create () in
+  let* () = Smooth.check ~hc cert.smoothness in
+  let* () = Smooth.check_potential ~hc cert.potential in
   let* () = check_outcome g "optP" cert.opt_p in
   let* () = check_equilibria g "eqP" cert.eq_p in
   let support = Dist.to_list (Bncs.prior g) in

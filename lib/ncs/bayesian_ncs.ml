@@ -108,9 +108,14 @@ let make graph ~prior =
         (fun j aj ->
           List.iter (fun e -> load.(e) <- load.(e) + 1) actions.(j).(aj))
         a;
-      Extended.of_rat
-        (Rat.sum
-           (List.map (fun e -> Rat.div_int (Graph.cost graph e) load.(e)) mine))
+      (* Plain fold: the closure is invoked from pool workers, so no
+         scratch accumulator can be shared, and paths are short enough
+         that [Rat.add]'s zero shortcut beats setting one up per call. *)
+      let total = ref Rat.zero in
+      List.iter
+        (fun e -> total := Rat.add !total (Rat.div_int (Graph.cost graph e) load.(e)))
+        mine;
+      Extended.of_rat !total
     end
   in
   let game =
@@ -170,16 +175,25 @@ let complete_game g pair_profile =
     Hashtbl.add g.complete_memo key c;
     c
 
-(* Incremental profile evaluation.  [loads] is a caller-owned scratch
-   matrix with one load vector per prior-support state; it is filled once
-   per strategy profile, after which social costs read the loaded edges
+(* Incremental profile evaluation.  [scratch] is caller-owned: a load
+   matrix with one vector per prior-support state, filled once per
+   strategy profile, after which social costs read the loaded edges
    directly and the equilibrium predicate prices deviations as deltas
    (remove the deviator's path from her type's states, cost each
-   candidate at load + 1, restore).  All quantities stay exact, so every
-   value and comparison agrees with the generic [Bayesian] evaluation. *)
+   candidate at load + 1, restore); plus two reusable rational
+   accumulators — [racc] for inner per-path/per-state sums and [wacc]
+   for the weighted sums layered over them — so the evaluation allocates
+   no intermediate rationals.  All quantities stay exact, so every value
+   and comparison agrees with the generic [Bayesian] evaluation. *)
 
-let make_loads g =
-  Array.make_matrix (Array.length g.support_w) (Graph.n_edges g.graph) 0
+type scratch = { loads : int array array; racc : Rat.Acc.t; wacc : Rat.Acc.t }
+
+let make_scratch g =
+  {
+    loads = Array.make_matrix (Array.length g.support_w) (Graph.n_edges g.graph) 0;
+    racc = Rat.Acc.create ();
+    wacc = Rat.Acc.create ();
+  }
 
 (* Fill the per-state load vectors for profile [s].  Returns false when
    some realized action fails to connect its type's terminals; callers
@@ -206,34 +220,36 @@ let fill_loads g loads s =
 
 (* Expected union cost: per state, every player pays her shared costs,
    which telescope to the plain cost of the loaded edge set. *)
-let expected_union_cost g loads =
-  let acc = ref Rat.zero in
+let expected_union_cost g sc =
+  Rat.Acc.clear sc.wacc;
   Array.iteri
     (fun sidx (_, w) ->
-      let load = loads.(sidx) in
-      let state = ref Rat.zero in
+      let load = sc.loads.(sidx) in
+      Rat.Acc.clear sc.racc;
       for e = 0 to Array.length load - 1 do
-        if load.(e) > 0 then state := Rat.add !state g.edge_cost.(e)
+        if load.(e) > 0 then Rat.Acc.add sc.racc g.edge_cost.(e)
       done;
-      acc := Rat.add !acc (Rat.mul w !state))
+      Rat.Acc.add_mul sc.wacc w (Rat.Acc.to_rat sc.racc))
     g.support_w;
-  !acc
+  Rat.Acc.to_rat sc.wacc
 
-let path_cost_loaded g load es =
-  let acc = ref Rat.zero in
+(* Inner path sums run through [sc.racc] (cleared per call); callers
+   layering weighted sums over them use [sc.wacc]. *)
+let path_cost_loaded g sc load es =
+  Rat.Acc.clear sc.racc;
   for k = 0 to Array.length es - 1 do
     let e = es.(k) in
-    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) load.(e))
+    Rat.Acc.add_div_int sc.racc g.edge_cost.(e) load.(e)
   done;
-  !acc
+  Rat.Acc.to_rat sc.racc
 
-let deviation_cost_loaded g load es =
-  let acc = ref Rat.zero in
+let deviation_cost_loaded g sc load es =
+  Rat.Acc.clear sc.racc;
   for k = 0 to Array.length es - 1 do
     let e = es.(k) in
-    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) (load.(e) + 1))
+    Rat.Acc.add_div_int sc.racc g.edge_cost.(e) (load.(e) + 1)
   done;
-  !acc
+  Rat.Acc.to_rat sc.racc
 
 let add_path_loaded load es =
   for k = 0 to Array.length es - 1 do
@@ -255,7 +271,7 @@ let remove_path_loaded load es =
    Invalid deviations carry infinite interim cost there and can never
    improve on a finite current cost, so they are skipped.  The loads are
    restored before returning. *)
-let is_eq_loaded g loads s =
+let is_eq_loaded g sc s =
   let rec player i =
     if i >= g.players then true else typ i 0
   and typ i ti =
@@ -267,14 +283,14 @@ let is_eq_loaded g loads s =
       else begin
         let ai = s.(i).(ti) in
         let mine = g.edge_arrays.(i).(ai) in
-        let current = ref Rat.zero in
+        Rat.Acc.clear sc.wacc;
         Array.iter
           (fun sidx ->
             let _, w = g.support_w.(sidx) in
-            current :=
-              Rat.add !current (Rat.mul w (path_cost_loaded g loads.(sidx) mine)))
+            Rat.Acc.add_mul sc.wacc w (path_cost_loaded g sc sc.loads.(sidx) mine))
           states;
-        Array.iter (fun sidx -> remove_path_loaded loads.(sidx) mine) states;
+        let current = Rat.Acc.to_rat sc.wacc in
+        Array.iter (fun sidx -> remove_path_loaded sc.loads.(sidx) mine) states;
         let improving = ref false in
         let nact = Array.length g.edge_arrays.(i) in
         let ai' = ref 0 in
@@ -282,31 +298,30 @@ let is_eq_loaded g loads s =
           let a = !ai' in
           if a <> ai && g.valid_tbl.(i).(ti).(a) then begin
             let cand = g.edge_arrays.(i).(a) in
-            let c = ref Rat.zero in
+            Rat.Acc.clear sc.wacc;
             Array.iter
               (fun sidx ->
                 let _, w = g.support_w.(sidx) in
-                c :=
-                  Rat.add !c
-                    (Rat.mul w (deviation_cost_loaded g loads.(sidx) cand)))
+                Rat.Acc.add_mul sc.wacc w
+                  (deviation_cost_loaded g sc sc.loads.(sidx) cand))
               states;
-            if Rat.( < ) !c !current then improving := true
+            if Rat.( < ) (Rat.Acc.to_rat sc.wacc) current then improving := true
           end;
           incr ai'
         done;
-        Array.iter (fun sidx -> add_path_loaded loads.(sidx) mine) states;
+        Array.iter (fun sidx -> add_path_loaded sc.loads.(sidx) mine) states;
         if !improving then false else typ i (ti + 1)
       end
     end
   in
   player 0
 
-let is_equilibrium_with g loads s =
-  if fill_loads g loads s then is_eq_loaded g loads s
+let is_equilibrium_with g sc s =
+  if fill_loads g sc.loads s then is_eq_loaded g sc s
   else Bayesian.is_bayesian_equilibrium g.game s
 
-let social_cost_with g loads s =
-  if fill_loads g loads s then Extended.of_rat (expected_union_cost g loads)
+let social_cost_with g sc s =
+  if fill_loads g sc.loads s then Extended.of_rat (expected_union_cost g sc)
   else Bayesian.social_cost g.game s
 
 (* Agent [i]'s valid strategies: one valid action per type, in the order
@@ -330,20 +345,20 @@ let valid_strategy_profiles g =
    are reduced in shard order — so value, witnessing profile and
    tie-breaking all coincide with the sequential left-to-right scan over
    [valid_strategy_profiles], whatever the pool size.  Each shard owns
-   one scratch load matrix handed to its scoring function. *)
+   one scratch block handed to its scoring function. *)
 let sharded_search ?pool ?(budget = Budget.unlimited) ~monoid ~score g =
   let rest =
     List.init (g.players - 1) (fun j ->
         Array.to_list (player_strategies g (j + 1)))
   in
   let eval s0 =
-    let loads = make_loads g in
+    let sc = make_scratch g in
     Seq.fold_left
       (fun acc tail ->
         Budget.check budget;
         let profile = Array.make g.players s0 in
         List.iteri (fun j sj -> profile.(j + 1) <- sj) tail;
-        match score loads profile with
+        match score sc profile with
         | None -> acc
         | Some v -> monoid.Reduce.combine acc v)
       monoid.Reduce.empty
@@ -355,28 +370,29 @@ let sharded_search ?pool ?(budget = Budget.unlimited) ~monoid ~score g =
   | _ -> Reduce.fold monoid (Array.map eval shards)
 
 let bayesian_equilibria g =
-  let loads = make_loads g in
-  Seq.filter (is_equilibrium_with g loads) (valid_strategy_profiles g)
+  let sc = make_scratch g in
+  Seq.filter (is_equilibrium_with g sc) (valid_strategy_profiles g)
 
 let social_cost g s =
-  let loads = make_loads g in
-  social_cost_with g loads s
+  let sc = make_scratch g in
+  social_cost_with g sc s
 
 let bayesian_potential g s =
+  let load = Array.make (Graph.n_edges g.graph) 0 in
+  let acc = Rat.Acc.create () in
   Dist.expectation
     (fun t ->
-      let load = Array.make (Graph.n_edges g.graph) 0 in
+      Array.fill load 0 (Array.length load) 0;
       Array.iteri
         (fun j tj ->
           List.iter (fun e -> load.(e) <- load.(e) + 1) g.actions.(j).(s.(j).(tj)))
         t;
-      let acc = ref Rat.zero in
+      Rat.Acc.clear acc;
       Array.iteri
         (fun e l ->
-          if l > 0 then
-            acc := Rat.add !acc (Rat.mul (Graph.cost g.graph e) (Rat.harmonic l)))
+          if l > 0 then Rat.Acc.add_mul acc g.edge_cost.(e) (Rat.harmonic l))
         load;
-      !acc)
+      Rat.Acc.to_rat acc)
     (Bayesian.prior g.game)
 
 let shortest_path_profile g =
@@ -429,7 +445,7 @@ let opt_p_exhaustive ?pool ?budget g =
   match
     sharded_search ?pool ?budget
       ~monoid:(Reduce.first_min ~cmp:Extended.compare)
-      ~score:(fun loads s -> Some (Some (s, social_cost_with g loads s)))
+      ~score:(fun sc s -> Some (Some (s, social_cost_with g sc s)))
       g
   with
   | Some (s, c) -> (c, s)
@@ -465,12 +481,13 @@ let opt_p_branch_and_bound ?(node_budget = 5_000_000) g =
   (* Per-state purchase multiset: count.(state).(edge) buyers so far. *)
   let count = Array.make_matrix n_states n_edges 0 in
   let state_cost = Array.make n_states Rat.zero in
+  let bacc = Rat.Acc.create () in
   let bound () =
-    let acc = ref Rat.zero in
+    Rat.Acc.clear bacc;
     for s = 0 to n_states - 1 do
-      acc := Rat.add !acc (Rat.mul (snd support.(s)) state_cost.(s))
+      Rat.Acc.add_mul bacc (snd support.(s)) state_cost.(s)
     done;
-    !acc
+    Rat.Acc.to_rat bacc
   in
   let states_of i ti =
     List.filter
@@ -562,9 +579,9 @@ let opt_p_branch_and_bound ?(node_budget = 5_000_000) g =
    (loaded-edge sums).  Profiles invalid somewhere on the support fall
    back to the generic evaluation; [valid_strategy_profiles] never
    produces one. *)
-let eq_score_loaded g loads s =
-  if fill_loads g loads s then begin
-    if is_eq_loaded g loads s then Some (Extended.of_rat (expected_union_cost g loads))
+let eq_score_loaded g sc s =
+  if fill_loads g sc.loads s then begin
+    if is_eq_loaded g sc s then Some (Extended.of_rat (expected_union_cost g sc))
     else None
   end
   else if Bayesian.is_bayesian_equilibrium g.game s then
@@ -575,8 +592,8 @@ let extreme_eq_p ?pool ?budget monoid g =
   Option.map
     (fun (s, c) -> (c, s))
     (sharded_search ?pool ?budget ~monoid
-       ~score:(fun loads s ->
-         Option.map (fun c -> Some (s, c)) (eq_score_loaded g loads s))
+       ~score:(fun sc s ->
+         Option.map (fun c -> Some (s, c)) (eq_score_loaded g sc s))
        g)
 
 let best_eq_p ?pool ?budget g =
@@ -594,12 +611,12 @@ let eq_extremes ?pool ?budget g =
       (Reduce.both
          (Reduce.first_min ~cmp:Extended.compare)
          (Reduce.first_max ~cmp:Extended.compare))
-    ~score:(fun loads s ->
+    ~score:(fun sc s ->
       Option.map
         (fun c ->
           let cell = Some (s, c) in
           (cell, cell))
-        (eq_score_loaded g loads s))
+        (eq_score_loaded g sc s))
     g
 
 type analysis = {

@@ -48,9 +48,14 @@ let profile_count g =
     1.0 g.path_table
 
 (* Load-vector plumbing.  The exhaustive solvers evaluate millions of
-   profiles, so cost queries are phrased against a caller-owned load
-   vector that is filled once per profile and adjusted by deltas for
-   deviations, instead of being rebuilt per (player, profile) query. *)
+   profiles, so cost queries are phrased against caller-owned scratch —
+   a load vector filled once per profile and adjusted by deltas for
+   deviations, plus a reusable rational accumulator so the per-edge cost
+   sums allocate no intermediate rationals. *)
+
+type scratch = { load : int array; racc : Rat.Acc.t }
+
+let scratch g = { load = Array.make (Graph.n_edges g.graph) 0; racc = Rat.Acc.create () }
 
 let fill_loads g load profile =
   Array.fill load 0 (Array.length load) 0;
@@ -75,53 +80,54 @@ let remove_path_loads load es =
     load.(e) <- load.(e) - 1
   done
 
-(* Shared cost of a path under [load]; every edge of the path must
-   already be counted in [load]. *)
-let path_cost_under g load es =
-  let acc = ref Rat.zero in
+(* Shared cost of a path under [sc.load]; every edge of the path must
+   already be counted in the loads.  Summed through [sc.racc], snapshot
+   returned — identical to the term-by-term fold, no intermediates. *)
+let path_cost_under g sc es =
+  Rat.Acc.clear sc.racc;
   for k = 0 to Array.length es - 1 do
     let e = es.(k) in
-    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) load.(e))
+    Rat.Acc.add_div_int sc.racc g.edge_cost.(e) sc.load.(e)
   done;
-  !acc
+  Rat.Acc.to_rat sc.racc
 
 (* Shared cost the deviating agent would pay on candidate path [es]
-   when [load] counts everyone else (the deviator joins each edge). *)
-let deviation_cost_under g load es =
-  let acc = ref Rat.zero in
+   when [sc.load] counts everyone else (the deviator joins each edge). *)
+let deviation_cost_under g sc es =
+  Rat.Acc.clear sc.racc;
   for k = 0 to Array.length es - 1 do
     let e = es.(k) in
-    acc := Rat.add !acc (Rat.div_int g.edge_cost.(e) (load.(e) + 1))
+    Rat.Acc.add_div_int sc.racc g.edge_cost.(e) (sc.load.(e) + 1)
   done;
-  !acc
+  Rat.Acc.to_rat sc.racc
 
-let social_cost_of_loads g load =
-  let acc = ref Rat.zero in
-  for e = 0 to Array.length load - 1 do
-    if load.(e) > 0 then acc := Rat.add !acc g.edge_cost.(e)
+let social_cost_of_loads g sc =
+  Rat.Acc.clear sc.racc;
+  for e = 0 to Array.length sc.load - 1 do
+    if sc.load.(e) > 0 then Rat.Acc.add sc.racc g.edge_cost.(e)
   done;
-  !acc
+  Rat.Acc.to_rat sc.racc
 
-(* Nash test against a filled load vector: agent [i]'s deviation to any
-   other path is costed as a delta — her current path leaves the loads,
-   the candidate joins them — and the loads are restored before return. *)
-let is_nash_under g load profile =
+(* Nash test against filled loads: agent [i]'s deviation to any other
+   path is costed as a delta — her current path leaves the loads, the
+   candidate joins them — and the loads are restored before return. *)
+let is_nash_under g sc profile =
   let k = Array.length g.pairs in
   let rec player i =
     if i >= k then true
     else begin
       let table = g.edge_arrays.(i) in
       let mine = table.(profile.(i)) in
-      let current = path_cost_under g load mine in
-      remove_path_loads load mine;
+      let current = path_cost_under g sc mine in
+      remove_path_loads sc.load mine;
       let rec scan j =
         if j >= Array.length table then true
         else if j = profile.(i) then scan (j + 1)
-        else if Rat.( < ) (deviation_cost_under g load table.(j)) current then false
+        else if Rat.( < ) (deviation_cost_under g sc table.(j)) current then false
         else scan (j + 1)
       in
       let ok = scan 0 in
-      add_path_loads load mine;
+      add_path_loads sc.load mine;
       ok && player (i + 1)
     end
   in
@@ -133,19 +139,24 @@ let loads g profile =
   load
 
 let player_cost g profile i =
-  let load = loads g profile in
-  path_cost_under g load g.edge_arrays.(i).(profile.(i))
+  let sc = scratch g in
+  fill_loads g sc.load profile;
+  path_cost_under g sc g.edge_arrays.(i).(profile.(i))
 
-let social_cost g profile = social_cost_of_loads g (loads g profile)
+let social_cost g profile =
+  let sc = scratch g in
+  fill_loads g sc.load profile;
+  social_cost_of_loads g sc
 
 let potential g profile =
-  let load = loads g profile in
-  let acc = ref Rat.zero in
+  let sc = scratch g in
+  fill_loads g sc.load profile;
+  Rat.Acc.clear sc.racc;
   Array.iteri
     (fun e l ->
-      if l > 0 then acc := Rat.add !acc (Rat.mul g.edge_cost.(e) (Rat.harmonic l)))
-    load;
-  !acc
+      if l > 0 then Rat.Acc.add_mul sc.racc g.edge_cost.(e) (Rat.harmonic l))
+    sc.load;
+  Rat.Acc.to_rat sc.racc
 
 let to_strategic g =
   Bi_game.Strategic.make ~players:(players g)
@@ -161,24 +172,23 @@ let profile_space g =
    sequentially, and shards are reduced in index order, so the winner —
    value and profile alike — is the one the plain left-to-right scan over
    [profile_space] would pick, for any pool size.  Each shard owns one
-   scratch load vector, filled per profile and delta-adjusted for
-   deviation checks. *)
+   scratch block — load vector plus rational accumulator — filled per
+   profile and delta-adjusted for deviation checks. *)
 let sharded_search ?pool ?(budget = Budget.unlimited) ~monoid ~score g =
   let k = players g in
-  let n_edges = Graph.n_edges g.graph in
   let rest =
     Array.map
       (fun tbl -> Array.init (Array.length tbl) Fun.id)
       (Array.sub g.path_table 1 (k - 1))
   in
   let eval a0 =
-    let load = Array.make n_edges 0 in
+    let sc = scratch g in
     Seq.fold_left
       (fun acc tail ->
         Budget.check budget;
         let profile = Array.make k a0 in
         Array.blit tail 0 profile 1 (k - 1);
-        match score load profile with
+        match score sc profile with
         | None -> acc
         | Some v -> monoid.Reduce.combine acc v)
       monoid.Reduce.empty
@@ -193,9 +203,9 @@ let optimum ?pool ?budget g =
   match
     sharded_search ?pool ?budget
       ~monoid:(Reduce.first_min ~cmp:Rat.compare)
-      ~score:(fun load p ->
-        fill_loads g load p;
-        Some (Some (p, social_cost_of_loads g load)))
+      ~score:(fun sc p ->
+        fill_loads g sc.load p;
+        Some (Some (p, social_cost_of_loads g sc)))
       g
   with
   | Some (a, c) -> (c, a)
@@ -250,17 +260,18 @@ let best_response g profile i =
        !best)
 
 let is_nash g profile =
-  let load = loads g profile in
-  is_nash_under g load profile
+  let sc = scratch g in
+  fill_loads g sc.load profile;
+  is_nash_under g sc profile
 
 let nash_equilibria g = Seq.filter (is_nash g) (profile_space g)
 
 (* Equilibrium scoring for the sharded searches: one load fill per
    profile serves both the Nash predicate (delta deviations) and the
    social cost (union of loaded edges). *)
-let nash_score g load p =
-  fill_loads g load p;
-  if is_nash_under g load p then Some (Some (p, social_cost_of_loads g load)) else None
+let nash_score g sc p =
+  fill_loads g sc.load p;
+  if is_nash_under g sc p then Some (Some (p, social_cost_of_loads g sc)) else None
 
 let best_equilibrium ?pool ?budget g =
   Option.map

@@ -1,15 +1,27 @@
 (* Two-tier representation: values that fit a native [int] live in the
    [Small] constructor and run on machine-word arithmetic with
    overflow-checked promotion; everything else is a sign plus a
-   little-endian magnitude in base 10^4 ([Big]).  The representation is
-   canonical — [Big] is used exactly for values outside the native [int]
-   range — so structural equality of equal values still holds and the
-   fast paths never need to inspect magnitudes.  [force_big] (test hook)
-   deliberately breaks canonicity; every operation therefore accepts
-   non-canonical [Big] inputs and re-canonicalizes its output. *)
+   little-endian magnitude in base 2^31 ([Big]).  Limbs hold 31 bits so
+   that a limb product plus two carries fits the 63-bit native [int]
+   exactly ((2^31-1)^2 + 2*(2^31-1) = 2^62-1 = max_int): schoolbook
+   inner loops run wholly in machine words with masks and shifts where
+   the former base-10^4 limbs paid a division per digit.  The
+   representation is canonical — [Big] is used exactly for values
+   outside the native [int] range — so structural equality of equal
+   values still holds and the fast paths never need to inspect
+   magnitudes.  [force_big] (test hook) deliberately breaks canonicity;
+   every operation therefore accepts non-canonical [Big] inputs and
+   re-canonicalizes its output.
 
-let base = 10_000
-let base_digits = 4
+   Decimal I/O no longer dictates the internal base: [to_string] and
+   [of_string] convert through divide-and-conquer splits on 10^(9k)
+   powers (9 decimal digits per 10^9 chunk, 10^9 < 2^31 so chunk
+   arithmetic stays single-limb), with Karatsuba multiplication above
+   [karatsuba_threshold] limbs carrying the recombination. *)
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let mask = base - 1
 
 type t =
   | Small of int
@@ -24,7 +36,7 @@ let of_int n = Small n
 (* Magnitude-level primitives.  All take/return little-endian arrays. *)
 
 (* Magnitudes may carry leading zero limbs transiently (e.g. the raw
-   output of mul_mag_small), so comparisons must use effective lengths. *)
+   output of the divider), so comparisons must use effective lengths. *)
 let effective_len a =
   let rec go i = if i >= 0 && a.(i) = 0 then go (i - 1) else i + 1 in
   go (Array.length a - 1)
@@ -48,8 +60,8 @@ let add_mag a b =
   let carry = ref 0 in
   for i = 0 to lr - 1 do
     let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
-    r.(i) <- s mod base;
-    carry := s / base
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
   done;
   r
 
@@ -66,109 +78,229 @@ let sub_mag a b =
   assert (!borrow = 0);
   r
 
-let mul_mag a b =
-  let la = Array.length a and lb = Array.length b in
+(* Schoolbook product of slices a.[ao..ao+la) x b.[bo..bo+lb) added into
+   r at offset ro.  Inner-loop bound: r limb + limb product + carry <=
+   (2^31-1) + (2^31-1)^2 + (2^31-1) = 2^62-1 = max_int, no overflow. *)
+let schoolbook_into r ro a ao la b bo lb =
+  for i = 0 to la - 1 do
+    let ai = a.(ao + i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      let row = ro + i in
+      for j = 0 to lb - 1 do
+        let s = r.(row + j) + (ai * b.(bo + j)) + !carry in
+        r.(row + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      (* The carry slot is untouched by this row's inner loop and holds
+         at most base-1 from earlier rows, so it absorbs the carry with
+         one extra propagation at most. *)
+      let j = ref (row + lb) in
+      while !carry <> 0 do
+        let s = r.(!j) + !carry in
+        r.(!j) <- s land mask;
+        carry := s lsr base_bits;
+        incr j
+      done
+    end
+  done
+
+(* Add src.[0..ls) into r at offset off, in place. *)
+let add_into r off src ls =
+  let carry = ref 0 in
+  for i = 0 to ls - 1 do
+    let s = r.(off + i) + src.(i) + !carry in
+    r.(off + i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  let j = ref (off + ls) in
+  while !carry <> 0 do
+    let s = r.(!j) + !carry in
+    r.(!j) <- s land mask;
+    carry := s lsr base_bits;
+    incr j
+  done
+
+(* Subtract src.[0..ls) from r at offset off, in place; r must stay
+   non-negative (guaranteed by the Karatsuba identity below). *)
+let sub_into r off src ls =
+  let borrow = ref 0 in
+  for i = 0 to ls - 1 do
+    let s = r.(off + i) - src.(i) - !borrow in
+    if s < 0 then begin r.(off + i) <- s + base; borrow := 1 end
+    else begin r.(off + i) <- s; borrow := 0 end
+  done;
+  let j = ref (off + ls) in
+  while !borrow <> 0 do
+    let s = r.(!j) - 1 in
+    if s < 0 then r.(!j) <- s + base else begin r.(!j) <- s; borrow := 0 end;
+    incr j
+  done
+
+(* Above this many limbs (~220 decimal digits) on the shorter operand,
+   splitting beats the schoolbook inner loop.  Tuned on the micro
+   kernels: lower thresholds pay more temporary allocation than the
+   saved limb products are worth at the reproduction's operand sizes. *)
+let karatsuba_threshold = 24
+
+let rec mul_mag a b =
+  let la = effective_len a and lb = effective_len b in
   if la = 0 || lb = 0 then [||]
   else begin
     let r = Array.make (la + lb) 0 in
-    for i = 0 to la - 1 do
-      let carry = ref 0 in
-      for j = 0 to lb - 1 do
-        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
-        r.(i + j) <- s mod base;
-        carry := s / base
-      done;
-      r.(i + lb) <- r.(i + lb) + !carry
-    done;
+    mul_into r a la b lb;
     r
   end
 
-let mul_mag_small a m =
-  assert (m >= 0 && m < base);
-  if m = 0 then [||]
+(* r (zeroed, size >= la+lb) receives a.[0..la) * b.[0..lb). *)
+and mul_into r a la b lb =
+  if Stdlib.min la lb <= karatsuba_threshold then
+    schoolbook_into r 0 a 0 la b 0 lb
   else begin
-    let la = Array.length a in
-    let r = Array.make (la + 1) 0 in
-    let carry = ref 0 in
-    for i = 0 to la - 1 do
-      let s = (a.(i) * m) + !carry in
-      r.(i) <- s mod base;
-      carry := s / base
-    done;
-    r.(la) <- !carry;
-    r
+    (* Karatsuba: split both operands at m limbs.
+       a = a1*B^m + a0, b = b1*B^m + b0
+       a*b = z2*B^2m + ((a0+a1)(b0+b1) - z0 - z2)*B^m + z0. *)
+    let m = (Stdlib.max la lb + 1) / 2 in
+    if la <= m then begin
+      (* Only b splits: a*b = (a*b1)*B^m + a*b0. *)
+      let lo = mul_mag (Array.sub a 0 la) (Array.sub b 0 m) in
+      let hi = mul_mag (Array.sub a 0 la) (Array.sub b m (lb - m)) in
+      add_into r 0 lo (Array.length lo);
+      add_into r m hi (Array.length hi)
+    end
+    else if lb <= m then begin
+      let lo = mul_mag (Array.sub a 0 m) (Array.sub b 0 lb) in
+      let hi = mul_mag (Array.sub a m (la - m)) (Array.sub b 0 lb) in
+      add_into r 0 lo (Array.length lo);
+      add_into r m hi (Array.length hi)
+    end
+    else begin
+      let a0 = Array.sub a 0 m and a1 = Array.sub a m (la - m) in
+      let b0 = Array.sub b 0 m and b1 = Array.sub b m (lb - m) in
+      let z0 = mul_mag a0 b0 in
+      let z2 = mul_mag a1 b1 in
+      let z1 = mul_mag (add_mag a0 a1) (add_mag b0 b1) in
+      add_into r 0 z0 (Array.length z0);
+      add_into r (2 * m) z2 (Array.length z2);
+      add_into r m z1 (Array.length z1);
+      sub_into r m z0 (Array.length z0);
+      sub_into r m z2 (Array.length z2)
+    end
   end
 
 let strip_mag a =
   let n = effective_len a in
   if n = Array.length a then a else Array.sub a 0 n
 
-(* Long division of magnitudes, most significant dividend limb first,
-   maintaining a remainder smaller than the divisor.  Single-limb
-   divisors divide directly in machine words; longer divisors estimate
-   each quotient limb from the top three remainder limbs over the top
-   two divisor limbs (error at most ~2 either way, fixed by cheap
-   add/sub corrections) instead of the former 14-step binary search. *)
+(* Long division of magnitudes.  Single-limb divisors divide directly in
+   machine words.  Longer divisors run Knuth's Algorithm D: normalize so
+   the divisor's top limb has its high bit set, estimate each quotient
+   limb from the top two remainder limbs over the top divisor limb,
+   refine against the next limb, multiply-subtract in place, and add the
+   divisor back in the rare off-by-one case.  After refinement the
+   estimate is clamped to base-1, which keeps every intermediate product
+   within the native word and leaves at most one add-back. *)
 let divmod_mag a b =
-  let la = Array.length a in
   let lb = effective_len b in
-  let q = Array.make (Stdlib.max la 1) 0 in
   if lb = 1 then begin
+    let la = Array.length a in
+    let q = Array.make (Stdlib.max la 1) 0 in
     let b0 = b.(0) in
     let r = ref 0 in
     for i = la - 1 downto 0 do
-      let v = (!r * base) + a.(i) in
+      let v = (!r lsl base_bits) lor a.(i) in
       q.(i) <- v / b0;
       r := v mod b0
     done;
     (q, if !r = 0 then [||] else [| !r |])
   end
   else begin
-    let bhi2 = (b.(lb - 1) * base) + b.(lb - 2) in
-    let rem = ref [||] in
-    for i = la - 1 downto 0 do
-      (* rem := rem * base + a.(i) *)
-      let rem' =
-        let lr = Array.length !rem in
-        let r = Array.make (lr + 1) 0 in
-        Array.blit !rem 0 r 1 lr;
-        r.(0) <- a.(i);
-        strip_mag r
+    let la = effective_len a in
+    if la < lb || cmp_mag a b < 0 then ([||], strip_mag (Array.copy a))
+    else begin
+      (* Normalization shift: divisor's top limb into [base/2, base). *)
+      let shift =
+        let s = ref 0 and v = ref b.(lb - 1) in
+        while !v < base / 2 do
+          v := !v lsl 1;
+          incr s
+        done;
+        !s
       in
-      if cmp_mag rem' b < 0 then begin
-        q.(i) <- 0;
-        rem := rem'
+      let u = Array.make (la + 1) 0 in
+      let v = Array.make lb 0 in
+      if shift = 0 then begin
+        Array.blit a 0 u 0 la;
+        Array.blit b 0 v 0 lb
       end
       else begin
-        let lr = effective_len rem' in
-        let limb j = if j < lr then rem'.(j) else 0 in
-        (* Top limbs of rem' aligned with b's top two limbs: rem' has
-           lb or lb+1 effective limbs because rem < b before the shift. *)
-        let num =
-          if lr = lb then (limb (lb - 1) * base) + limb (lb - 2)
-          else (((limb lb * base) + limb (lb - 1)) * base) + limb (lb - 2)
-        in
-        let qhat = ref (Stdlib.min (num / bhi2) (base - 1)) in
-        if !qhat = 0 then qhat := 1;
-        let prod = ref (mul_mag_small b !qhat) in
-        while cmp_mag !prod rem' > 0 do
+        let down = base_bits - shift in
+        for i = lb - 1 downto 1 do
+          v.(i) <- ((b.(i) lsl shift) land mask) lor (b.(i - 1) lsr down)
+        done;
+        v.(0) <- (b.(0) lsl shift) land mask;
+        u.(la) <- a.(la - 1) lsr down;
+        for i = la - 1 downto 1 do
+          u.(i) <- ((a.(i) lsl shift) land mask) lor (a.(i - 1) lsr down)
+        done;
+        u.(0) <- (a.(0) lsl shift) land mask
+      end;
+      let q = Array.make (la - lb + 1) 0 in
+      let vtop = v.(lb - 1) and vnext = v.(lb - 2) in
+      for j = la - lb downto 0 do
+        (* u.(j+lb) <= vtop by the remainder invariant, so num < 2^62. *)
+        let num = (u.(j + lb) lsl base_bits) lor u.(j + lb - 1) in
+        let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+        let refining = ref true in
+        while
+          !refining
+          && (!qhat >= base
+             || !qhat * vnext > (!rhat lsl base_bits) lor u.(j + lb - 2))
+        do
           decr qhat;
-          prod := sub_mag !prod b
+          rhat := !rhat + vtop;
+          if !rhat >= base then refining := false
         done;
-        let continue = ref true in
-        while !continue do
-          let prod' = add_mag !prod b in
-          if cmp_mag prod' rem' <= 0 then begin
-            incr qhat;
-            prod := prod'
+        let qh = ref (Stdlib.min !qhat (base - 1)) in
+        let borrow = ref 0 in
+        for i = 0 to lb - 1 do
+          let p = (!qh * v.(i)) + !borrow in
+          let s = u.(j + i) - (p land mask) in
+          if s < 0 then begin
+            u.(j + i) <- s + base;
+            borrow := (p lsr base_bits) + 1
           end
-          else continue := false
+          else begin
+            u.(j + i) <- s;
+            borrow := p lsr base_bits
+          end
         done;
-        q.(i) <- !qhat;
-        rem := strip_mag (sub_mag rem' !prod)
-      end
-    done;
-    (q, !rem)
+        let top = u.(j + lb) - !borrow in
+        if top < 0 then begin
+          (* Estimate one too large: add the divisor back once. *)
+          decr qh;
+          let carry = ref 0 in
+          for i = 0 to lb - 1 do
+            let s = u.(j + i) + v.(i) + !carry in
+            u.(j + i) <- s land mask;
+            carry := s lsr base_bits
+          done;
+          u.(j + lb) <- top + !carry
+        end
+        else u.(j + lb) <- top;
+        q.(j) <- !qh
+      done;
+      let r = Array.make lb 0 in
+      if shift = 0 then Array.blit u 0 r 0 lb
+      else begin
+        let down = base_bits - shift in
+        for i = 0 to lb - 2 do
+          r.(i) <- (u.(i) lsr shift) lor ((u.(i + 1) lsl down) land mask)
+        done;
+        r.(lb - 1) <- u.(lb - 1) lsr shift
+      end;
+      (q, r)
+    end
   end
 
 (* Representation plumbing: [parts] views any value as sign + magnitude;
@@ -189,8 +321,8 @@ let parts = function
 (* [Some v] when [sign * mag] fits a native [int]; accumulates in the
    negative range to keep [min_int] representable. *)
 let fits_int sign mag =
-  (* Six or more significant limbs exceed 10^20 > 2^63: never fits. *)
-  if effective_len mag > 5 then None
+  (* Four or more significant limbs exceed 2^93 > 2^63: never fits. *)
+  if effective_len mag > 3 then None
   else
   let rec go i acc =
     if i < 0 then Some acc
@@ -357,13 +489,130 @@ let rem a b = snd (divmod a b)
 
 let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
 
+(* Multi-limb gcd is binary (Stein): compares, in-place subtractions and
+   right shifts only.  Euclid with a full divmod per step pays a
+   normalize-allocate-divide cycle for ~1.4 bits of average progress;
+   a binary step strips at least one bit for a few O(len) word loops. *)
+
+let ctz_limb v =
+  let v = ref v and n = ref 0 in
+  while !v land 1 = 0 do
+    incr n;
+    v := !v lsr 1
+  done;
+  !n
+
+(* Trailing zero bits of a nonzero magnitude. *)
+let trailing_zeros_mag m =
+  let i = ref 0 in
+  while m.(!i) = 0 do
+    incr i
+  done;
+  (!i * base_bits) + ctz_limb m.(!i)
+
+(* [m >> k] in place. *)
+let shr_mag_into m k =
+  let limbs = k / base_bits and bits = k mod base_bits in
+  let n = Array.length m in
+  if limbs > 0 then begin
+    for i = 0 to n - 1 - limbs do
+      m.(i) <- m.(i + limbs)
+    done;
+    Array.fill m (n - limbs) limbs 0
+  end;
+  if bits > 0 then begin
+    let carry = ref 0 in
+    for i = n - 1 - limbs downto 0 do
+      let v = m.(i) in
+      m.(i) <- (v lsr bits) lor (!carry lsl (base_bits - bits));
+      carry := v land ((1 lsl bits) - 1)
+    done
+  end
+
+(* [m << k] as a fresh magnitude. *)
+let shl_mag m k =
+  let limbs = k / base_bits and bits = k mod base_bits in
+  let n = effective_len m in
+  let r = Array.make (n + limbs + 1) 0 in
+  if bits = 0 then
+    for i = 0 to n - 1 do
+      r.(i + limbs) <- m.(i)
+    done
+  else begin
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let v = m.(i) in
+      r.(i + limbs) <- ((v lsl bits) land mask) lor !carry;
+      carry := v lsr (base_bits - bits)
+    done;
+    r.(n + limbs) <- !carry
+  end;
+  r
+
+(* In-place [u -= v]; requires [u >= v]. *)
+let gcd_sub_into u v =
+  let lu = effective_len u and lv = effective_len v in
+  let borrow = ref 0 in
+  for i = 0 to lu - 1 do
+    let s = u.(i) - (if i < lv then v.(i) else 0) - !borrow in
+    if s < 0 then begin
+      u.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      u.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0)
+
+(* Both magnitudes nonzero; scratch copies are mutated freely. *)
+let gcd_mag ma mb =
+  let u = ref (Array.copy ma) and v = ref (Array.copy mb) in
+  let tu = trailing_zeros_mag !u and tv = trailing_zeros_mag !v in
+  let shift = Stdlib.min tu tv in
+  shr_mag_into !u tu;
+  shr_mag_into !v tv;
+  (* Both odd: the difference is even and strictly smaller, so each
+     round strips at least one bit.  Once both sides fit two limbs
+     (< 2^62, a native int) the tail runs on machine words. *)
+  let word m l =
+    m.(0) lor (if l = 2 then m.(1) lsl base_bits else 0)
+  in
+  let rec loop () =
+    let lu = effective_len !u and lv = effective_len !v in
+    if lu <= 2 && lv <= 2 then begin
+      let g = gcd_int (word !u lu) (word !v lv) in
+      v := [| g land mask; g lsr base_bits |]
+    end
+    else begin
+      let c = cmp_mag !u !v in
+      if c <> 0 then begin
+        if Stdlib.(c < 0) then begin
+          let t = !u in
+          u := !v;
+          v := t
+        end;
+        gcd_sub_into !u !v;
+        shr_mag_into !u (trailing_zeros_mag !u);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  shl_mag !v shift
+
 let gcd a b =
   match a, b with
   | Small x, Small y when x <> Stdlib.min_int && y <> Stdlib.min_int ->
     Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))
   | _ ->
-    let rec go a b = if is_zero b then abs a else go b (rem a b) in
-    go a b
+    if is_zero a then abs b
+    else if is_zero b then abs a
+    else begin
+      let _, ma = parts a and _, mb = parts b in
+      of_parts 1 (gcd_mag ma mb)
+    end
 
 let pow x n =
   if n < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -390,19 +639,57 @@ let to_float = function
     done;
     if sign < 0 then -. !v else !v
 
+(* ---- decimal conversion ----
+
+   Both directions split on powers 10^(9c) (c chunks of 9 digits, one
+   10^9 < 2^31 step per chunk), divide-and-conquer: [to_string] divides
+   the magnitude by a power sized to roughly halve the limb count and
+   recurses on quotient and zero-padded remainder; [of_string] splits
+   the digit string at a multiple-of-9 boundary and recombines with a
+   (Karatsuba-eligible) multiplication.  The chosen chunk sizes keep
+   every base case within a native [int]. *)
+
+let ten9 = 1_000_000_000
+
+(* Magnitude of 10^(9c), c >= 1. *)
+let pow10_mag c =
+  let rec go acc p c =
+    if c = 0 then acc
+    else if c land 1 = 1 then go (mul_mag acc p) (mul_mag p p) (c lsr 1)
+    else go acc (mul_mag p p) (c lsr 1)
+  in
+  go [| 1 |] [| ten9 land mask; ten9 lsr base_bits |] c
+
+(* Value of a <= 2-limb magnitude: at most 2^62 - 1 = max_int. *)
+let small_mag_value mag len =
+  if len = 0 then 0
+  else if len = 1 then mag.(0)
+  else (mag.(1) lsl base_bits) lor mag.(0)
+
+let rec to_dec buf mag pad =
+  let n = effective_len mag in
+  if n <= 2 then begin
+    let v = small_mag_value mag n in
+    if pad = 0 then Buffer.add_string buf (string_of_int v)
+    else Buffer.add_string buf (Printf.sprintf "%0*d" pad v)
+  end
+  else begin
+    (* Divisor of ~half the limbs: c 10^9-chunks span c*29.9 bits. *)
+    let c = Stdlib.max 1 (n * base_bits / 60) in
+    let q, r = divmod_mag mag (pow10_mag c) in
+    to_dec buf q (if pad = 0 then 0 else pad - (9 * c));
+    to_dec buf r (9 * c)
+  end
+
 let to_string x =
   match x with
   | Small n -> string_of_int n
   | Big b ->
     if b.sign = 0 then "0"
     else begin
-      let n = Array.length b.mag in
-      let buf = Buffer.create ((n * base_digits) + 1) in
+      let buf = Buffer.create ((Array.length b.mag * 10) + 1) in
       if b.sign < 0 then Buffer.add_char buf '-';
-      Buffer.add_string buf (string_of_int b.mag.(n - 1));
-      for i = n - 2 downto 0 do
-        Buffer.add_string buf (Printf.sprintf "%04d" b.mag.(i))
-      done;
+      to_dec buf b.mag 0;
       Buffer.contents buf
     end
 
@@ -416,20 +703,28 @@ let of_string s =
     if not (s.[i] >= '0' && s.[i] <= '9') then
       invalid_arg "Bigint.of_string: invalid character"
   done;
-  let digits = len - start in
-  let nlimbs = (digits + base_digits - 1) / base_digits in
-  let mag = Array.make nlimbs 0 in
-  (* Walk limb chunks from the least significant end of the string. *)
-  for limb = 0 to nlimbs - 1 do
-    let chunk_end = len - (limb * base_digits) in
-    let chunk_start = Stdlib.max start (chunk_end - base_digits) in
-    let v = ref 0 in
-    for i = chunk_start to chunk_end - 1 do
-      v := (!v * 10) + (Char.code s.[i] - Char.code '0')
-    done;
-    mag.(limb) <- !v
-  done;
-  of_parts (if negative then -1 else 1) mag
+  (* Magnitude of digits s.[pos..pos+n): D&C split at a multiple-of-9
+     boundary; halves recombine as left * 10^(9c) + right. *)
+  let rec mag_of_digits pos n =
+    if n <= 18 then begin
+      let v = ref 0 in
+      for i = pos to pos + n - 1 do
+        v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+      done;
+      if !v = 0 then [||]
+      else if !v < base then [| !v |]
+      else [| !v land mask; !v lsr base_bits |]
+    end
+    else begin
+      let c = ((n + 1) / 2) / 9 in
+      let right = 9 * c in
+      let hi = mag_of_digits pos (n - right) in
+      let lo = mag_of_digits (pos + n - right) right in
+      if Array.length hi = 0 then lo
+      else add_mag (mul_mag hi (pow10_mag c)) lo
+    end
+  in
+  of_parts (if negative then -1 else 1) (mag_of_digits start (len - start))
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 
@@ -437,3 +732,163 @@ let factorial n =
   if n < 0 then invalid_arg "Bigint.factorial: negative argument";
   let rec go acc i = if i > n then acc else go (mul_int acc i) (i + 1) in
   go one 1
+
+(* ---- in-place accumulators ----
+
+   The solvers' delta kernels fold long sums of mostly machine-word
+   terms.  [Acc] keeps a machine-word lane (overflow spills into the
+   limb lane) plus a sign-magnitude limb lane mutated in place, so the
+   common case — adding a [Small] — touches no heap at all, and limb
+   additions reuse one growing buffer instead of allocating a result
+   per step. *)
+
+module Acc = struct
+  let big_add = add
+
+  type t = {
+    mutable small : int;      (* machine-word lane *)
+    mutable sgn : int;        (* limb-lane sign: -1, 0, 1 *)
+    mutable mag : int array;  (* limb-lane magnitude, little-endian *)
+    mutable len : int;        (* effective limbs; mag.(i) = 0 for i >= len *)
+  }
+
+  let create () = { small = 0; sgn = 0; mag = Array.make 8 0; len = 0 }
+
+  let clear a =
+    a.small <- 0;
+    if a.sgn <> 0 then Array.fill a.mag 0 a.len 0;
+    a.sgn <- 0;
+    a.len <- 0
+
+  let ensure a n =
+    if Array.length a.mag < n then begin
+      let grown = Array.make (Stdlib.max n (2 * Array.length a.mag)) 0 in
+      Array.blit a.mag 0 grown 0 a.len;
+      a.mag <- grown
+    end
+
+  let refresh_len a =
+    let rec go i = if i >= 0 && a.mag.(i) = 0 then go (i - 1) else i + 1 in
+    a.len <- go (a.len - 1);
+    if a.len = 0 then a.sgn <- 0
+
+  (* Add sign*m (lm effective limbs, m not aliased with a.mag) into the
+     limb lane in place. *)
+  let add_mag_into a s m lm =
+    if s <> 0 && lm <> 0 then begin
+      if a.sgn = 0 then begin
+        ensure a lm;
+        Array.blit m 0 a.mag 0 lm;
+        a.len <- lm;
+        a.sgn <- s
+      end
+      else if a.sgn = s then begin
+        ensure a (Stdlib.max a.len lm + 1);
+        let carry = ref 0 in
+        for i = 0 to lm - 1 do
+          let v = a.mag.(i) + m.(i) + !carry in
+          a.mag.(i) <- v land mask;
+          carry := v lsr base_bits
+        done;
+        let j = ref lm in
+        while !carry <> 0 do
+          let v = a.mag.(!j) + !carry in
+          a.mag.(!j) <- v land mask;
+          carry := v lsr base_bits;
+          incr j
+        done;
+        a.len <- Stdlib.max a.len (Stdlib.max lm !j)
+      end
+      else begin
+        (* Opposite signs: subtract the smaller magnitude in place. *)
+        let cmp =
+          if a.len <> lm then Stdlib.compare a.len lm
+          else begin
+            let rec go i =
+              if i < 0 then 0
+              else if a.mag.(i) <> m.(i) then Stdlib.compare a.mag.(i) m.(i)
+              else go (i - 1)
+            in
+            go (a.len - 1)
+          end
+        in
+        if cmp = 0 then begin
+          Array.fill a.mag 0 a.len 0;
+          a.len <- 0;
+          a.sgn <- 0
+        end
+        else if cmp > 0 then begin
+          let borrow = ref 0 in
+          for i = 0 to lm - 1 do
+            let v = a.mag.(i) - m.(i) - !borrow in
+            if v < 0 then begin a.mag.(i) <- v + base; borrow := 1 end
+            else begin a.mag.(i) <- v; borrow := 0 end
+          done;
+          let j = ref lm in
+          while !borrow <> 0 do
+            let v = a.mag.(!j) - 1 in
+            if v < 0 then a.mag.(!j) <- v + base
+            else begin a.mag.(!j) <- v; borrow := 0 end;
+            incr j
+          done;
+          refresh_len a
+        end
+        else begin
+          (* m - acc, computed in place into acc. *)
+          ensure a lm;
+          let borrow = ref 0 in
+          for i = 0 to lm - 1 do
+            let v = m.(i) - a.mag.(i) - !borrow in
+            if v < 0 then begin a.mag.(i) <- v + base; borrow := 1 end
+            else begin a.mag.(i) <- v; borrow := 0 end
+          done;
+          assert (!borrow = 0);
+          a.len <- lm;
+          a.sgn <- s;
+          refresh_len a
+        end
+      end
+    end
+
+  (* Spill the machine-word lane into the limb lane. *)
+  let spill a =
+    if a.small <> 0 then begin
+      let s, m = parts (Small a.small) in
+      add_mag_into a s m (Array.length m);
+      a.small <- 0
+    end
+
+  let add_small a v =
+    let s = a.small + v in
+    if (a.small >= 0) = (v >= 0) && (s >= 0) <> (a.small >= 0) then begin
+      spill a;
+      a.small <- v
+    end
+    else a.small <- s
+
+  let add a x =
+    match x with
+    | Small v -> add_small a v
+    | Big { sign = s; mag } -> add_mag_into a s mag (effective_len mag)
+
+  let sub a x =
+    match x with
+    | Small v when v <> Stdlib.min_int -> add_small a (-v)
+    | _ -> add a (neg x)
+
+  let add_mul a x y =
+    match x, y with
+    | Small u, Small v when u <> Stdlib.min_int && v <> Stdlib.min_int ->
+      if u <> 0 && v <> 0 then begin
+        let p = u * v in
+        if p / v = u then add_small a p else add a (mul x y)
+      end
+    | _ -> add a (mul x y)
+
+  let to_t a =
+    if a.sgn = 0 then Small a.small
+    else begin
+      let big = of_parts a.sgn (Array.sub a.mag 0 a.len) in
+      if a.small = 0 then big else big_add big (Small a.small)
+    end
+end

@@ -3,17 +3,20 @@
     Values that fit a native [int] are stored as machine words and
     add/sub/mul/divmod/gcd/compare on them run on native arithmetic with
     overflow-checked promotion; larger values fall back to a sign and a
-    little-endian magnitude in base 10{^4}.  The representation is
-    canonical — the limb form is used exactly for values outside the
-    native [int] range, magnitudes carry no leading zero limbs — so
-    structurally equal values are numerically equal.  All operations are
-    pure.
+    little-endian magnitude in base 2{^31} (limbs sized so a limb
+    product plus carries fits the 63-bit native [int]).  The
+    representation is canonical — the limb form is used exactly for
+    values outside the native [int] range, magnitudes carry no leading
+    zero limbs — so structurally equal values are numerically equal.
+    All operations of [t] are pure; in-place accumulation lives behind
+    the explicit [Acc] type.
 
-    The limb tier favours obvious correctness over speed (schoolbook
-    multiplication, estimate-and-correct long division): the reproduction
-    needs exact arithmetic on numbers of at most a few hundred digits,
-    where these algorithms are more than fast enough — the hot loops of
-    the solvers stay on the machine-word tier. *)
+    The limb tier runs schoolbook multiplication below a tuned
+    threshold and Karatsuba above it, and Knuth Algorithm D long
+    division; decimal conversion is divide-and-conquer on 10{^9}-digit
+    chunks, so [to_string]/[of_string] stay exact without the decimal
+    radix dictating the internal base.  The hot loops of the solvers
+    stay on the machine-word tier. *)
 
 type t
 
@@ -92,3 +95,33 @@ val force_big : t -> t
 
 val factorial : int -> t
 (** [factorial n] for [n >= 0]. *)
+
+(** Mutable in-place accumulator for long sums of mostly machine-word
+    terms.  An accumulator keeps a machine-word lane (spilling into
+    limbs only on overflow) plus one growing limb buffer mutated in
+    place, so folding [n] terms allocates O(1) intermediates instead of
+    O(n).  Accumulators are single-owner scratch state: they are not
+    thread-safe and must not be shared across domains.  [add]/[sub]/
+    [add_mul] never retain their [t] arguments, so callers may freely
+    reuse or hash-cons them. *)
+module Acc : sig
+  type big := t
+  type t
+
+  val create : unit -> t
+  (** A fresh accumulator holding zero. *)
+
+  val clear : t -> unit
+  (** Reset to zero, retaining the limb buffer for reuse. *)
+
+  val add : t -> big -> unit
+  val sub : t -> big -> unit
+
+  val add_mul : t -> big -> big -> unit
+  (** [add_mul a x y] adds [x*y] into [a]; machine-word products whose
+      result fits a word touch no heap at all. *)
+
+  val to_t : t -> big
+  (** Snapshot the current value as a canonical immutable [big].  The
+      accumulator is unchanged and may keep accumulating. *)
+end

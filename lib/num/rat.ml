@@ -74,8 +74,11 @@ let div_int x n = div x (of_int n)
 
 (* Denominators are positive, so one fused Bigint call compares the
    fractions (equal-denominator and machine-word cross-product shortcuts
-   live on the other side of the module boundary). *)
-let compare x y = B.compare_fractions x.num x.den y.num y.den
+   live on the other side of the module boundary).  Physically equal
+   values — pervasive once hash-consing shares the harmonic chain and
+   grid rationals — skip the arithmetic entirely. *)
+let compare x y =
+  if x == y then 0 else B.compare_fractions x.num x.den y.num y.den
 let equal x y = compare x y = 0
 let ( < ) x y = compare x y < 0
 let ( <= ) x y = compare x y <= 0
@@ -134,3 +137,129 @@ let to_string x =
   else B.to_string x.num ^ "/" ^ B.to_string x.den
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* ---- in-place accumulator ----
+
+   A sum of rationals folded through [add] canonicalizes (gcd + two
+   divisions) at every step.  [Acc] instead keeps one running fraction
+   over a common denominator: each term either lands directly on the
+   current denominator (the overwhelmingly common case once the
+   denominator has absorbed lcm-like factors) via a fused multiply-add
+   on a {!Bigint.Acc}, or — rarely — rescales the accumulator once.
+   Reduction is deferred wholesale to [to_rat], which canonicalizes
+   through [make], so the snapshot is the exact same canonical rational
+   the fold would have produced. *)
+
+module Acc = struct
+  type rat = t
+  type t = { nacc : B.Acc.t; mutable den : B.t }
+
+  let create () = { nacc = B.Acc.create (); den = B.one }
+
+  let clear a =
+    B.Acc.clear a.nacc;
+    a.den <- B.one
+
+  (* Multiply the accumulated numerator by [f] (rare: only when a term's
+     denominator brings a new factor). *)
+  let rescale a f =
+    let n = B.Acc.to_t a.nacc in
+    B.Acc.clear a.nacc;
+    B.Acc.add a.nacc (B.mul n f)
+
+  (* Add [num/den] (den > 0, not necessarily reduced against the
+     accumulator) into the running fraction. *)
+  let add_frac a num den =
+    if B.equal den a.den then B.Acc.add a.nacc num
+    else begin
+      let g = B.gcd a.den den in
+      let missing = B.div den g in
+      if not (B.equal missing B.one) then begin
+        rescale a missing;
+        a.den <- B.mul a.den missing
+      end;
+      (* [den] now divides [a.den]. *)
+      B.Acc.add_mul a.nacc num (B.div a.den den)
+    end
+
+  let add a (r : rat) = if not (B.is_zero r.num) then add_frac a r.num r.den
+  let sub a (r : rat) = if not (B.is_zero r.num) then add_frac a (B.neg r.num) r.den
+
+  (* Fused [a += x*y]: cross-cancel like [mul] but feed the (reduced)
+     fraction straight into the running sum without building the
+     intermediate rational. *)
+  let add_mul a (x : rat) (y : rat) =
+    if not (B.is_zero x.num || B.is_zero y.num) then begin
+      let g1 = B.gcd x.num y.den in
+      let g2 = B.gcd y.num x.den in
+      add_frac a
+        (B.mul (B.div x.num g1) (B.div y.num g2))
+        (B.mul (B.div x.den g2) (B.div y.den g1))
+    end
+
+  (* Fused [a += x/n] for integer [n] — the shape of every load-vector
+     cost term (edge cost over congestion). *)
+  let add_div_int a (x : rat) n =
+    if n = 0 then raise Division_by_zero;
+    if not (B.is_zero x.num) then begin
+      let nb = B.of_int (Stdlib.abs n) in
+      let g = B.gcd x.num nb in
+      let num = B.div x.num g in
+      let num = if Stdlib.( < ) n 0 then B.neg num else num in
+      add_frac a num (B.mul x.den (B.div nb g))
+    end
+
+  let to_rat a =
+    let n = B.Acc.to_t a.nacc in
+    if B.is_zero n then zero else make n a.den
+end
+
+(* ---- opt-in hash-consing ----
+
+   The certified pipeline evaluates the same small set of rationals —
+   harmonic numbers [H(k)], grid values [j/k], per-edge costs — millions
+   of times.  An [Hc.t] maps each canonical rational to one retained
+   representative so repeat producers return physically equal values,
+   which [compare] short-circuits on.  Canonical representation makes
+   structural hashing/equality sound as the table key.  Tables are
+   created per solver call and threaded explicitly (opt-in: nothing
+   global); a mutex makes [intern] safe from pool workers, which is
+   where descent restarts run. *)
+
+module Hc = struct
+  type rat = t
+
+  type t = {
+    tbl : (rat, rat) Hashtbl.t;
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(size = 256) () =
+    { tbl = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+
+  let intern h r =
+    Mutex.lock h.lock;
+    let canon =
+      match Hashtbl.find_opt h.tbl r with
+      | Some c ->
+        h.hits <- Stdlib.( + ) h.hits 1;
+        c
+      | None ->
+        h.misses <- Stdlib.( + ) h.misses 1;
+        Hashtbl.add h.tbl r r;
+        r
+    in
+    Mutex.unlock h.lock;
+    canon
+
+  let of_ints h n d = intern h (of_ints n d)
+  let harmonic h n = intern h (harmonic n)
+
+  let stats h =
+    Mutex.lock h.lock;
+    let s = (h.hits, h.misses, Hashtbl.length h.tbl) in
+    Mutex.unlock h.lock;
+    s
+end

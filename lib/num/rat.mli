@@ -72,3 +72,67 @@ val pow : t -> int -> t
 val to_float : t -> float
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** Mutable in-place accumulator for long rational sums.  The running
+    value is one fraction over a common denominator: terms whose
+    denominator already divides it land as a fused multiply-add on a
+    {!Bigint.Acc} with no canonicalization, and reduction is deferred
+    wholesale to [to_rat] — which canonicalizes through {!make}, so the
+    snapshot equals the canonical result of folding {!add} term by term.
+    Accumulators are single-owner scratch: not thread-safe, never
+    shared across domains.  No operation retains its rational
+    arguments. *)
+module Acc : sig
+  type rat := t
+  type t
+
+  val create : unit -> t
+  (** A fresh accumulator holding zero. *)
+
+  val clear : t -> unit
+  (** Reset to zero, retaining internal buffers for reuse. *)
+
+  val add : t -> rat -> unit
+  val sub : t -> rat -> unit
+
+  val add_mul : t -> rat -> rat -> unit
+  (** [add_mul a x y] adds [x*y] into [a] without building the
+      intermediate product rational. *)
+
+  val add_div_int : t -> rat -> int -> unit
+  (** [add_div_int a x n] adds [x/n] into [a] — the shape of every
+      load-vector cost term.  @raise Division_by_zero if [n = 0]. *)
+
+  val to_rat : t -> rat
+  (** Snapshot the current value as a canonical rational.  The
+      accumulator is unchanged and may keep accumulating. *)
+end
+
+(** Opt-in hash-consing of recurring rationals (harmonic numbers, [j/k]
+    grid values).  [intern] maps each canonical rational to one retained
+    representative, so repeat producers return {e physically} equal
+    values and {!compare} short-circuits without arithmetic.  Tables
+    are created per solver call and threaded explicitly; [intern] is
+    domain-safe (mutex-protected), so pooled descent restarts may share
+    one table.  A table retains every interned value for its own
+    lifetime — scope tables to a solver call, not the process. *)
+module Hc : sig
+  type rat := t
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  val intern : t -> rat -> rat
+  (** [intern h r] is the canonical representative of [r] in [h]
+      (numerically equal to [r]; physically equal across calls). *)
+
+  val of_ints : t -> int -> int -> rat
+  (** Interned {!Rat.of_ints}. *)
+
+  val harmonic : t -> int -> rat
+  (** Interned {!Rat.harmonic} — shares the process-wide memo table and
+      additionally returns one physical representative per [H(n)]. *)
+
+  val stats : t -> int * int * int
+  (** [(hits, misses, size)]. *)
+end

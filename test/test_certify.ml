@@ -199,9 +199,9 @@ let test_solve_on_constructions () =
 
 let test_smoothness () =
   Alcotest.(check bool) "fair share is (k, 0)-smooth" true
-    (Smooth.check (Smooth.fair_share ~players:5) = Ok ());
+    (Smooth.check (Smooth.fair_share ~players:5 ()) = Ok ());
   Alcotest.(check bool) "potential bracket holds" true
-    (Smooth.check_potential (Smooth.potential ~players:5) = Ok ());
+    (Smooth.check_potential (Smooth.potential ~players:5 ()) = Ok ());
   Alcotest.(check bool) "understated lambda rejected" true
     (rejected
        (Smooth.check

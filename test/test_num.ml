@@ -161,11 +161,15 @@ let boundary_int =
         int_range (-10_000) 10_000;
         map (fun d -> max_int - d) (int_range 0 3);
         map (fun d -> min_int + d) (int_range 0 3);
-        (* Straddle the 10^4 and 10^8 limb boundaries. *)
-        map2 (fun s d -> if s then 9_999 + d else -9_999 - d) bool (int_range (-2) 2);
+        (* Straddle the 2^31 limb boundary and the 2^62 promotion edge. *)
         map2
-          (fun s d -> if s then 99_999_999 + d else -99_999_999 - d)
+          (fun s d -> if s then 0x4000_0000 + d else -0x4000_0000 - d)
           bool (int_range (-2) 2);
+        map2
+          (fun s d ->
+            if s then 0x4000_0000_0000_0000 - d
+            else -0x4000_0000_0000_0000 + d)
+          bool (int_range 0 4);
         int;
       ])
 
@@ -345,6 +349,321 @@ let prop_rat_float_consistent =
   QCheck2.Test.make ~name:"to_float close to exact" ~count:300 rat_gen (fun a ->
       Float.abs (Rat.to_float a -. Rat.to_float a) < 1e-9)
 
+(* --- Cross-representation laws against a decimal-string reference ---
+
+   The limb arithmetic is checked against schoolbook digit-at-a-time
+   routines on decimal strings: an independent oracle that shares no
+   code and no radix with the base-2^31 representation, so a carry bug
+   and its mirror in the oracle cannot cancel.  Operands concentrate on
+   the adversarial spots: limb boundaries (2^31 +- d, 2^62 +- d), long
+   9-carry chains, powers of ten, and wide random digit strings. *)
+
+module Dec = struct
+  (* Non-negative magnitudes as '0'..'9' strings without leading zeros. *)
+  let norm s =
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n - 1 && s.[!i] = '0' do
+      incr i
+    done;
+    String.sub s !i (n - !i)
+
+  let cmp a b =
+    let a = norm a and b = norm b in
+    let c = Stdlib.compare (String.length a) (String.length b) in
+    if c <> 0 then c else Stdlib.compare a b
+
+  let add a b =
+    let la = String.length a and lb = String.length b in
+    let n = Stdlib.max la lb + 1 in
+    let out = Bytes.make n '0' in
+    let carry = ref 0 in
+    for k = 0 to n - 1 do
+      let da = if k < la then Char.code a.[la - 1 - k] - 48 else 0 in
+      let db = if k < lb then Char.code b.[lb - 1 - k] - 48 else 0 in
+      let s = da + db + !carry in
+      Bytes.set out (n - 1 - k) (Char.chr (48 + (s mod 10)));
+      carry := s / 10
+    done;
+    norm (Bytes.to_string out)
+
+  (* [sub a b] requires [a >= b]. *)
+  let sub a b =
+    let la = String.length a and lb = String.length b in
+    let out = Bytes.make la '0' in
+    let borrow = ref 0 in
+    for k = 0 to la - 1 do
+      let da = Char.code a.[la - 1 - k] - 48 in
+      let db = if k < lb then Char.code b.[lb - 1 - k] - 48 else 0 in
+      let d = da - db - !borrow in
+      let d, b' = if d < 0 then (d + 10, 1) else (d, 0) in
+      Bytes.set out (la - 1 - k) (Char.chr (48 + d));
+      borrow := b'
+    done;
+    assert (!borrow = 0);
+    norm (Bytes.to_string out)
+
+  let mul_digit a d =
+    if d = 0 then "0"
+    else begin
+      let la = String.length a in
+      let out = Bytes.make (la + 1) '0' in
+      let carry = ref 0 in
+      for k = 0 to la - 1 do
+        let p = ((Char.code a.[la - 1 - k] - 48) * d) + !carry in
+        Bytes.set out (la - k) (Char.chr (48 + (p mod 10)));
+        carry := p / 10
+      done;
+      Bytes.set out 0 (Char.chr (48 + !carry));
+      norm (Bytes.to_string out)
+    end
+
+  let mul a b =
+    let lb = String.length b in
+    let total = ref "0" in
+    for k = 0 to lb - 1 do
+      let part = mul_digit a (Char.code b.[k] - 48) in
+      if part <> "0" then
+        total := add !total (part ^ String.make (lb - 1 - k) '0')
+    done;
+    !total
+
+  (* Long division, one quotient digit per dividend digit; [b <> "0"]. *)
+  let divmod a b =
+    let q = Buffer.create (String.length a) in
+    let rem = ref "0" in
+    String.iter
+      (fun c ->
+        rem := norm (!rem ^ String.make 1 c);
+        let d = ref 0 in
+        while cmp (mul_digit b (!d + 1)) !rem <= 0 do
+          incr d
+        done;
+        rem := sub !rem (mul_digit b !d);
+        Buffer.add_char q (Char.chr (48 + !d)))
+      a;
+    (norm (Buffer.contents q), !rem)
+
+  (* Signed wrappers over (sign, magnitude), mirroring the truncated
+     division convention of OCaml's [/] and [mod]. *)
+  let parts s =
+    if String.length s > 0 && s.[0] = '-' then
+      (-1, norm (String.sub s 1 (String.length s - 1)))
+    else (1, norm s)
+
+  let signed sg m = if m = "0" || sg >= 0 then m else "-" ^ m
+
+  let sadd a b =
+    let sa, ma = parts a and sb, mb = parts b in
+    if sa = sb then signed sa (add ma mb)
+    else if cmp ma mb >= 0 then signed sa (sub ma mb)
+    else signed sb (sub mb ma)
+
+  let ssub a b =
+    let sb, mb = parts b in
+    sadd a (signed (-sb) mb)
+
+  let smul a b =
+    let sa, ma = parts a and sb, mb = parts b in
+    signed (sa * sb) (mul ma mb)
+
+  let sdivmod a b =
+    let sa, ma = parts a and sb, mb = parts b in
+    let q, r = divmod ma mb in
+    (signed (sa * sb) q, signed sa r)
+
+  let rec sgcd a b =
+    let _, mb = parts b in
+    if mb = "0" then snd (parts a)
+    else sgcd mb (snd (sdivmod a mb))
+end
+
+let p31 = "2147483648" (* 2^31 *)
+let p62 = "4611686018427387904" (* 2^62 *)
+
+let adversarial_mag =
+  QCheck2.Gen.(
+    oneof
+      [
+        (* limb boundaries: 2^31 +- d and 2^62 +- d *)
+        map (fun d -> Dec.sadd p31 (string_of_int d)) (int_range (-2) 2);
+        map (fun d -> Dec.sadd p62 (string_of_int d)) (int_range (-2) 2);
+        (* squared boundary: around 2^124, deep in multi-limb land *)
+        map
+          (fun d -> Dec.sadd (Dec.mul p62 p62) (string_of_int d))
+          (int_range (-2) 2);
+        (* long carry chains and powers of ten *)
+        map (fun n -> String.make n '9') (int_range 1 60);
+        map (fun n -> "1" ^ String.make n '0') (int_range 0 60);
+        (* wide random digit strings *)
+        map Dec.norm (string_size ~gen:(char_range '0' '9') (int_range 1 60));
+        map string_of_int (int_range 0 1_000_000);
+      ])
+
+let adversarial_dec =
+  QCheck2.Gen.(
+    map2 (fun neg m -> if neg then Dec.signed (-1) m else m) bool
+      adversarial_mag)
+
+let prop_dec_binop name op ref_op =
+  QCheck2.Test.make ~name:("limb vs decimal reference: " ^ name) ~count:400
+    QCheck2.Gen.(pair adversarial_dec adversarial_dec)
+    (fun (sa, sb) ->
+      let r = op (Bigint.of_string sa) (Bigint.of_string sb) in
+      String.equal (Bigint.to_string r) (ref_op sa sb))
+
+let prop_dec_add = prop_dec_binop "add" Bigint.add Dec.sadd
+let prop_dec_sub = prop_dec_binop "sub" Bigint.sub Dec.ssub
+let prop_dec_mul = prop_dec_binop "mul" Bigint.mul Dec.smul
+
+let prop_dec_divmod =
+  QCheck2.Test.make ~name:"limb vs decimal reference: divmod" ~count:400
+    QCheck2.Gen.(pair adversarial_dec adversarial_dec)
+    (fun (sa, sb) ->
+      QCheck2.assume (snd (Dec.parts sb) <> "0");
+      let q, r = Bigint.divmod (Bigint.of_string sa) (Bigint.of_string sb) in
+      let q', r' = Dec.sdivmod sa sb in
+      String.equal (Bigint.to_string q) q'
+      && String.equal (Bigint.to_string r) r')
+
+let prop_dec_gcd =
+  QCheck2.Test.make ~name:"limb vs decimal reference: gcd" ~count:150
+    QCheck2.Gen.(pair adversarial_dec adversarial_dec)
+    (fun (sa, sb) ->
+      let g = Bigint.gcd (Bigint.of_string sa) (Bigint.of_string sb) in
+      String.equal (Bigint.to_string g) (Dec.sgcd sa sb))
+
+let prop_dec_roundtrip =
+  QCheck2.Test.make ~name:"of_string/to_string roundtrip, both tiers"
+    ~count:600 adversarial_dec
+    (fun s ->
+      let x = Bigint.of_string s in
+      String.equal (Bigint.to_string x) s
+      && String.equal (Bigint.to_string (Bigint.force_big x)) s
+      && Bigint.equal x (Bigint.of_string (Bigint.to_string x)))
+
+(* --- In-place accumulators vs the pure fold --- *)
+
+type big_acc_op = Badd of Bigint.t | Bsub of Bigint.t | Bmul of Bigint.t * Bigint.t
+
+let big_acc_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun x -> Badd x) mixed_bigint_gen;
+        map (fun x -> Bsub x) mixed_bigint_gen;
+        map2 (fun x y -> Bmul (x, y)) mixed_bigint_gen mixed_bigint_gen;
+      ])
+
+let prop_bigint_acc =
+  QCheck2.Test.make ~name:"Bigint.Acc = pure fold" ~count:400
+    QCheck2.Gen.(list_size (int_range 0 20) big_acc_op_gen)
+    (fun ops ->
+      let acc = Bigint.Acc.create () in
+      let pure =
+        List.fold_left
+          (fun t op ->
+            match op with
+            | Badd x ->
+              Bigint.Acc.add acc x;
+              Bigint.add t x
+            | Bsub x ->
+              Bigint.Acc.sub acc x;
+              Bigint.sub t x
+            | Bmul (x, y) ->
+              Bigint.Acc.add_mul acc x y;
+              Bigint.add t (Bigint.mul x y))
+          Bigint.zero ops
+      in
+      (* Snapshot twice: [to_t] must not disturb the accumulator. *)
+      agree (Bigint.Acc.to_t acc) pure && agree (Bigint.Acc.to_t acc) pure)
+
+type rat_acc_op =
+  | Radd of Rat.t
+  | Rsub of Rat.t
+  | Rmul of Rat.t * Rat.t
+  | Rdiv of Rat.t * int
+
+let rat_acc_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun x -> Radd x) rat_gen;
+        map (fun x -> Rsub x) rat_gen;
+        map2 (fun x y -> Rmul (x, y)) rat_gen rat_gen;
+        map2
+          (fun x n -> Rdiv (x, if n = 0 then 7 else n))
+          rat_gen (int_range (-50) 50);
+      ])
+
+let prop_rat_acc =
+  QCheck2.Test.make ~name:"Rat.Acc = pure fold" ~count:400
+    QCheck2.Gen.(list_size (int_range 0 20) rat_acc_op_gen)
+    (fun ops ->
+      let acc = Rat.Acc.create () in
+      let pure =
+        List.fold_left
+          (fun t op ->
+            match op with
+            | Radd x ->
+              Rat.Acc.add acc x;
+              Rat.add t x
+            | Rsub x ->
+              Rat.Acc.sub acc x;
+              Rat.sub t x
+            | Rmul (x, y) ->
+              Rat.Acc.add_mul acc x y;
+              Rat.add t (Rat.mul x y)
+            | Rdiv (x, n) ->
+              Rat.Acc.add_div_int acc x n;
+              Rat.add t (Rat.div_int x n))
+          Rat.zero ops
+      in
+      let snap = Rat.Acc.to_rat acc in
+      Rat.equal snap pure
+      && String.equal (Rat.to_string snap) (Rat.to_string pure)
+      && Rat.equal (Rat.Acc.to_rat acc) pure)
+
+(* --- Hash-consing laws ---
+
+   An interned rational must be indistinguishable from a fresh one by
+   every observation the solvers and the cache make: comparison (both
+   orders), equality, rendering (which is what game fingerprints hash),
+   and the polymorphic hash.  Repeat interning must return the same
+   physical value. *)
+
+let hc_table = Rat.Hc.create ()
+
+let indistinguishable interned fresh =
+  Rat.equal interned fresh
+  && Rat.compare interned fresh = 0
+  && Rat.compare fresh interned = 0
+  && String.equal (Rat.to_string interned) (Rat.to_string fresh)
+  && Hashtbl.hash interned = Hashtbl.hash fresh
+
+let prop_hc_of_ints =
+  QCheck2.Test.make ~name:"hash-consed of_ints = fresh of_ints" ~count:500
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 1 1000))
+    (fun (n, d) ->
+      let interned = Rat.Hc.of_ints hc_table n d in
+      indistinguishable interned (Rat.of_ints n d)
+      && Rat.Hc.of_ints hc_table n d == interned)
+
+let prop_hc_harmonic =
+  QCheck2.Test.make ~name:"hash-consed harmonic = fresh harmonic" ~count:100
+    QCheck2.Gen.(int_range 0 150)
+    (fun n ->
+      let interned = Rat.Hc.harmonic hc_table n in
+      indistinguishable interned (Rat.harmonic n)
+      && Rat.Hc.harmonic hc_table n == interned)
+
+let prop_hc_intern =
+  QCheck2.Test.make ~name:"intern is identity up to physical sharing"
+    ~count:500 rat_gen
+    (fun r ->
+      let interned = Rat.Hc.intern hc_table r in
+      indistinguishable interned r && Rat.Hc.intern hc_table r == interned)
+
 (* --- Extended --- *)
 
 let test_extended () =
@@ -375,6 +694,16 @@ let tier_qtests =
       prop_tier_divmod; prop_tier_compare; prop_tier_compare_products;
       prop_tier_compare_fractions; prop_tier_unary ]
 
+let dec_qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dec_add; prop_dec_sub; prop_dec_mul; prop_dec_divmod;
+      prop_dec_gcd; prop_dec_roundtrip ]
+
+let acc_hc_qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bigint_acc; prop_rat_acc; prop_hc_of_ints; prop_hc_harmonic;
+      prop_hc_intern ]
+
 let () =
   Alcotest.run "bi_num"
     [
@@ -402,4 +731,6 @@ let () =
       ("extended", [ Alcotest.test_case "infinity arithmetic" `Quick test_extended ]);
       ("properties", qtests);
       ("representation-tiers", tier_qtests);
+      ("decimal-reference", dec_qtests);
+      ("accumulators-hashcons", acc_hc_qtests);
     ]
