@@ -12,10 +12,14 @@
 
    Usage: dune exec bench/main.exe [-- [--jobs N] [--cache FILE] section ...]
    where section is any of: table1 figures checks sec4 ablations certified
-   micro.  The certified section cross-checks the certified solver tier
-   against exhaustion on the overlap window, then pushes the Table-1
-   quantities to k = 20..50 with machine-checked certificates, writing
-   its rows to BENCH_certified.json.
+   correlated micro.  The certified section cross-checks the certified
+   solver tier against exhaustion on the overlap window, then pushes the
+   Table-1 quantities to k = 20..50 with machine-checked certificates,
+   writing its rows to BENCH_certified.json.  The correlated section
+   cross-checks the exact-rational LP solver on the same window (every
+   pure equilibrium inside both polytopes, values interleaving exactly,
+   pub-best = optC) and quantifies the value of shared randomness on a
+   beyond-window k-series, writing its rows to BENCH_correlated.json.
    With no section arguments, everything runs.  --jobs N (or BI_JOBS=N)
    runs the exhaustive solvers on N worker domains; results are
    bit-identical to --jobs 1.  --cache FILE attaches the
@@ -36,6 +40,7 @@ let sections =
     ("sec4", Sec4.run);
     ("ablations", Ablations.run);
     ("certified", Certified.run);
+    ("correlated", Correlated_bench.run);
     ("micro", Micro.run);
   ]
 

@@ -119,6 +119,25 @@ let profile_cost_test =
               Rat.zero
               (Ncs.Complete.profile_space profile_cost_game))))
 
+(* Simplex pivot kernel: one basis update of the exact-rational revised
+   simplex — rescale the pivot row, then eliminate the pivot column from
+   the other 23 rows via the fused Rat.sub_mul — on a 24-row basis
+   inverse of small rationals, the regime the correlated LPs live in.
+   The update mutates in place, so each run works on a fresh copy. *)
+let pivot_binv =
+  Array.init 24 (fun i ->
+      Array.init 24 (fun j -> Rat.of_ints (((i * 5) + (j * 3)) mod 11 - 5) (j + 2)))
+
+let pivot_xb = Array.init 24 (fun i -> Rat.of_ints (i + 1) 3)
+let pivot_column = Array.init 24 (fun i -> Rat.of_ints ((2 * i) + 1) 5)
+
+let simplex_pivot_test =
+  Test.make ~name:"simplex pivot, 24 rows"
+    (Staged.stage (fun () ->
+         let binv = Array.map Array.copy pivot_binv in
+         let xb = Array.copy pivot_xb in
+         Lp.Simplex.pivot ~binv ~xb ~column:pivot_column ~row:11))
+
 (* Cache-service kernels: the canonical fingerprint (serialize + hash a
    game description) and a service hit (mutex + LRU lookup + recency
    touch) — the per-request costs a warm analysis pays instead of the
@@ -144,8 +163,8 @@ let benchmark () =
     Test.make_grouped ~name:"kernels"
       [
         bigint_test; rat_add_small_test; rat_add_large_test;
-        rat_cmp_small_test; rat_cmp_large_test; profile_cost_test;
-        dijkstra_test; steiner_test; equilibria_test;
+        rat_cmp_small_test; rat_cmp_large_test; simplex_pivot_test;
+        profile_cost_test; dijkstra_test; steiner_test; equilibria_test;
         fictitious_play_test; frt_test; fingerprint_test; cache_hit_test;
       ]
   in

@@ -104,6 +104,54 @@ let print_certified payload =
      else "open (bracket only)")
     (int_of "bnb_nodes")
 
+let correlated_construction_json ~name ~k ~fingerprint ~cached ~concept payload =
+  Sink.Obj
+    [
+      ("record", Str "construction");
+      ("construction", Str name);
+      ("k", Int k);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("concept", Str (Correlated.Concept.to_string concept));
+      ("correlated", payload);
+    ]
+
+(* Rendered from the JSON payload rather than the report record, so
+   cached answers (where only the payload survives) print identically. *)
+let print_correlated payload =
+  let value_cell field =
+    match Sink.member field payload with Some (Sink.Str v) -> v | _ -> "?"
+  in
+  let int_of field =
+    match Sink.member field payload with Some (Sink.Int n) -> n | _ -> 0
+  in
+  let concept =
+    match Sink.member "concept" payload with Some (Sink.Str c) -> c | _ -> "?"
+  in
+  print_endline
+    (Report.table
+       ~header:[ "quantity"; "exact value" ]
+       [
+         [ "best-" ^ concept ^ "P"; value_cell "best" ];
+         [ "worst-" ^ concept ^ "P"; value_cell "worst" ];
+         [ "pub-bestP"; value_cell "pub_best" ];
+         [ "pub-worstP"; value_cell "pub_worst" ];
+       ]);
+  let pivots =
+    match Sink.member "pivots" payload with
+    | Some p ->
+      List.fold_left
+        (fun acc f ->
+          acc + match Sink.member f p with Some (Sink.Int n) -> n | _ -> 0)
+        0
+        [ "best"; "worst"; "pub_best"; "pub_worst" ]
+    | None -> 0
+  in
+  Printf.printf
+    "\nLP over %d states, %d columns, %d deviation rows; %d simplex pivots; \
+     dual certificates verified\n"
+    (int_of "states") (int_of "columns") (int_of "deviations") pivots
+
 (* Unknown names exit 1, a [k] the family rejects exits 2. *)
 let build_or_exit name k =
   match Constructions.Registry.build name k with
@@ -112,7 +160,46 @@ let build_or_exit name k =
     Printf.eprintf "error: %s\n" msg;
     exit (if List.mem name Constructions.Registry.names then 2 else 1)
 
-let construction name k jobs json cache_path mode =
+(* The correlated concepts ignore the solver tier: there is a single LP
+   path, keyed on the concept-qualified fingerprint like the server's. *)
+let correlated_construction ~name ~k ~json ~fingerprint ~cache ~build_span
+    concept game =
+  let module Corr = Correlated.Correlated in
+  let key =
+    Cache.Fingerprint.with_concept fingerprint
+      ~concept:(Correlated.Concept.cache_tag concept)
+  in
+  let solve () =
+    let report = Corr.analyze ~concept game in
+    (match Corr.check game report with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "error: correlated certificate rejected: %s\n" e;
+      exit 3);
+    Corr.to_json report
+  in
+  let (payload, cached), solve_span =
+    Engine.Timer.timed (fun () ->
+        match cache with
+        | None -> (solve (), false)
+        | Some c -> Cache.Service.payload c key solve)
+  in
+  if json then
+    print_endline
+      (Sink.to_string
+         (correlated_construction_json ~name ~k ~fingerprint:key ~cached
+            ~concept payload))
+  else begin
+    Printf.printf "construction %s, parameter %d (%s concept)\n\n" name k
+      (Correlated.Concept.to_string concept);
+    print_correlated payload;
+    Format.printf "@.[build: %a; solve: %a%s]@." Engine.Timer.pp_seconds
+      build_span.Engine.Timer.seconds Engine.Timer.pp_seconds
+      solve_span.Engine.Timer.seconds
+      (if cached then " (cached)" else "")
+  end
+
+let construction name k jobs json cache_path mode concept =
   Engine.Pool.with_pool (Engine.Pool.recommended_jobs jobs) (fun pool ->
       let game, build_span =
         Engine.Timer.timed (fun () -> build_or_exit name k)
@@ -125,7 +212,12 @@ let construction name k jobs json cache_path mode =
       let cache =
         Option.map (fun path -> Cache.Service.create ~store_path:path ()) cache_path
       in
-      (match mode with
+      (match concept with
+      | Correlated.Concept.Cce | Correlated.Concept.Comm ->
+        correlated_construction ~name ~k ~json ~fingerprint ~cache ~build_span
+          concept game
+      | Correlated.Concept.Nash ->
+      match mode with
       | Certify.Mode.Auto -> assert false (* resolve never returns Auto *)
       | Certify.Mode.Exhaustive ->
         let (analysis, cached), solve_span =
@@ -329,7 +421,7 @@ let retry_of ~retries ~retry_base_ms =
         base_delay_ms = retry_base_ms;
       }
 
-let query socket tcp verb name k deadline retries retry_base_ms mode =
+let query socket tcp verb name k deadline retries retry_base_ms mode concept =
   let deadline_field =
     match deadline with
     | None -> []
@@ -342,6 +434,12 @@ let query socket tcp verb name k deadline retries retry_base_ms mode =
     | Certify.Mode.Exhaustive -> []
     | m -> [ ("mode", Sink.Str (Certify.Mode.to_string m)) ]
   in
+  (* Same convention for the solution concept: nash is never written. *)
+  let concept_field =
+    match concept with
+    | Correlated.Concept.Nash -> []
+    | c -> [ ("concept", Sink.Str (Correlated.Concept.to_string c)) ]
+  in
   let request =
     match verb with
     | "construction" -> (
@@ -349,7 +447,7 @@ let query socket tcp verb name k deadline retries retry_base_ms mode =
       | Some name ->
         Ok
           (Serve.Protocol.construction_request ?deadline_ms:deadline ~mode
-             ~name ~k ())
+             ~concept ~name ~k ())
       | None -> Error "query construction: NAME argument required")
     | "analyze" -> (
       match Sink.of_string (In_channel.input_all stdin) with
@@ -357,7 +455,7 @@ let query socket tcp verb name k deadline retries retry_base_ms mode =
         Ok
           (Sink.Obj
              ([ ("op", Sink.Str "analyze"); ("game", game) ]
-             @ mode_field @ deadline_field))
+             @ mode_field @ concept_field @ deadline_field))
       | Error e -> Error (Printf.sprintf "game description on stdin: %s" e))
     | "stats" -> Ok Serve.Protocol.stats_request
     | "health" -> Ok Serve.Protocol.health_request
@@ -965,6 +1063,28 @@ let mode_arg =
            machine-checked interval brackets that scale to k in the tens; \
            $(b,auto) picks by valid-profile count.")
 
+let concept_conv =
+  let parse s =
+    match Correlated.Concept.of_string s with
+    | Ok c -> Ok c
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf c = Format.pp_print_string ppf (Correlated.Concept.to_string c) in
+  Arg.conv (parse, print)
+
+let concept_arg =
+  Arg.(
+    value
+    & opt concept_conv Correlated.Concept.default
+    & info [ "concept" ] ~docv:"CONCEPT"
+        ~doc:
+          "Solution concept: $(b,nash) enumerates pure Bayesian-Nash \
+           equilibria (the paper's eqP measures); $(b,cce) and $(b,comm) \
+           solve the coarse-correlated / communication equilibrium \
+           polytopes by exact-rational LP, returning best/worst social \
+           cost with machine-checked dual certificates plus the \
+           public-randomness values. Non-nash concepts ignore $(b,--mode).")
+
 let cache_arg =
   Arg.(
     value
@@ -1005,7 +1125,7 @@ let construction_cmd =
     (Cmd.info "construction" ~doc:"Exact ignorance measures of a paper construction")
     Term.(
       const construction $ name_arg $ k_arg 4 $ jobs_arg $ json_arg $ cache_arg
-      $ mode_arg)
+      $ mode_arg $ concept_arg)
 
 let adversary_cmd =
   let levels =
@@ -1223,7 +1343,7 @@ let query_cmd =
     Term.(
       const query $ socket_arg $ tcp_arg $ verb_arg $ name_arg
       $ k_arg Serve.Protocol.default_k $ deadline $ retries_arg 0
-      $ retry_base_arg $ mode_arg)
+      $ retry_base_arg $ mode_arg $ concept_arg)
 
 let chaos_cmd =
   let clients =

@@ -69,3 +69,6 @@ let of_game g =
 
 let with_mode fp ~mode =
   if mode = "" || mode = "exhaustive" then fp else fp ^ "+" ^ mode
+
+let with_concept fp ~concept =
+  if concept = "" || concept = "nash" then fp else fp ^ "+" ^ concept

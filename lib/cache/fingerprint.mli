@@ -39,3 +39,11 @@ val with_mode : string -> mode:string -> string
     this library ever issued, so existing cache entries keep their keys
     — and [fp ^ "+" ^ mode] for any other tier, so cached answers never
     cross tiers. *)
+
+val with_concept : string -> concept:string -> string
+(** Solution-concept-qualified fingerprint: [fp] itself for [nash]
+    (["nash"] or [""]) — byte-identical to pre-correlated keys — and
+    [fp ^ "+" ^ concept] for the correlated concepts.  The concept tags
+    ([cce], [comm]) are disjoint from the tier tags of {!with_mode}
+    ([certified]), so qualified keys never collide across the two
+    axes. *)

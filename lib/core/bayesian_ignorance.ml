@@ -25,6 +25,11 @@
     - {!Certify}: the certified solver tier — potential descent,
       branch-and-bound and smoothness brackets, all emitting
       machine-checkable certificates in exact arithmetic.
+    - {!Lp}: exact-rational revised simplex with dual-solution
+      optimality certificates (Bland's rule, two-phase).
+    - {!Correlated}: correlated play — the coarse-correlated and
+      communication equilibrium polytopes and the Section-4
+      public-randomness values, solved as certified LPs.
     - {!Serve}: the concurrent analysis server and its line-JSON
       protocol and client.
     - {!Router}: the cluster front-end — consistent-hash ring,
@@ -44,6 +49,8 @@ module Constructions = Bi_constructions
 module Engine = Bi_engine
 module Cache = Bi_cache
 module Certify = Bi_certify
+module Lp = Bi_lp
+module Correlated = Bi_correlated
 module Serve = Bi_serve
 module Router = Bi_router
 module Report = Report

@@ -1,0 +1,15 @@
+type t = Nash | Cce | Comm
+
+let default = Nash
+
+let to_string = function Nash -> "nash" | Cce -> "cce" | Comm -> "comm"
+
+let of_string = function
+  | "nash" -> Ok Nash
+  | "cce" -> Ok Cce
+  | "comm" -> Ok Comm
+  | s ->
+    Error
+      (Printf.sprintf "concept must be \"nash\", \"cce\" or \"comm\", got %S" s)
+
+let cache_tag = function Nash -> "" | Cce -> "cce" | Comm -> "comm"

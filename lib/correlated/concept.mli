@@ -1,0 +1,32 @@
+(** Solution-concept selection for the correlated-play axis, plumbed
+    from the CLI, the bench harness and the serve protocol exactly like
+    [Bi_certify.Mode] is for the solver tier.
+
+    - [Nash]: pure Bayesian equilibria — the quantities the rest of the
+      codebase already computes (exhaustive or certified tier); no LP.
+    - [Cce]: the coarse-correlated equilibrium polytope over joint
+      distributions [P(a, t)] — deviations are unconditional single
+      actions.
+    - [Comm]: the communication/correlated-equilibrium variant — a
+      deviation may condition on the recommended action.
+
+    Cache entries never cross concepts: [Nash] keeps the bare
+    fingerprint (every pre-existing key stays byte-identical), the
+    correlated concepts append a tag.  The tag sets are disjoint from
+    the tier tags of [Bi_certify.Mode], so a concept-qualified key can
+    never collide with a tier-qualified one. *)
+
+type t = Nash | Cce | Comm
+
+val default : t
+(** [Nash] — the wire protocol's back-compat default for requests that
+    carry no ["concept"] field. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** ["nash" | "cce" | "comm"]; anything else is a structured error
+    naming the offender. *)
+
+val cache_tag : t -> string
+(** [""] for [Nash], ["cce"] / ["comm"] otherwise. *)

@@ -157,6 +157,16 @@ let types g i = Array.copy g.types.(i)
 let actions g i = Array.copy g.actions.(i)
 let valid_actions g i ti = g.valid.(i).(ti)
 
+(* Per-state column blocks of the correlated-play LPs: the action
+   profiles valid at one support state.  Invalid actions cost infinity,
+   so no finite-cost distribution puts mass on them — excluding them
+   keeps every LP coefficient a finite rational. *)
+let state_action_profiles g t =
+  if Array.length t <> g.players then
+    invalid_arg "Bncs.state_action_profiles: type profile length";
+  let choices = Array.to_list (Array.mapi (fun i ti -> g.valid.(i).(ti)) t) in
+  Seq.map Array.of_list (Bi_ds.Combinat.product choices)
+
 (* Float for the same reason as [Complete.profile_count]: the count
    exists to detect enumeration infeasibility, where ints overflow. *)
 let valid_profile_count g =

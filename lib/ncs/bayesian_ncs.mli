@@ -45,6 +45,15 @@ val actions : t -> int -> int list array
 val valid_actions : t -> int -> int -> int list
 (** Action indices valid for agent [i] at type [ti]. *)
 
+val state_action_profiles : t -> int array -> int array Seq.t
+(** [state_action_profiles g t] enumerates the action profiles valid at
+    type profile [t] (agent [i] restricted to [valid_actions g i
+    t.(i)]), lexicographically.  These are the per-state column blocks
+    of the correlated-play LPs; invalid actions are excluded because
+    they cost infinity and can never carry mass in a finite-cost joint
+    distribution.
+    @raise Invalid_argument when [t] has the wrong length. *)
+
 val complete_game : t -> (int * int) array -> Complete.t
 (** The underlying complete-information NCS game for a pair profile;
     memoized. *)

@@ -63,6 +63,23 @@ let mul x y =
     }
   end
 
+(* Fused [x - y*z] with a single canonicalization: cross-cancel the
+   product like [mul] (the product of the reduced parts is already
+   reduced), then combine with [x] over the product denominator and
+   reduce once through [make].  Folding [sub x (mul y z)] instead would
+   canonicalize twice; this is the inner step of every simplex pivot
+   row update, where it runs n^2 times per basis change. *)
+let sub_mul x y z =
+  if B.is_zero y.num || B.is_zero z.num then x
+  else begin
+    let g1 = B.gcd y.num z.den in
+    let g2 = B.gcd z.num y.den in
+    let pnum = B.mul (B.div y.num g1) (B.div z.num g2) in
+    let pden = B.mul (B.div y.den g2) (B.div z.den g1) in
+    if B.is_zero x.num then { num = B.neg pnum; den = pden }
+    else make (B.sub (B.mul x.num pden) (B.mul pnum x.den)) (B.mul x.den pden)
+  end
+
 let inv x =
   if B.is_zero x.num then raise Division_by_zero
   else if Stdlib.( < ) (B.sign x.num) 0 then { num = B.neg x.den; den = B.neg x.num }

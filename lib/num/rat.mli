@@ -35,6 +35,12 @@ val div : t -> t -> t
 val neg : t -> t
 val abs : t -> t
 
+val sub_mul : t -> t -> t -> t
+(** [sub_mul x y z] is [x - y*z] computed with a single
+    canonicalization (cross-cancelled product, one terminal gcd) —
+    the fused row-update step of the exact simplex pivot, where it
+    runs once per tableau entry per basis change. *)
+
 val inv : t -> t
 (** @raise Division_by_zero on zero. *)
 

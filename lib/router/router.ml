@@ -297,11 +297,12 @@ let handle t ~tick line =
           (* parse_request succeeded, so the line is valid JSON. *)
           match Sink.of_string line with Ok j -> j | Error _ -> assert false
         in
-        (* Routing keys are tier-qualified, so exhaustive and certified
-           answers for the same game live on (possibly) different owners
-           and never alias; certified responses carry no ["analysis"]
-           member, so the front cache (which stores only that member)
-           naturally ignores them. *)
+        (* Routing keys are tier- and concept-qualified, so exhaustive,
+           certified and correlated answers for the same game live on
+           (possibly) different owners and never alias; certified and
+           correlated responses carry no ["analysis"] member, so the
+           front cache (which stores only that member) naturally
+           ignores them. *)
         let mode_key fingerprint mode =
           match mode with
           | Bi_certify.Mode.Auto ->
@@ -312,17 +313,32 @@ let handle t ~tick line =
               ~mode:(Bi_certify.Mode.cache_tag Bi_certify.Mode.Certified)
           | m -> Fingerprint.with_mode fingerprint ~mode:(Bi_certify.Mode.cache_tag m)
         in
+        (* The correlated concepts ignore the solver tier (there is one
+           LP path, no exhaustive/certified split), so their routing key
+           qualifies the bare fingerprint — matching the shards' own
+           cache keys byte for byte. *)
+        let routing_key fingerprint ~mode ~concept =
+          match concept with
+          | Bi_correlated.Concept.Nash -> mode_key fingerprint mode
+          | c ->
+            Fingerprint.with_concept fingerprint
+              ~concept:(Bi_correlated.Concept.cache_tag c)
+        in
         match query with
-        | Protocol.Analyze { graph; prior; mode } ->
-          let fingerprint = mode_key (Fingerprint.game graph ~prior) mode in
+        | Protocol.Analyze { graph; prior; mode; concept } ->
+          let fingerprint =
+            routing_key (Fingerprint.game graph ~prior) ~mode ~concept
+          in
           (route_analysis t ~tick ~request ~fingerprint, `Continue)
-        | Protocol.Construction { name; k; mode } -> (
+        | Protocol.Construction { name; k; mode; concept } -> (
           match Registry.build name k with
           | Error e ->
             Metrics.error t.metrics;
             (Protocol.error e, `Continue)
           | Ok game ->
-            let fingerprint = mode_key (Fingerprint.of_game game) mode in
+            let fingerprint =
+              routing_key (Fingerprint.of_game game) ~mode ~concept
+            in
             (route_analysis t ~tick ~request ~fingerprint, `Continue))
         | Protocol.Put { fingerprint; analysis } ->
           ( route_put t ~tick ~fingerprint

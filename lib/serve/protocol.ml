@@ -1,14 +1,16 @@
 module Sink = Bi_engine.Sink
 module Codec = Bi_cache.Codec
 module Mode = Bi_certify.Mode
+module Concept = Bi_correlated.Concept
 
 type query =
   | Analyze of {
       graph : Bi_graph.Graph.t;
       prior : (int * int) array Bi_prob.Dist.t;
       mode : Mode.t;
+      concept : Concept.t;
     }
-  | Construction of { name : string; k : int; mode : Mode.t }
+  | Construction of { name : string; k : int; mode : Mode.t; concept : Concept.t }
   | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
   | Stats
   | Health
@@ -52,6 +54,16 @@ let parse_mode j =
   | Some v ->
     Error (Printf.sprintf "mode must be a string, got %s" (Sink.to_string v))
 
+(* Same back-compat contract as [parse_mode]: an absent field is the
+   nash concept — the only concept pre-correlated servers ever had — so
+   old clients keep their exact responses and cache keys. *)
+let parse_concept j =
+  match Sink.member "concept" j with
+  | None -> Ok Concept.default
+  | Some (Sink.Str s) -> Concept.of_string s
+  | Some v ->
+    Error (Printf.sprintf "concept must be a string, got %s" (Sink.to_string v))
+
 let parse_request line =
   match Sink.of_string line with
   | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
@@ -67,14 +79,16 @@ let parse_request line =
         match Codec.game_of_json game with
         | Ok (graph, prior) ->
           Result.bind (parse_mode j) (fun mode ->
-              with_deadline (Analyze { graph; prior; mode }))
+              Result.bind (parse_concept j) (fun concept ->
+                  with_deadline (Analyze { graph; prior; mode; concept })))
         | Error e -> Error (Printf.sprintf "analyze: %s" e)))
     | Some (Sink.Str "construction") -> (
       match Sink.member "name" j with
       | Some (Sink.Str name) ->
         Result.bind (parse_k j) (fun k ->
             Result.bind (parse_mode j) (fun mode ->
-                with_deadline (Construction { name; k; mode })))
+                Result.bind (parse_concept j) (fun concept ->
+                    with_deadline (Construction { name; k; mode; concept }))))
       | Some v ->
         Error
           (Printf.sprintf "construction: name must be a string, got %s"
@@ -114,16 +128,26 @@ let mode_field = function
   | Mode.Exhaustive -> []
   | m -> [ ("mode", Sink.Str (Mode.to_string m)) ]
 
-let analyze_request ?deadline_ms ?(mode = Mode.default) graph ~prior =
+(* Same shape for the concept axis: nash requests stay byte-identical
+   to pre-correlated requests. *)
+let concept_field = function
+  | Concept.Nash -> []
+  | c -> [ ("concept", Sink.Str (Concept.to_string c)) ]
+
+let analyze_request ?deadline_ms ?(mode = Mode.default)
+    ?(concept = Concept.default) graph ~prior =
   Sink.Obj
     ([ ("op", Sink.Str "analyze"); ("game", Codec.game_to_json graph ~prior) ]
     @ mode_field mode
+    @ concept_field concept
     @ deadline_field deadline_ms)
 
-let construction_request ?deadline_ms ?(mode = Mode.default) ~name ~k () =
+let construction_request ?deadline_ms ?(mode = Mode.default)
+    ?(concept = Concept.default) ~name ~k () =
   Sink.Obj
     ([ ("op", Sink.Str "construction"); ("name", Str name); ("k", Int k) ]
     @ mode_field mode
+    @ concept_field concept
     @ deadline_field deadline_ms)
 
 let put_request ~fingerprint analysis =
@@ -155,6 +179,16 @@ let ok_certified ~fingerprint ~cached certified =
       ("cached", Bool cached);
       ("mode", Str (Mode.to_string Mode.Certified));
       ("certified", certified);
+    ]
+
+let ok_correlated ~fingerprint ~cached ~concept correlated =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("fingerprint", Str fingerprint);
+      ("cached", Bool cached);
+      ("concept", Str (Concept.to_string concept));
+      ("correlated", correlated);
     ]
 
 let ok_stats ~cache ~server =

@@ -20,8 +20,18 @@ type query =
           (** Solver tier.  Absent on the wire means
               {!Bi_certify.Mode.Exhaustive}, so pre-mode clients keep
               their exact behavior and cache keys. *)
+      concept : Bi_correlated.Concept.t;
+          (** Solution concept.  Absent on the wire means
+              {!Bi_correlated.Concept.Nash} — the only concept
+              pre-correlated servers had — same back-compat contract
+              as [mode]. *)
     }
-  | Construction of { name : string; k : int; mode : Bi_certify.Mode.t }
+  | Construction of {
+      name : string;
+      k : int;
+      mode : Bi_certify.Mode.t;
+      concept : Bi_correlated.Concept.t;
+    }
   | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
       (** A cache write: store [analysis] under [fingerprint] without
           computing anything.  The router uses it for quorum
@@ -57,6 +67,7 @@ val parse_request : string -> (request, string) result
 val analyze_request :
   ?deadline_ms:int ->
   ?mode:Bi_certify.Mode.t ->
+  ?concept:Bi_correlated.Concept.t ->
   Bi_graph.Graph.t ->
   prior:(int * int) array Bi_prob.Dist.t ->
   Bi_engine.Sink.json
@@ -64,12 +75,14 @@ val analyze_request :
 val construction_request :
   ?deadline_ms:int ->
   ?mode:Bi_certify.Mode.t ->
+  ?concept:Bi_correlated.Concept.t ->
   name:string ->
   k:int ->
   unit ->
   Bi_engine.Sink.json
-(** Both builders emit a ["mode"] field only for non-default tiers, so
-    default-tier requests are byte-identical to pre-mode requests. *)
+(** Both builders emit ["mode"] / ["concept"] fields only for
+    non-default values, so default requests are byte-identical to
+    pre-mode (and pre-correlated) requests. *)
 
 val put_request :
   fingerprint:string -> Bi_engine.Sink.json -> Bi_engine.Sink.json
@@ -97,6 +110,18 @@ val ok_certified :
     JSON argument, as produced by {!Bi_certify.Solve.to_json}) — and
     deliberately no ["analysis"] member, so caches keyed on exhaustive
     answers can never pick it up. *)
+
+val ok_correlated :
+  fingerprint:string ->
+  cached:bool ->
+  concept:Bi_correlated.Concept.t ->
+  Bi_engine.Sink.json ->
+  Bi_engine.Sink.json
+(** Correlated-concept success: the concept-qualified fingerprint, a
+    ["concept"] marker and the LP payload under ["correlated"] (as
+    produced by {!Bi_correlated.Correlated.to_json}) — and, like
+    {!ok_certified}, deliberately no ["analysis"] member, so caches
+    keyed on nash answers can never pick it up. *)
 
 val ok_stats :
   cache:Bi_engine.Sink.json -> server:Bi_engine.Sink.json -> Bi_engine.Sink.json

@@ -7,6 +7,8 @@ module Bncs = Bi_ncs.Bayesian_ncs
 module Registry = Bi_constructions.Registry
 module Mode = Bi_certify.Mode
 module Solve = Bi_certify.Solve
+module Concept = Bi_correlated.Concept
+module Correlated = Bi_correlated.Correlated
 
 type listen = Lineserver.listen = Unix_socket of string | Tcp of int
 
@@ -183,6 +185,17 @@ let certified t ~budget ~chaos_delay_ms ~key build =
       | Ok game ->
         Ok (Solve.to_json (Solve.certify ?pool:t.pool ~budget game)))
 
+(* The correlated concepts cache the same [Payload] shape as the
+   certified tier — concept-qualified keys keep the shapes apart. *)
+let correlated t ~budget ~chaos_delay_ms ~key ~concept build =
+  compute t ~budget ~chaos_delay_ms ~key
+    ~decode:(function Service.Payload j -> Some j | Service.Analysis _ -> None)
+    ~encode:(fun j -> Service.Payload j)
+    (fun () ->
+      match build () with
+      | Error e -> Error (Msg e)
+      | Ok game -> Ok (Correlated.to_json (Correlated.analyze ~budget ~concept game)))
+
 (* --- request handling ------------------------------------------------ *)
 
 let budget_of t deadline_ms =
@@ -212,6 +225,12 @@ let certified_response t ~fingerprint result =
   match result with
   | Ok (payload, cached) ->
     (Protocol.ok_certified ~fingerprint ~cached payload, `Continue)
+  | Error f -> failure_response t f
+
+let correlated_response t ~fingerprint ~concept result =
+  match result with
+  | Ok (payload, cached) ->
+    (Protocol.ok_correlated ~fingerprint ~cached ~concept payload, `Continue)
   | Error f -> failure_response t f
 
 (* Tier dispatch.  The exhaustive tier keys the cache on the bare game
@@ -245,21 +264,36 @@ let rec handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode build =
       handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
           Ok game))
 
+(* Concept dispatch sits in front of tier dispatch: nash requests flow
+   through [handle_tiered] exactly as before (byte-identical responses
+   and cache keys), the correlated concepts go to the LP path under a
+   concept-qualified key — the solver tier does not apply there. *)
+let handle_concepted t ~budget ~chaos_delay_ms ~fingerprint ~mode ~concept
+    build =
+  match concept with
+  | Concept.Nash -> handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode build
+  | (Concept.Cce | Concept.Comm) as concept ->
+    let key =
+      Fingerprint.with_concept fingerprint ~concept:(Concept.cache_tag concept)
+    in
+    correlated_response t ~fingerprint:key ~concept
+      (correlated t ~budget ~chaos_delay_ms ~key ~concept build)
+
 let handle_query t ~budget ~chaos_delay_ms query =
   match query with
-  | Protocol.Analyze { graph; prior; mode } ->
+  | Protocol.Analyze { graph; prior; mode; concept } ->
     let fingerprint = Fingerprint.game graph ~prior in
-    handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
-        Ok (Bncs.make graph ~prior))
-  | Protocol.Construction { name; k; mode } -> (
+    handle_concepted t ~budget ~chaos_delay_ms ~fingerprint ~mode ~concept
+      (fun () -> Ok (Bncs.make graph ~prior))
+  | Protocol.Construction { name; k; mode; concept } -> (
     match Registry.build name k with
     | Error e ->
       Metrics.error t.metrics;
       (Protocol.error e, `Continue)
     | Ok game ->
       let fingerprint = Fingerprint.of_game game in
-      handle_tiered t ~budget ~chaos_delay_ms ~fingerprint ~mode (fun () ->
-          Ok game))
+      handle_concepted t ~budget ~chaos_delay_ms ~fingerprint ~mode ~concept
+        (fun () -> Ok game))
   (* [put] and [health] are cluster-control verbs: like [stats] they are
      never shed and never queue behind solver work, so replication and
      liveness probing keep working on a saturated shard. *)

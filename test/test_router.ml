@@ -334,6 +334,78 @@ let test_router_end_to_end () =
         (get_bool "stopping" bye);
       Client.close c)
 
+(* A correlated concept through the router: routed on the
+   concept-qualified key, answered with the LP payload and no
+   ["analysis"] member (so the front cache skips it — the repeat is
+   served from the shard's cache, not the router's), while a nash
+   request for the same game flows exactly as before. *)
+let test_router_correlated () =
+  let dir = Filename.temp_file "bi_router_corr" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_a, cache_a, th_a = start_shard ~dir ~name:"shard-a" in
+  let members = [ sock_a ] in
+  let router_sock = Filename.concat dir "router.sock" in
+  let config =
+    {
+      Router.default_config with
+      replicas = 1;
+      quorum = 1;
+      probe_interval_s = 0.05;
+      shard_timeout_s = 10.;
+    }
+  in
+  let th_router =
+    with_ready_thread (fun ~on_ready ->
+        Router.run ~on_ready ~config ~members
+          (Bi_serve.Lineserver.Unix_socket router_sock))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_endpoint router_sock;
+      Thread.join th_router;
+      stop_endpoint sock_a;
+      Thread.join th_a;
+      Service.close cache_a)
+    (fun () ->
+      let c = Client.connect_unix router_sock in
+      let req =
+        Protocol.construction_request ~concept:Bi_correlated.Concept.Cce
+          ~name:"gworst-bliss" ~k:2 ()
+      in
+      let r1 = request_ok c req in
+      Alcotest.(check (option bool)) "cold compute through the router"
+        (Some false) (get_bool "cached" r1);
+      Alcotest.(check bool) "correlated payload present" true
+        (Sink.member "correlated" r1 <> None);
+      Alcotest.(check bool) "no analysis member" true
+        (Sink.member "analysis" r1 = None);
+      (match Sink.member "fingerprint" r1 with
+      | Some (Sink.Str fp) ->
+        Alcotest.(check bool) "concept-qualified fingerprint" true
+          (Filename.check_suffix fp "+cce")
+      | _ -> Alcotest.fail "fingerprint missing");
+      (* No analysis member, so the front cache stored nothing: the
+         repeat forwards to the shard, which answers from its cache. *)
+      let r2 = request_ok c req in
+      Alcotest.(check (option bool)) "repeat from the shard's cache"
+        (Some true) (get_bool "cached" r2);
+      Alcotest.(check string) "byte-identical correlated payload"
+        (Sink.to_string (Option.get (Sink.member "correlated" r1)))
+        (Sink.to_string (Option.get (Sink.member "correlated" r2)));
+      (* The nash default for the same game still flows as before. *)
+      let r3 =
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ())
+      in
+      Alcotest.(check bool) "nash answer has its analysis" true
+        (Sink.member "analysis" r3 <> None);
+      Alcotest.(check bool) "nash answer has no concept member" true
+        (Sink.member "concept" r3 = None);
+      let bye = request_ok c Protocol.shutdown_request in
+      Alcotest.(check (option bool)) "router stopping" (Some true)
+        (get_bool "stopping" bye);
+      Client.close c)
+
 let () =
   Alcotest.run "bi_router"
     [
@@ -361,5 +433,7 @@ let () =
         [
           Alcotest.test_case "end to end with failover" `Quick
             test_router_end_to_end;
+          Alcotest.test_case "correlated concept through the router" `Quick
+            test_router_correlated;
         ] );
     ]

@@ -25,7 +25,12 @@ let test_parse_requests () =
       {
         Protocol.query =
           Protocol.Construction
-            { name = "diamond"; k = 2; mode = Bi_certify.Mode.Exhaustive };
+            {
+              name = "diamond";
+              k = 2;
+              mode = Bi_certify.Mode.Exhaustive;
+              concept = Bi_correlated.Concept.Nash;
+            };
         deadline_ms = None;
       } ->
     ()
@@ -184,6 +189,78 @@ let test_mode_round_trip () =
     (Bi_cache.Fingerprint.with_mode "abc" ~mode:"exhaustive");
   Alcotest.(check string) "certified tier is suffixed" "abc+certified"
     (Bi_cache.Fingerprint.with_mode "abc" ~mode:"certified")
+
+(* The solution-concept field mirrors the tier field: builders
+   round-trip every concept, an absent field is nash (pre-correlated
+   clients and servers agree), a default-concept request is
+   byte-identical to a pre-correlated request, and concept-qualified
+   cache keys leave nash fingerprints untouched. *)
+let test_concept_round_trip () =
+  let module Concept = Bi_correlated.Concept in
+  let concepts = [ Concept.Nash; Concept.Cce; Concept.Comm ] in
+  List.iter
+    (fun concept ->
+      match
+        Protocol.parse_request
+          (Sink.to_string
+             (Protocol.construction_request ~concept ~name:"affine" ~k:3 ()))
+      with
+      | Ok { Protocol.query = Protocol.Construction { concept = c; _ }; _ } ->
+        Alcotest.(check string) "construction concept round-trips"
+          (Concept.to_string concept) (Concept.to_string c)
+      | _ -> Alcotest.fail "construction request with concept")
+    concepts;
+  let graph = Graph.make Undirected ~n:2 [ (0, 1, Rat.one) ] in
+  let prior = Dist.uniform [ [| (0, 1) |] ] in
+  List.iter
+    (fun concept ->
+      match
+        Protocol.parse_request
+          (Sink.to_string (Protocol.analyze_request ~concept graph ~prior))
+      with
+      | Ok { Protocol.query = Protocol.Analyze { concept = c; _ }; _ } ->
+        Alcotest.(check string) "analyze concept round-trips"
+          (Concept.to_string concept) (Concept.to_string c)
+      | _ -> Alcotest.fail "analyze request with concept")
+    concepts;
+  (match
+     Protocol.parse_request {|{"op":"construction","name":"affine","k":2}|}
+   with
+  | Ok
+      { Protocol.query = Protocol.Construction { concept = Concept.Nash; _ }; _ }
+    ->
+    ()
+  | _ -> Alcotest.fail "absent concept must default to nash");
+  Alcotest.(check string) "default-concept request is byte-identical"
+    (Sink.to_string (Protocol.construction_request ~name:"affine" ~k:2 ()))
+    (Sink.to_string
+       (Protocol.construction_request ~concept:Concept.Nash ~name:"affine"
+          ~k:2 ()));
+  Alcotest.(check bool) "default-concept request carries no concept member"
+    true
+    (Sink.member "concept"
+       (Protocol.construction_request ~name:"affine" ~k:2 ())
+    = None);
+  (match
+     Protocol.parse_request
+       {|{"op":"construction","name":"affine","concept":"mixed"}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown concept must be a parse error");
+  (match
+     Protocol.parse_request
+       {|{"op":"construction","name":"affine","concept":7}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-string concept must be a parse error");
+  Alcotest.(check string) "empty tag keeps the bare fingerprint" "abc"
+    (Bi_cache.Fingerprint.with_concept "abc" ~concept:"");
+  Alcotest.(check string) "nash tag keeps the bare fingerprint" "abc"
+    (Bi_cache.Fingerprint.with_concept "abc" ~concept:"nash");
+  Alcotest.(check string) "cce concept is suffixed" "abc+cce"
+    (Bi_cache.Fingerprint.with_concept "abc" ~concept:"cce");
+  Alcotest.(check string) "comm concept is suffixed" "abc+comm"
+    (Bi_cache.Fingerprint.with_concept "abc" ~concept:"comm")
 
 (* parse_request must be total: any byte salad gets Ok or Error, never
    an exception (a [Stack_overflow] here would kill a server thread). *)
@@ -495,6 +572,68 @@ let test_certified_tier () =
       ignore (request_ok c Protocol.shutdown_request);
       Client.close c)
 
+(* A correlated concept over the wire: first answer computes the LP
+   report, the repeat is served from cache under the concept-qualified
+   fingerprint, the response carries the ["correlated"] payload (tagged
+   with its concept) and no ["analysis"] member, and the nash default
+   for the same game stays byte-compatible: bare fingerprint, no
+   ["concept"] member. *)
+let test_correlated_concept () =
+  let store_path = Filename.temp_file "bi_serve_corr" ".jsonl" in
+  Sys.remove store_path;
+  with_server ~store_path (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      let req =
+        Protocol.construction_request ~concept:Bi_correlated.Concept.Cce
+          ~name:"gworst-bliss" ~k:2 ()
+      in
+      let r1 = request_ok c req in
+      let r2 = request_ok c req in
+      Alcotest.(check (option bool)) "first computes" (Some false)
+        (get_bool "cached" r1);
+      Alcotest.(check (option bool)) "repeat served from cache" (Some true)
+        (get_bool "cached" r2);
+      Alcotest.(check bool) "correlated payload present" true
+        (Sink.member "correlated" r1 <> None);
+      Alcotest.(check bool) "no exhaustive analysis member" true
+        (Sink.member "analysis" r1 = None);
+      (match Sink.member "concept" r1 with
+      | Some (Sink.Str "cce") -> ()
+      | _ -> Alcotest.fail "response must name its concept");
+      (match Sink.member "fingerprint" r1 with
+      | Some (Sink.Str fp) ->
+        Alcotest.(check bool) "concept-qualified fingerprint" true
+          (Filename.check_suffix fp "+cce")
+      | _ -> Alcotest.fail "fingerprint missing");
+      (* the LP payload carries the six quantities with certificates *)
+      (match Sink.member "correlated" r1 with
+      | Some payload ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool) (key ^ " present") true
+              (Sink.member key payload <> None))
+          [ "best"; "worst"; "pub_best"; "pub_worst"; "certificates" ]
+      | None -> ());
+      (* the nash default for the same game is untouched: fresh compute,
+         bare fingerprint, analysis member, no concept member *)
+      let r3 =
+        request_ok c
+          (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ())
+      in
+      Alcotest.(check (option bool)) "nash computes fresh" (Some false)
+        (get_bool "cached" r3);
+      Alcotest.(check bool) "nash answer has its analysis" true
+        (Sink.member "analysis" r3 <> None);
+      Alcotest.(check bool) "nash answer has no concept member" true
+        (Sink.member "concept" r3 = None);
+      (match Sink.member "fingerprint" r3 with
+      | Some (Sink.Str fp) ->
+        Alcotest.(check bool) "nash fingerprint is unqualified" false
+          (String.contains fp '+')
+      | _ -> Alcotest.fail "fingerprint missing");
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
 let test_health_and_put () =
   let captured = ref None in
   with_server ~shard:"shard-a" (fun ~socket ~metrics_out:_ ->
@@ -768,6 +907,8 @@ let () =
           Alcotest.test_case "response codes" `Quick test_response_codes;
           Alcotest.test_case "solver-tier round-trip" `Quick
             test_mode_round_trip;
+          Alcotest.test_case "solution-concept round-trip" `Quick
+            test_concept_round_trip;
           QCheck_alcotest.to_alcotest fuzz_parse_total;
           Alcotest.test_case "hostile inputs" `Quick test_parse_hostile_inputs;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
@@ -783,6 +924,8 @@ let () =
             test_end_to_end;
           Alcotest.test_case "certified tier over the wire" `Quick
             test_certified_tier;
+          Alcotest.test_case "correlated concept over the wire" `Quick
+            test_correlated_concept;
           Alcotest.test_case "health and put verbs" `Quick test_health_and_put;
           Alcotest.test_case "metrics dump on shutdown" `Quick test_metrics_dump;
           Alcotest.test_case "survives garbage on the wire" `Quick
