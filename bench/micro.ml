@@ -158,6 +158,23 @@ let cache_hit_test =
   Test.make ~name:"cache hit, in-memory LRU"
     (Staged.stage (fun () -> ignore (Cache.Service.find service key)))
 
+(* Digest-rollup kernel: fold 10k resident (key, check) pairs into the
+   256-bucket md5 rollup that anti-entropy rounds and online fsck
+   exchange — the fixed per-round cost of the repair subsystem. *)
+let rollup_service =
+  let service = Cache.Service.create ~capacity:10_240 () in
+  for i = 0 to 9_999 do
+    Cache.Service.insert service
+      (Cache.Fingerprint.digest_hex (string_of_int i))
+      (Cache.Service.Payload (Engine.Sink.Int i))
+  done;
+  service
+
+let digest_rollup_test =
+  Test.make ~name:"digest rollup, 10k entries"
+    (Staged.stage (fun () ->
+         ignore (Cache.Service.digest_rollup rollup_service)))
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"kernels"
@@ -166,6 +183,7 @@ let benchmark () =
         rat_cmp_small_test; rat_cmp_large_test; simplex_pivot_test;
         profile_cost_test; dijkstra_test; steiner_test; equilibria_test;
         fictitious_play_test; frt_test; fingerprint_test; cache_hit_test;
+        digest_rollup_test;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in

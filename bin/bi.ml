@@ -548,6 +548,121 @@ let router socket tcp members members_file replicas quorum front_capacity
       Printf.eprintf "error: %s\n" msg;
       1)
 
+(* --- fsck --- *)
+
+(* One connection per exchange, mirroring the router's shard transport:
+   fsck must see a partitioned shard as unreachable, not camp on it. *)
+let fsck_exchange_source ~timeout_s member =
+  Router.Fsck.exchange_source ~name:member (fun request ->
+      match Router.Router.addr_of_member member with
+      | Error e -> Error e
+      | Ok addr -> (
+        match Serve.Client.make ~timeout_s addr with
+        | exception Unix.Unix_error (err, _, _) ->
+          Error (Unix.error_message err)
+        | client ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close client)
+            (fun () ->
+              match Serve.Client.request client request with
+              | Ok resp -> Ok resp
+              | Error f -> Error (Serve.Client.failure_to_string f))))
+
+let fsck_run ~ring_members ~replicas ~repair sources =
+  let ring = Router.Ring.create ring_members in
+  Router.Fsck.run ~ring ~replicas ~repair sources
+
+(* Exit codes: 0 clean, 1 divergent (or repair failed to converge),
+   2 usage error or a source that could not be read at all. *)
+let fsck_exit ~repair (report : Router.Fsck.report) =
+  if report.Router.Fsck.unreachable <> [] then 2
+  else if
+    (if repair then
+       report.Router.Fsck.remaining > 0
+       || report.Router.Fsck.repair_failures <> []
+     else report.Router.Fsck.divergent <> [])
+  then 1
+  else 0
+
+let fsck members members_file stores replicas repair report_file timeout_s =
+  let members_of_flags () =
+    match (members, members_file) with
+    | Some m, _ -> Ok (Some (Router.Router.parse_members m))
+    | None, Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | content -> Ok (Some (Router.Router.parse_members content))
+      | exception Sys_error e -> Error ("fsck: members file: " ^ e))
+    | None, None -> Ok None
+  in
+  let plan =
+    Result.bind (members_of_flags ()) (fun members ->
+        match (stores, members) with
+        | [], None ->
+          Error "fsck: nothing to check (give --members or --store)"
+        | [], Some ms ->
+          (* Online: every member is a live shard driven over digest/pull. *)
+          let replicas =
+            Option.value replicas
+              ~default:Router.Router.default_config.Router.Router.replicas
+          in
+          Ok
+            ( ms,
+              replicas,
+              List.map (fsck_exchange_source ~timeout_s) ms )
+        | paths, members ->
+          (* Offline: read store files directly.  With --members the
+             paths pair positionally with the ring names; without,
+             the paths themselves name the ring and full replication
+             is assumed (every store should hold every key). *)
+          let names =
+            match members with
+            | None -> Ok paths
+            | Some ms when List.length ms = List.length paths -> Ok ms
+            | Some ms ->
+              Error
+                (Printf.sprintf
+                   "fsck: %d --store paths but %d members; they pair \
+                    positionally"
+                   (List.length paths) (List.length ms))
+          in
+          Result.map
+            (fun names ->
+              let replicas =
+                Option.value replicas
+                  ~default:
+                    (if members = None then List.length paths
+                     else
+                       Router.Router.default_config.Router.Router.replicas)
+              in
+              ( names,
+                replicas,
+                List.map2
+                  (fun name path -> Router.Fsck.store_source ~name path)
+                  names paths ))
+            names)
+  in
+  match plan with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    2
+  | Ok (ring_members, replicas, sources) ->
+    if replicas < 1 || replicas > List.length ring_members then begin
+      Printf.eprintf "error: fsck: --replicas must be in [1, %d]\n"
+        (List.length ring_members);
+      2
+    end
+    else begin
+      let report = fsck_run ~ring_members ~replicas ~repair sources in
+      let json = Sink.to_string (Router.Fsck.report_to_json report) in
+      print_endline json;
+      (match report_file with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (json ^ "\n")));
+      fsck_exit ~repair report
+    end
+
 (* --- chaos soak --- *)
 
 (* Per-worker outcome counts; summed after the join, so no locking. *)
@@ -720,19 +835,22 @@ let chaos_soak socket tcp clients seconds retries seed =
 
 (* Spawn a backend shard as a real child process: cluster chaos must be
    able to kill -9 a shard without taking the harness down with it. *)
-let spawn_shard ~dir ~port ~index =
+let spawn_shard ?chaos ~dir ~port ~index () =
   let path name = Filename.concat dir (Printf.sprintf "shard-%d%s" index name) in
   let log =
     Unix.openfile (path ".log") [ Unix.O_WRONLY; O_CREAT; O_APPEND ] 0o644
   in
+  let argv =
+    [
+      Sys.executable_name; "serve"; "--tcp"; string_of_int port;
+      "--cache"; path ".jsonl"; "--shard-id"; Printf.sprintf "shard-%d" index;
+      "--metrics-out"; path "-metrics.json";
+    ]
+    @ (match chaos with None -> [] | Some spec -> [ "--chaos"; spec ])
+  in
   let pid =
-    Unix.create_process Sys.executable_name
-      [|
-        Sys.executable_name; "serve"; "--tcp"; string_of_int port;
-        "--cache"; path ".jsonl"; "--shard-id"; Printf.sprintf "shard-%d" index;
-        "--metrics-out"; path "-metrics.json";
-      |]
-      Unix.stdin log log
+    Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin log
+      log
   in
   Unix.close log;
   pid
@@ -789,7 +907,7 @@ let shutdown_endpoint connect =
 let warm_name = "gworst-bliss"
 let warm_k = 3
 
-let fetch_warm ?(attempts = 10) connect =
+let fetch_construction ?(attempts = 10) ~name ~k connect =
   match connect () with
   | exception Unix.Unix_error (err, _, _) ->
     Error ("connect: " ^ Unix.error_message err)
@@ -797,7 +915,7 @@ let fetch_warm ?(attempts = 10) connect =
     let retry = { Serve.Client.default_retry with attempts } in
     let r =
       Serve.Client.request ~retry c
-        (Serve.Protocol.construction_request ~name:warm_name ~k:warm_k ())
+        (Serve.Protocol.construction_request ~name ~k ())
     in
     Serve.Client.close c;
     match r with
@@ -808,11 +926,20 @@ let fetch_warm ?(attempts = 10) connect =
     | Ok resp -> Error ("not ok: " ^ Sink.to_string resp)
     | Error f -> Error (Serve.Client.failure_to_string f))
 
+let fetch_warm ?attempts connect =
+  fetch_construction ?attempts ~name:warm_name ~k:warm_k connect
+
+let response_cached resp =
+  match Sink.member "cached" resp with
+  | Some (Sink.Bool b) -> b
+  | _ -> false
+
 (* Kill -9 a shard mid-soak, assert warm answers stay byte-identical
    across the failover (via the router AND straight from the replica
    shard, which is what proves the quorum write landed), restart the
    shard, and assert identity again once the cluster has healed. *)
-let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
+let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out
+    ~partition_p ~partition_ms ~fsck_report_out =
   let dir = Filename.temp_dir "bi-cluster" "" in
   let base_port = 20000 + (Unix.getpid () mod 10000) in
   let ports = Array.init shards (fun i -> base_port + i) in
@@ -825,9 +952,71 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
     let rec find i = if ports.(i) = p then i else find (i + 1) in
     find 0
   in
-  Printf.eprintf "cluster: %d shards in %s, ports %d-%d\n%!" shards dir
-    base_port (base_port + shards - 1);
-  let pids = Array.init shards (fun i -> spawn_shard ~dir ~port:ports.(i) ~index:i) in
+  (* The warm key's fingerprint — and therefore its ring owners — is a
+     pure function of the member list, so the kill target and the shard
+     that carries partition chaos (one that owns neither copy) are both
+     known before any process starts. *)
+  let warm_fp =
+    match Constructions.Registry.build warm_name warm_k with
+    | Ok game -> Cache.Fingerprint.of_game game
+    | Error e ->
+      Printf.eprintf "cluster: cannot build warm construction: %s\n%!" e;
+      exit 2
+  in
+  let ring = Router.Ring.create members in
+  let warm_owners = Router.Ring.owners ring ~n:2 warm_fp in
+  let victim_member = List.nth warm_owners 0 in
+  let replica_member = List.nth warm_owners 1 in
+  let victim = index_of_member victim_member in
+  let chaos_target =
+    if partition_p <= 0. then None
+    else
+      List.find_opt
+        (fun i -> not (List.mem (List.nth members i) warm_owners))
+        (List.init shards (fun i -> i))
+  in
+  let chaos_spec =
+    Printf.sprintf "seed=%d,partition_p=%g,partition_ms=%d" (seed + 1)
+      partition_p partition_ms
+  in
+  (* Fresh keys the victim owns: written through the router while the
+     victim is dead, they land on the other owner and park a hint —
+     real divergence for fsck to catch and the healing paths to close. *)
+  let fresh_keys =
+    let candidates =
+      List.concat_map
+        (fun name ->
+          List.filter_map
+            (fun k ->
+              match Constructions.Registry.build name k with
+              | Error _ -> None
+              | Ok game ->
+                let fp = Cache.Fingerprint.of_game game in
+                if fp = warm_fp then None
+                else
+                  let owners = Router.Ring.owners ring ~n:2 fp in
+                  if List.mem victim_member owners then
+                    Some (name, k, fp, List.hd owners = victim_member)
+                  else None)
+            [ 2; 3 ])
+        Constructions.Registry.names
+    in
+    let primaries = List.filter (fun (_, _, _, p) -> p) candidates in
+    let pool = if primaries <> [] then primaries else candidates in
+    List.filteri (fun i _ -> i < 3) pool
+    |> List.map (fun (n, k, fp, _) -> (n, k, fp))
+  in
+  Printf.eprintf "cluster: %d shards in %s, ports %d-%d%s\n%!" shards dir
+    base_port
+    (base_port + shards - 1)
+    (match chaos_target with
+    | None -> ""
+    | Some i -> Printf.sprintf ", partition chaos on shard-%d (%s)" i chaos_spec);
+  let pids =
+    Array.init shards (fun i ->
+        let chaos = if chaos_target = Some i then Some chaos_spec else None in
+        spawn_shard ?chaos ~dir ~port:ports.(i) ~index:i ())
+  in
   let teardown_shards () =
     Array.iteri
       (fun i pid ->
@@ -852,6 +1041,7 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
        process isolation) on a private socket.  A front cache of one
        entry forces nearly every soak request through real routing. *)
     let router_sock = Filename.concat dir "router.sock" in
+    let hints_path = Filename.concat dir "hints.jsonl" in
     let config = { Router.Router.default_config with front_capacity = 1 } in
     let ready_m = Mutex.create () in
     let ready_c = Condition.create () in
@@ -865,7 +1055,7 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
               ready := true;
               Condition.broadcast ready_c;
               Mutex.unlock ready_m)
-            ~metrics_out:router_metrics_out ~config ~members
+            ~metrics_out:router_metrics_out ~hints_path ~config ~members
             (Serve.Lineserver.Unix_socket router_sock))
         ()
     in
@@ -891,13 +1081,6 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
       teardown ();
       1
     | Ok (fp, bytes0, _) ->
-      (* The same deterministic ring the router built tells us which
-         shard owns the warm key — that one gets killed. *)
-      let ring = Router.Ring.create members in
-      let owners = Router.Ring.owners ring ~n:2 fp in
-      let victim_member = List.nth owners 0 in
-      let replica_member = List.nth owners 1 in
-      let victim = index_of_member victim_member in
       Printf.eprintf "cluster: warm key %s owned by %s (replica %s)\n%!" fp
         victim_member replica_member;
       let checks = ref [] in
@@ -912,6 +1095,7 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
           Printf.eprintf "cluster: %s: %s\n%!" label e;
           false
       in
+      check "fingerprint_offline_match" (fp = warm_fp);
       let t0 = Unix.gettimeofday () in
       let stop_at = t0 +. float_of_int seconds in
       let at frac = t0 +. (frac *. float_of_int seconds) in
@@ -919,30 +1103,75 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
         let dt = t -. Unix.gettimeofday () in
         if dt > 0. then Thread.delay dt
       in
+      let store_path i = Filename.concat dir (Printf.sprintf "shard-%d.jsonl" i) in
+      (* (name, k, fingerprint, canonical bytes) of every fresh key the
+         router answered while the victim was dead. *)
+      let issued_keys = ref [] in
       let timeline () =
         sleep_until (at 0.35);
         Printf.eprintf "cluster: kill -9 shard-%d\n%!" victim;
         (try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] pids.(victim))
          with Unix.Unix_error _ -> ());
+        (* Write the victim-owned fresh keys into the hole: the router
+           fails over to the surviving owner and parks a hint. *)
+        (* The router answers "no shard available" — a structured error
+           the client rightly never retries — whenever a key's surviving
+           owner is itself inside a partition window, so the harness
+           retries past the window instead. *)
+        let rec issue_fresh ~tries (name, k, key_fp) =
+          match fetch_construction ~attempts:3 ~name ~k connect_router with
+          | Ok (fp', bytes, _) when fp' = key_fp -> Some (name, k, key_fp, bytes)
+          | Ok (fp', _, _) ->
+            Printf.eprintf "cluster: fresh key %s/%d: fingerprint %s != %s\n%!"
+              name k fp' key_fp;
+            None
+          | Error e ->
+            if tries > 1 then begin
+              Thread.delay 0.4;
+              issue_fresh ~tries:(tries - 1) (name, k, key_fp)
+            end
+            else begin
+              Printf.eprintf "cluster: fresh key %s/%d: %s\n%!" name k e;
+              None
+            end
+        in
+        issued_keys := List.filter_map (issue_fresh ~tries:10) fresh_keys;
+        Printf.eprintf "cluster: issued %d fresh victim-owned keys\n%!"
+          (List.length !issued_keys);
+        (* Offline fsck over the store files must see the hole: the
+           surviving owner logged the fresh keys, the victim's file
+           cannot have them. *)
+        Thread.delay 0.3;
+        let offline =
+          fsck_run ~ring_members:members ~replicas:2 ~repair:false
+            (List.map
+               (fun m ->
+                 Router.Fsck.store_source ~name:m
+                   (store_path (index_of_member m)))
+               members)
+        in
+        check "divergence_appeared"
+          (List.exists
+             (fun (d : Router.Fsck.divergence) ->
+               List.exists
+                 (fun (_, _, key_fp, _) -> key_fp = d.Router.Fsck.key)
+                 !issued_keys)
+             offline.Router.Fsck.divergent
+          || (!issued_keys = [] && offline.Router.Fsck.divergent <> []));
         sleep_until (at 0.5);
         check "router_failover_identity"
           (identical "router failover fetch" (fetch_warm connect_router));
         check "replica_holds_quorum_copy"
           (match fetch_warm ~attempts:5 (connect_shard replica_member) with
           | Ok (fp', bytes, resp) ->
-            let cached =
-              match Sink.member "cached" resp with
-              | Some (Sink.Bool b) -> b
-              | _ -> false
-            in
-            fp' = fp && bytes = bytes0 && cached
+            fp' = fp && bytes = bytes0 && response_cached resp
           | Error e ->
             Printf.eprintf "cluster: replica fetch: %s\n%!" e;
             false);
         sleep_until (at 0.65);
         Printf.eprintf "cluster: restart shard-%d\n%!" victim;
-        pids.(victim) <- spawn_shard ~dir ~port:ports.(victim) ~index:victim;
+        pids.(victim) <- spawn_shard ~dir ~port:ports.(victim) ~index:victim ();
         check "victim_restarted"
           (wait_shard_ready ~port:ports.(victim)
              ~deadline_at:(Unix.gettimeofday () +. 20.))
@@ -967,7 +1196,92 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
       check "victim_store_identity"
         (identical "restarted victim fetch"
            (fetch_warm ~attempts:5 (connect_shard victim_member)));
+      (* Heal the partition before judging convergence — a shard still
+         refusing random connections would make online fsck flap. *)
+      (match chaos_target with
+      | None -> ()
+      | Some i ->
+        Printf.eprintf "cluster: healing partition chaos on shard-%d\n%!" i;
+        shutdown_endpoint (fun () ->
+            Serve.Client.connect_tcp ~timeout_s:5. ports.(i));
+        wait_exit pids.(i);
+        pids.(i) <- spawn_shard ~dir ~port:ports.(i) ~index:i ();
+        ignore
+          (wait_shard_ready ~port:ports.(i)
+             ~deadline_at:(Unix.gettimeofday () +. 20.)));
+      (* The hint drain on the victim's recovery and the anti-entropy
+         loop should converge the cluster on their own; give them a
+         window, then let an explicit fsck --repair pass close any
+         tail before the zero-divergence gate. *)
+      let online_sources () =
+        List.map (fsck_exchange_source ~timeout_s:10.) members
+      in
+      let rec converge deadline =
+        let r =
+          fsck_run ~ring_members:members ~replicas:2 ~repair:false
+            (online_sources ())
+        in
+        if r.Router.Fsck.unreachable = [] && r.Router.Fsck.divergent = []
+        then r
+        else if Unix.gettimeofday () > deadline then begin
+          Printf.eprintf
+            "cluster: %d divergent after self-healing window; running \
+             repair pass\n%!"
+            (List.length r.Router.Fsck.divergent);
+          fsck_run ~ring_members:members ~replicas:2 ~repair:true
+            (online_sources ())
+        end
+        else begin
+          Thread.delay 0.5;
+          converge deadline
+        end
+      in
+      let final_fsck = converge (Unix.gettimeofday () +. 20.) in
+      check "fsck_clean_after_repair"
+        (final_fsck.Router.Fsck.unreachable = []
+        && final_fsck.Router.Fsck.remaining = 0
+        && final_fsck.Router.Fsck.repair_failures = []);
+      (* The repaired copies must be the replicated bytes, served from
+         the victim's own store (cached), not recomputed on demand. *)
+      check "repaired_bytes_identical"
+        (match !issued_keys with
+        | [] -> false
+        | issued ->
+          List.for_all
+            (fun (name, k, key_fp, bytes) ->
+              match
+                fetch_construction ~attempts:5 ~name ~k
+                  (connect_shard victim_member)
+              with
+              | Ok (fp', bytes', resp) ->
+                fp' = key_fp && bytes' = bytes && response_cached resp
+              | Error e ->
+                Printf.eprintf "cluster: victim fetch of %s/%d: %s\n%!" name
+                  k e;
+                false)
+            issued);
+      let fsck_json = Router.Fsck.report_to_json final_fsck in
+      Out_channel.with_open_text fsck_report_out (fun oc ->
+          Out_channel.output_string oc (Sink.to_string fsck_json ^ "\n"));
       teardown ();
+      (* The metrics dump lands on router shutdown; the healing paths
+         must actually have run, not just left the stores consistent. *)
+      let router_repairs =
+        match
+          In_channel.with_open_text router_metrics_out In_channel.input_all
+        with
+        | exception Sys_error _ -> -1
+        | content -> (
+          match Sink.of_string (String.trim content) with
+          | Error _ -> -1
+          | Ok json -> (
+            match
+              Option.bind (Sink.member "router" json) (Sink.member "repairs")
+            with
+            | Some (Sink.Int n) -> n
+            | _ -> -1))
+      in
+      check "router_repairs_recorded" (router_repairs > 0);
       let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
       let sent = sum (fun t -> t.sent)
       and answered = sum (fun t -> t.answered)
@@ -987,6 +1301,13 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
                 ("clients", Int clients);
                 ("seconds", Int seconds);
                 ("killed", Str (Printf.sprintf "shard-%d" victim));
+                ( "partitioned",
+                  match chaos_target with
+                  | None -> Sink.Null
+                  | Some i -> Str (Printf.sprintf "shard-%d" i) );
+                ("fresh_keys", Int (List.length !issued_keys));
+                ("router_repairs", Int router_repairs);
+                ("fsck", fsck_json);
                 ("sent", Int sent);
                 ("answered", Int answered);
                 ("server_error", Int server_error);
@@ -1004,7 +1325,7 @@ let cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out =
   end
 
 let chaos_entry socket tcp clients seconds retries seed cluster
-    router_metrics_out =
+    router_metrics_out partition_p partition_ms fsck_report_out =
   match cluster with
   | None -> chaos_soak socket tcp clients seconds retries seed
   | Some shards ->
@@ -1012,7 +1333,13 @@ let chaos_entry socket tcp clients seconds retries seed cluster
       Printf.eprintf "error: --cluster needs at least 2 shards\n";
       2
     end
-    else cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out
+    else if partition_p < 0. || partition_p > 1. then begin
+      Printf.eprintf "error: --partition-p must be a probability in [0,1]\n";
+      2
+    end
+    else
+      cluster_soak ~shards ~clients ~seconds ~retries ~seed ~router_metrics_out
+        ~partition_p ~partition_ms ~fsck_report_out
 
 (* --- cmdliner wiring --- *)
 
@@ -1345,6 +1672,82 @@ let query_cmd =
       $ k_arg Serve.Protocol.default_k $ deadline $ retries_arg 0
       $ retry_base_arg $ mode_arg $ concept_arg)
 
+let fsck_cmd =
+  let members =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "members" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated shard addresses to check live over the \
+             cluster-internal $(b,digest)/$(b,pull) verbs; with \
+             $(b,--store), ring names for the store files instead \
+             (paired positionally).")
+  in
+  let members_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "members-file" ] ~docv:"FILE"
+          ~doc:"File holding the member list (commas or whitespace).")
+  in
+  let stores =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Offline mode: check these append-only store files directly \
+             (repeatable). Without $(b,--members) the paths themselves \
+             name the ring and full replication is assumed.")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Owners per key on the hash ring; must match the router's. \
+             Defaults to the router default, or to every source in \
+             stores-only mode.")
+  in
+  let repair =
+    Arg.(
+      value
+      & flag
+      & info [ "repair" ]
+          ~doc:
+            "Converge: push the authoritative copy (the holder earliest \
+             in ring-owner order) to every owner that lacks it or \
+             disagrees, through the ordinary $(b,put) path, then \
+             re-measure.")
+  in
+  let report_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the JSON report to $(docv).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-exchange read timeout for live shards.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Replica consistency check: compare every key's copies across \
+          its ring owners (live shards or store files), report \
+          divergences per bucket, optionally repair; exits 0 when \
+          consistent, 1 on divergence or failed repair, 2 on usage \
+          errors or unreachable sources")
+    Term.(
+      const fsck $ members $ members_file $ stores $ replicas $ repair
+      $ report_file $ timeout)
+
 let chaos_cmd =
   let clients =
     Arg.(
@@ -1382,6 +1785,33 @@ let chaos_cmd =
       & info [ "router-metrics-out" ] ~docv:"FILE"
           ~doc:"Cluster mode: file receiving the router metrics dump.")
   in
+  let partition_p =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "partition-p" ] ~docv:"P"
+          ~doc:
+            "Cluster mode: give one non-owner shard partition chaos — \
+             each accepted connection opens, with probability $(docv), a \
+             window during which the shard refuses every connection. \
+             The soak then requires the healing paths to converge: \
+             divergence must appear while the victim is down and \
+             $(b,bi fsck) must report zero divergent keys afterwards.")
+  in
+  let partition_ms =
+    Arg.(
+      value
+      & opt int 300
+      & info [ "partition-ms" ] ~docv:"MS"
+          ~doc:"Cluster mode: partition window length.")
+  in
+  let fsck_report_out =
+    Arg.(
+      value
+      & opt string "FSCK_report.json"
+      & info [ "fsck-report-out" ] ~docv:"FILE"
+          ~doc:"Cluster mode: file receiving the final fsck report.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -1390,7 +1820,8 @@ let chaos_cmd =
           hang, a malformed response, or an unrecovered transport failure")
     Term.(
       const chaos_entry $ socket_arg $ tcp_arg $ clients $ seconds
-      $ retries_arg 8 $ seed $ cluster $ router_metrics_out)
+      $ retries_arg 8 $ seed $ cluster $ router_metrics_out $ partition_p
+      $ partition_ms $ fsck_report_out)
 
 let () =
   (* Surface a malformed BI_JOBS before any command runs off jobs = 1. *)
@@ -1405,5 +1836,5 @@ let () =
        (Cmd.group (Cmd.info "bi" ~doc)
           [
             construction_cmd; adversary_cmd; sec4_cmd; plane_cmd; serve_cmd;
-            router_cmd; query_cmd; chaos_cmd;
+            router_cmd; query_cmd; chaos_cmd; fsck_cmd;
           ]))

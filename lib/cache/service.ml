@@ -7,7 +7,12 @@ type value =
 
 type t = {
   lru : value Lru.t;
+  (* Digest view: key → md5 of the canonical body line, mirroring the
+     LRU's resident key set exactly (entries leave on eviction), so the
+     rollup never advertises a key that [pull] cannot serve. *)
+  checks : (string, string) Hashtbl.t;
   store : Store.t option;
+  store_path : string option;
   lock : Mutex.t;
   shard : string option;
   mutable hits : int;
@@ -45,9 +50,18 @@ let needs_compaction ~entries ~distinct ~unreadable =
   total > 0
   && (unreadable * 10 >= total || (entries - distinct) * 2 >= max 1 entries)
 
+(* Single write path for the LRU: keeps [checks] an exact mirror of the
+   resident key set, including under eviction. *)
+let resident_add lru checks k v check =
+  (match Lru.add_evicting lru k v with
+  | None -> ()
+  | Some evicted -> Hashtbl.remove checks evicted);
+  Hashtbl.replace checks k check
+
 let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true)
     ?shard () =
   let lru = Lru.create ~capacity in
+  let checks = Hashtbl.create 64 in
   let loaded, invalid, quarantined, store =
     match store_path with
     | None -> (0, 0, 0, None)
@@ -73,15 +87,16 @@ let create ?(capacity = default_capacity) ?store_path ?(auto_compact = true)
           (fun (ok, bad) e ->
             match value_of_entry e with
             | Some v ->
-              Lru.add lru e.Store.key v;
+              resident_add lru checks e.Store.key v
+                (Store.check_of e.Store.body);
               (ok + 1, bad)
             | None -> (ok, bad + 1))
           (0, 0) entries
       in
       (loaded, unreadable + undecodable, quarantined, Some (Store.open_append path))
   in
-  { lru; store; lock = Mutex.create (); shard; hits = 0; misses = 0; loaded;
-    invalid; quarantined; closed = false }
+  { lru; checks; store; store_path; lock = Mutex.create (); shard; hits = 0;
+    misses = 0; loaded; invalid; quarantined; closed = false }
 
 let key ~fingerprint ~query =
   if query = "" then fingerprint else fingerprint ^ "/" ^ query
@@ -108,7 +123,7 @@ let find t k =
 
 let insert t k v =
   locked t (fun () ->
-      Lru.add t.lru k v;
+      resident_add t.lru t.checks k v (Store.check_of (body_of v));
       persist t k v)
 
 let find_analysis t k =
@@ -130,7 +145,8 @@ let memo t k wrap unwrap compute =
         t.misses <- t.misses + 1;
         let v = compute () in
         let wrapped = wrap v in
-        Lru.add t.lru k wrapped;
+        resident_add t.lru t.checks k wrapped
+          (Store.check_of (body_of wrapped));
         persist t k wrapped;
         (v, false))
 
@@ -146,6 +162,45 @@ let payload t k compute =
     (function Payload j -> Some j | Analysis _ -> None)
     compute
 
+(* --- digest view ------------------------------------------------------ *)
+
+let digest_rollup t =
+  locked t (fun () ->
+      let per_bucket = Array.make Store.buckets [] in
+      Hashtbl.iter
+        (fun k c ->
+          let b = Store.bucket_of_key k in
+          per_bucket.(b) <- (k, c) :: per_bucket.(b))
+        t.checks;
+      let acc = ref [] in
+      for b = Store.buckets - 1 downto 0 do
+        if per_bucket.(b) <> [] then
+          acc := (b, Store.bucket_digest per_bucket.(b)) :: !acc
+      done;
+      !acc)
+
+let bucket_keys t bucket =
+  locked t (fun () ->
+      let pairs =
+        Hashtbl.fold
+          (fun k c acc ->
+            if Store.bucket_of_key k = bucket then (k, c) :: acc else acc)
+          t.checks []
+      in
+      List.sort compare pairs)
+
+let pull t keys =
+  locked t (fun () ->
+      List.fold_left
+        (fun (found, missing) k ->
+          match Lru.find t.lru k with
+          | Some v ->
+            ( { Store.key = k; kind = kind_of v; body = body_of v } :: found,
+              missing )
+          | None -> (found, k :: missing))
+        ([], []) keys
+      |> fun (found, missing) -> (List.rev found, List.rev missing))
+
 type stats = {
   shard : string option;
   hits : int;
@@ -156,6 +211,7 @@ type stats = {
   loaded : int;
   invalid : int;
   quarantined : int;
+  rejected : int;
 }
 
 let stats t =
@@ -170,6 +226,10 @@ let stats t =
         loaded = t.loaded;
         invalid = t.invalid;
         quarantined = t.quarantined;
+        rejected =
+          (match t.store_path with
+          | None -> 0
+          | Some path -> Store.rej_lines path);
       })
 
 let stats_to_json (s : stats) =
@@ -187,6 +247,7 @@ let stats_to_json (s : stats) =
         ("loaded", Sink.Int s.loaded);
         ("invalid", Sink.Int s.invalid);
         ("quarantined", Sink.Int s.quarantined);
+        ("rejected", Sink.Int s.rejected);
       ])
 
 let close t =

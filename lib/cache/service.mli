@@ -56,6 +56,20 @@ val payload :
   t -> string -> (unit -> Bi_engine.Sink.json) -> Bi_engine.Sink.json * bool
 (** As {!analysis} for opaque JSON payloads. *)
 
+val digest_rollup : t -> (int * string) list
+(** Per-bucket digests of the resident entries: for every non-empty
+    bucket ({!Store.bucket_of_key}), the {!Store.bucket_digest} of its
+    [(key, check)] pairs, in increasing bucket order.  Two replicas with
+    equal rollups hold byte-identical resident state. *)
+
+val bucket_keys : t -> int -> (string * string) list
+(** The [(key, check)] pairs of one bucket, sorted by key. *)
+
+val pull : t -> string list -> Store.entry list * string list
+(** [pull t keys] fetches the resident entries for [keys] in request
+    order, plus the keys not resident.  Counts neither hits nor misses —
+    a repair path, not a serving path. *)
+
 type stats = {
   shard : string option;  (** Cluster shard identity, when configured. *)
   hits : int;
@@ -68,6 +82,9 @@ type stats = {
   quarantined : int;
       (** Lines moved to the [.rej] sidecar by the open-time compaction
           (0 when it did not run). *)
+  rejected : int;
+      (** Total lines accumulated in the [.rej] sidecar across the
+          store's lifetime (deduplicated by {!Store.compact}). *)
 }
 
 val stats : t -> stats

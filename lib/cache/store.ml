@@ -12,6 +12,21 @@ type entry = {
    [Sink.to_string] after [Sink.of_string] is byte-identical. *)
 let check_of body = Fingerprint.digest_hex (Sink.to_string body)
 
+(* Digest view: keys are assigned to one of [buckets] buckets by the
+   first byte of their MD5, so two shards can compare rollups in
+   O(buckets) and fetch only the keys of differing buckets. *)
+let buckets = 256
+let bucket_of_key key = Char.code (Digest.string key).[0]
+
+(* Canonical digest of one bucket's key→check map: md5 over the sorted
+   "key:check" lines.  Sorting makes the rollup independent of insertion
+   and recency order, so equal resident state ⇒ equal digest. *)
+let bucket_digest pairs =
+  let lines =
+    List.sort compare (List.map (fun (k, c) -> k ^ ":" ^ c ^ "\n") pairs)
+  in
+  Fingerprint.digest_hex (String.concat "" lines)
+
 let entry_to_line e =
   Sink.to_string
     (Sink.Obj
@@ -76,6 +91,23 @@ let fsync_out oc =
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> go (line :: acc)
+        in
+        go [])
+  end
+
+let rej_lines path = List.length (read_lines (rej_path path))
+
 (* Rewrite [path] keeping, for each key, only its last verified entry
    (in order of last occurrence, which is what replay reconstructs).
    Lines that fail to parse or verify are appended verbatim to the
@@ -96,19 +128,37 @@ let compact path =
     done;
     let kept = !keep in
     if bad <> [] then begin
-      let oc =
-        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
-          (rej_path path)
+      (* Quarantine dedupes: one sidecar copy per distinct line, however
+         many compactions re-encounter it, so a repeatedly-compacted
+         corrupt log cannot grow the sidecar without bound. *)
+      let seen = Hashtbl.create 64 in
+      let existing = read_lines (rej_path path) in
+      List.iter (fun l -> Hashtbl.replace seen l ()) existing;
+      let fresh =
+        List.filter
+          (fun l ->
+            if Hashtbl.mem seen l then false
+            else begin
+              Hashtbl.replace seen l ();
+              true
+            end)
+          bad
       in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          List.iter
-            (fun line ->
-              output_string oc line;
-              output_char oc '\n')
-            bad;
-          fsync_out oc)
+      if fresh <> [] then begin
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
+            (rej_path path)
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun line ->
+                output_string oc line;
+                output_char oc '\n')
+              fresh;
+            fsync_out oc)
+      end
     end;
     let tmp = path ^ ".compact.tmp" in
     let oc = open_out tmp in

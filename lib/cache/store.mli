@@ -18,6 +18,21 @@ type entry = {
 val entry_to_line : entry -> string
 val entry_of_line : string -> (entry, string) result
 
+val check_of : Bi_engine.Sink.json -> string
+(** md5 (hex) of the canonical rendering of a body — the [check] field
+    written on every entry line and the per-key digest the repair
+    machinery compares across replicas. *)
+
+val buckets : int
+(** Number of digest buckets (256). *)
+
+val bucket_of_key : string -> int
+(** Bucket a key belongs to: the first byte of its MD5. *)
+
+val bucket_digest : (string * string) list -> string
+(** Canonical digest of one bucket's [(key, check)] pairs: md5 of the
+    sorted ["key:check"] lines, independent of pair order. *)
+
 val load : string -> entry list * int
 (** [load path] replays the file in append order: verified entries (a
     later entry for the same key supersedes an earlier one when loaded
@@ -32,6 +47,10 @@ type compaction = {
 
 val rej_path : string -> string
 (** The quarantine sidecar for a store path: [path ^ ".rej"]. *)
+
+val rej_lines : string -> int
+(** Number of quarantined lines in the sidecar for a store path (0 when
+    absent). *)
 
 val compact : string -> compaction
 (** [compact path] rewrites the log keeping only the last verified

@@ -16,6 +16,12 @@ type t = {
   mutable marked_up : int;
   mutable marked_down : int;
   mutable warmed : int;
+  mutable hints_recorded : int;
+  mutable hints_dropped : int;
+  mutable read_repairs : int;
+  mutable repair_rounds : int;
+  mutable divergent_keys : int;
+  mutable repairs : int;
   mutable inflight : int;
   mutable max_inflight : int;
 }
@@ -37,6 +43,12 @@ let create () =
     marked_up = 0;
     marked_down = 0;
     warmed = 0;
+    hints_recorded = 0;
+    hints_dropped = 0;
+    read_repairs = 0;
+    repair_rounds = 0;
+    divergent_keys = 0;
+    repairs = 0;
     inflight = 0;
     max_inflight = 0;
   }
@@ -75,6 +87,22 @@ let marked_up t = locked t (fun () -> t.marked_up <- t.marked_up + 1)
 let marked_down t = locked t (fun () -> t.marked_down <- t.marked_down + 1)
 let warmed t = locked t (fun () -> t.warmed <- t.warmed + 1)
 
+let hint_recorded t =
+  locked t (fun () -> t.hints_recorded <- t.hints_recorded + 1)
+
+let hint_dropped t =
+  locked t (fun () -> t.hints_dropped <- t.hints_dropped + 1)
+
+let read_repair t = locked t (fun () -> t.read_repairs <- t.read_repairs + 1)
+
+let repair_round t =
+  locked t (fun () -> t.repair_rounds <- t.repair_rounds + 1)
+
+let divergent t ~keys =
+  locked t (fun () -> t.divergent_keys <- t.divergent_keys + keys)
+
+let repair t = locked t (fun () -> t.repairs <- t.repairs + 1)
+
 let to_json t =
   locked t (fun () ->
       Sink.Obj
@@ -93,6 +121,12 @@ let to_json t =
           ("marked_up", Sink.Int t.marked_up);
           ("marked_down", Sink.Int t.marked_down);
           ("warmed", Sink.Int t.warmed);
+          ("hints_recorded", Sink.Int t.hints_recorded);
+          ("hints_dropped", Sink.Int t.hints_dropped);
+          ("read_repairs", Sink.Int t.read_repairs);
+          ("repair_rounds", Sink.Int t.repair_rounds);
+          ("divergent_keys", Sink.Int t.divergent_keys);
+          ("repairs", Sink.Int t.repairs);
           ("inflight", Sink.Int t.inflight);
           ("max_inflight", Sink.Int t.max_inflight);
         ])

@@ -44,4 +44,23 @@ val marked_down : t -> unit
 val warmed : t -> unit
 (** One front-cache entry was pushed to a recovered or new shard. *)
 
+val hint_recorded : t -> unit
+(** A missed write was parked in the hint log. *)
+
+val hint_dropped : t -> unit
+(** A parked hint was evicted by the log's capacity bound. *)
+
+val read_repair : t -> unit
+(** A failover read scheduled a repair of an owner that failed. *)
+
+val repair_round : t -> unit
+(** The anti-entropy loop compared one owner pair. *)
+
+val divergent : t -> keys:int -> unit
+(** Anti-entropy found [keys] divergent keys in a round. *)
+
+val repair : t -> unit
+(** One entry was successfully pushed by a repair path (hint drain,
+    anti-entropy, or fsck --repair through the router). *)
+
 val to_json : t -> Bi_engine.Sink.json

@@ -14,6 +14,8 @@ type config = {
   probe_interval_s : float;
   probe_timeout_s : float;
   shard_timeout_s : float;
+  hint_capacity : int;
+  repair_interval_ticks : int;
 }
 
 let default_config =
@@ -25,7 +27,14 @@ let default_config =
     probe_interval_s = 0.25;
     probe_timeout_s = 2.;
     shard_timeout_s = 30.;
+    hint_capacity = Hints.default_capacity;
+    repair_interval_ticks = 8;
   }
+
+(* One anti-entropy round compares one owner pair; bounding the buckets
+   repaired per round keeps each round short so the poller's probe
+   cadence never starves behind a large divergence. *)
+let repair_buckets_per_round = 16
 
 type t = {
   config : config;
@@ -35,9 +44,11 @@ type t = {
   ring_lock : Mutex.t;
   front : Sink.json Lru.t;  (* fingerprint -> encoded analysis *)
   front_lock : Mutex.t;
+  hints : Hints.t;
   ls : Lineserver.t;
   members_file : string option;
   reload : bool Atomic.t;  (* set by SIGHUP, consumed by the poller *)
+  mutable repair_cursor : int;  (* poller-thread only *)
 }
 
 (* --- member addresses ------------------------------------------------- *)
@@ -122,9 +133,9 @@ let exchange t ?(timeout_s = t.config.shard_timeout_s) member request =
         ~finally:(fun () -> Client.close client)
         (fun () -> Client.request client request))
 
-let put_to t ~tick member ~fingerprint analysis =
+let put_to t ~tick ?(kind = "analysis") member ~fingerprint body =
   Metrics.forward t.metrics;
-  match exchange t member (Protocol.put_request ~fingerprint analysis) with
+  match exchange t member (Protocol.put_request ~kind ~fingerprint body) with
   | Ok resp when Protocol.is_ok resp ->
     Metrics.replication t.metrics;
     true
@@ -136,25 +147,41 @@ let put_to t ~tick member ~fingerprint analysis =
     ignore (Membership.note_failure t.membership ~now:tick member);
     false
 
+(* Park a write that could not reach an owner; drained on the owner's
+   Down→Up transition, before warming. *)
+let hint t member ~fingerprint ~kind body =
+  let dropped = Hints.record t.hints ~member ~fingerprint ~kind body in
+  Metrics.hint_recorded t.metrics;
+  for _ = 1 to dropped do
+    Metrics.hint_dropped t.metrics
+  done
+
+let is_down t m = Membership.state t.membership m = Some Membership.Down
+
 (* Synchronous write fan-out after a fresh compute: the answering shard
    already holds copy one; push copies to the remaining owners until
-   [quorum] copies exist.  Down owners are skipped (warming covers them
-   when they return); a missed quorum is counted, not failed — the
-   client has its answer, durability is degraded and visible. *)
+   [quorum] copies exist.  A Down owner, or one that refuses the copy,
+   gets a hint instead of silence — the recovery drain converges it; a
+   missed quorum is counted, not failed — the client has its answer,
+   durability is degraded and visible. *)
 let replicate t ~tick ~answered_by ~fingerprint analysis =
   let others =
-    List.filter
-      (fun m ->
-        m <> answered_by && Membership.state t.membership m <> Some Membership.Down)
-      (owners t fingerprint)
+    List.filter (fun m -> m <> answered_by) (owners t fingerprint)
   in
   let needed = t.config.quorum - 1 in
   let acks =
     List.fold_left
       (fun acks m ->
-        if acks >= needed then acks
+        if is_down t m then begin
+          hint t m ~fingerprint ~kind:"analysis" analysis;
+          acks
+        end
+        else if acks >= needed then acks
         else if put_to t ~tick m ~fingerprint analysis then acks + 1
-        else acks)
+        else begin
+          hint t m ~fingerprint ~kind:"analysis" analysis;
+          acks
+        end)
       0 others
   in
   if acks < needed then Metrics.quorum_failure t.metrics
@@ -196,7 +223,8 @@ let route_analysis t ~tick ~request ~fingerprint =
     Metrics.front_hit t.metrics;
     ok_from_front ~fingerprint analysis
   | None ->
-    let rec attempt last = function
+    let key_owners = owners t fingerprint in
+    let rec attempt last failed = function
       | [] -> (
         Metrics.unrouted t.metrics;
         match last with
@@ -208,7 +236,7 @@ let route_analysis t ~tick ~request ~fingerprint =
         | Error (Client.Io _ | Client.Malformed _ | Client.Closed) ->
           ignore (Membership.note_failure t.membership ~now:tick member);
           if rest <> [] then Metrics.failover t.metrics;
-          attempt last rest
+          attempt last (member :: failed) rest
         | Ok resp -> (
           match Protocol.response_code resp with
           | Some "ok" ->
@@ -220,32 +248,52 @@ let route_analysis t ~tick ~request ~fingerprint =
                 | Some (Sink.Bool cached) -> not cached
                 | _ -> false
               in
-              if fresh then replicate t ~tick ~answered_by:member ~fingerprint analysis
+              if fresh then
+                replicate t ~tick ~answered_by:member ~fingerprint analysis
+              else
+                (* Read-repair: a failover read answered from a
+                   replica's cache means every owner we passed over is
+                   missing or unreachable — park the answer for each so
+                   the primary converges the moment it recovers. *)
+                List.iter
+                  (fun m ->
+                    if List.mem m key_owners then begin
+                      Metrics.read_repair t.metrics;
+                      hint t m ~fingerprint ~kind:"analysis" analysis
+                    end)
+                  failed
             | None -> ());
             resp
           | Some "overloaded" ->
             if rest <> [] then Metrics.failover t.metrics;
-            attempt (Some resp) rest
+            attempt (Some resp) failed rest
           | _ -> resp))
     in
-    attempt None (candidates t fingerprint)
+    attempt None [] (candidates t fingerprint)
 
 (* A [put] arriving at the router is a client-driven write: fan it out
-   to every routable owner and demand the quorum ourselves. *)
-let route_put t ~tick ~fingerprint analysis =
-  front_store t fingerprint analysis;
-  let targets =
-    List.filter
-      (fun m -> Membership.state t.membership m <> Some Membership.Down)
-      (owners t fingerprint)
-  in
+   to every routable owner and demand the quorum ourselves.  An owner
+   the write cannot reach — Down, or failing mid-fan-out — gets a hint,
+   so even a degraded write converges on recovery. *)
+let route_put t ~tick ~fingerprint ~kind body =
+  if kind = "analysis" then front_store t fingerprint body;
+  let all_owners = owners t fingerprint in
+  let live = List.filter (fun m -> not (is_down t m)) all_owners in
   let acks =
     List.fold_left
       (fun acks m ->
-        if put_to t ~tick m ~fingerprint analysis then acks + 1 else acks)
-      0 targets
+        if is_down t m then begin
+          hint t m ~fingerprint ~kind body;
+          acks
+        end
+        else if put_to t ~tick ~kind m ~fingerprint body then acks + 1
+        else begin
+          hint t m ~fingerprint ~kind body;
+          acks
+        end)
+      0 all_owners
   in
-  if acks >= min t.config.quorum (max 1 (List.length targets)) then
+  if acks >= min t.config.quorum (max 1 (List.length live)) then
     Protocol.ok_stored ~fingerprint
   else begin
     Metrics.quorum_failure t.metrics;
@@ -271,6 +319,7 @@ let router_stats t =
       ("router", Metrics.to_json t.metrics);
       ("members", members_json t);
       ("front", front_stats_json t);
+      ("hints", Sink.Int (Hints.pending t.hints));
     ]
 
 let router_health t =
@@ -281,6 +330,7 @@ let router_health t =
       ("inflight", Sink.Int (Metrics.inflight t.metrics));
       ("members", members_json t);
       ("cache", front_stats_json t);
+      ("hints", Sink.Int (Hints.pending t.hints));
     ]
 
 let handle t ~tick line =
@@ -340,9 +390,20 @@ let handle t ~tick line =
               routing_key (Fingerprint.of_game game) ~mode ~concept
             in
             (route_analysis t ~tick ~request ~fingerprint, `Continue))
-        | Protocol.Put { fingerprint; analysis } ->
-          ( route_put t ~tick ~fingerprint
-              (Bi_cache.Codec.analysis_to_json analysis),
+        | Protocol.Put { fingerprint; value } ->
+          let kind, body =
+            match value with
+            | Protocol.Put_analysis analysis ->
+              ("analysis", Bi_cache.Codec.analysis_to_json analysis)
+            | Protocol.Put_payload body -> ("payload", body)
+          in
+          (route_put t ~tick ~fingerprint ~kind body, `Continue)
+        | Protocol.Digest _ | Protocol.Pull _ ->
+          (* Cluster-internal verbs: replica state lives on shards, the
+             router holds only an ephemeral front cache.  fsck and the
+             repair loop address shards directly. *)
+          ( Protocol.error
+              "digest/pull are shard verbs; address a shard directly",
             `Continue )
         | Protocol.Stats -> (router_stats t, `Continue)
         | Protocol.Health -> (router_health t, `Continue)
@@ -363,6 +424,23 @@ let warm t ~tick member =
           Metrics.warmed t.metrics)
     entries
 
+(* Deliver the writes a member missed while unreachable.  Runs on its
+   Down→Up transition, before warming: hints are the entries known to
+   be missing, warming is opportunistic.  A hint that still cannot be
+   delivered goes back in the log for the next recovery. *)
+let drain_hints t ~tick member =
+  List.iter
+    (fun (h : Hints.hint) ->
+      if
+        put_to t ~tick ~kind:h.Hints.kind member
+          ~fingerprint:h.Hints.fingerprint h.Hints.body
+      then Metrics.repair t.metrics
+      else
+        ignore
+          (Hints.record t.hints ~member ~fingerprint:h.Hints.fingerprint
+             ~kind:h.Hints.kind h.Hints.body))
+    (Hints.take t.hints member)
+
 let probe t ~tick member =
   Metrics.probe t.metrics;
   let healthy =
@@ -377,6 +455,7 @@ let probe t ~tick member =
     match Membership.note_success t.membership ~now:tick member with
     | `Recovered ->
       Metrics.marked_up t.metrics;
+      drain_hints t ~tick member;
       warm t ~tick member
     | `Ok -> ())
   else begin
@@ -386,12 +465,144 @@ let probe t ~tick member =
     | `Ok -> ()
   end
 
+(* --- anti-entropy ------------------------------------------------------ *)
+
+(* The digest view of one live member, as key→check tables keyed by
+   bucket.  [Error] covers transport failure and pre-repair shards that
+   reject the verb — both mean "skip this round", never "diverged". *)
+let member_rollup t member =
+  match exchange t member (Protocol.digest_request ()) with
+  | Error _ -> Error ()
+  | Ok resp ->
+    if Protocol.is_ok resp then
+      Result.map_error (fun _ -> ()) (Protocol.rollup_of resp)
+    else Error ()
+
+let member_bucket t member b =
+  match exchange t member (Protocol.digest_request ~bucket:b ()) with
+  | Error _ -> Error ()
+  | Ok resp ->
+    if Protocol.is_ok resp then
+      Result.map_error (fun _ -> ()) (Protocol.bucket_keys_of resp)
+    else Error ()
+
+(* Repair the keys of one bucket between members [a] and [b]: judge the
+   pair's copies with the same divergence rule fsck uses (restricted to
+   this pair), pull each divergent key from its authority and push it to
+   the lagging side through the ordinary [put] — so repaired entries are
+   byte-identical to replicated ones, and last-writer-wins follows the
+   ring's owner order. *)
+let repair_bucket t ~tick a b bucket =
+  match (member_bucket t a bucket, member_bucket t b bucket) with
+  | Error (), _ | _, Error () -> ()
+  | Ok pa, Ok pb ->
+    let table pairs =
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (k, c) -> Hashtbl.replace tbl k c) pairs;
+      tbl
+    in
+    let _, divergent =
+      Fsck.divergences ~ring:(current_ring t) ~replicas:t.config.replicas
+        [ (a, table pa); (b, table pb) ]
+    in
+    if divergent <> [] then
+      Metrics.divergent t.metrics ~keys:(List.length divergent);
+    List.iter
+      (fun (d : Fsck.divergence) ->
+        let targets =
+          d.Fsck.missing
+          @ List.filter_map
+              (fun (n, check) ->
+                if
+                  n <> d.Fsck.authority
+                  && check <> List.assoc d.Fsck.authority d.Fsck.holders
+                then Some n
+                else None)
+              d.Fsck.holders
+        in
+        if targets <> [] then begin
+          match exchange t d.Fsck.authority (Protocol.pull_request [ d.Fsck.key ]) with
+          | Error _ -> ()
+          | Ok resp -> (
+            match Protocol.entries_of resp with
+            | Ok (entry :: _) ->
+              List.iter
+                (fun target ->
+                  if
+                    put_to t ~tick ~kind:entry.Bi_cache.Store.kind target
+                      ~fingerprint:entry.Bi_cache.Store.key
+                      entry.Bi_cache.Store.body
+                  then Metrics.repair t.metrics)
+                targets
+            | Ok [] | Error _ -> ())
+        end)
+      divergent
+
+(* One low-duty-cycle anti-entropy round: compare the digest rollups of
+   one Up owner pair (a rotating cursor covers all adjacent pairs over
+   successive rounds) and repair the differing buckets, a bounded number
+   per round. *)
+let repair_round t ~tick =
+  let ups =
+    List.filter
+      (fun m -> Membership.state t.membership m = Some Membership.Up)
+      (Membership.members t.membership)
+  in
+  let n = List.length ups in
+  if n >= 2 then begin
+    Metrics.repair_round t.metrics;
+    let a = List.nth ups (t.repair_cursor mod n) in
+    let b = List.nth ups ((t.repair_cursor + 1) mod n) in
+    t.repair_cursor <- t.repair_cursor + 1;
+    match (member_rollup t a, member_rollup t b) with
+    | Error (), _ | _, Error () -> ()
+    | Ok ra, Ok rb ->
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (bk, d) -> Hashtbl.replace tbl bk [ d ]) ra;
+      List.iter
+        (fun (bk, d) ->
+          match Hashtbl.find_opt tbl bk with
+          | Some ds -> Hashtbl.replace tbl bk (d :: ds)
+          | None -> Hashtbl.replace tbl bk [ d ])
+        rb;
+      let differing =
+        Hashtbl.fold
+          (fun bk ds acc ->
+            match ds with
+            | [ d1; d2 ] when d1 = d2 -> acc
+            | _ -> bk :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      let bounded =
+        List.filteri (fun i _ -> i < repair_buckets_per_round) differing
+      in
+      List.iter (repair_bucket t ~tick a b) bounded
+  end
+
 let parse_members s =
-  String.split_on_char ','
-    (String.map (function '\n' | '\r' | '\t' | ' ' -> ',' | c -> c) s)
-  |> List.filter_map (fun m ->
-         let m = String.trim m in
-         if m = "" then None else Some m)
+  let raw =
+    String.split_on_char ','
+      (String.map (function '\n' | '\r' | '\t' | ' ' -> ',' | c -> c) s)
+    |> List.filter_map (fun m ->
+           let m = String.trim m in
+           if m = "" then None else Some m)
+  in
+  (* Dedupe, keeping first-occurrence order: a duplicated member would
+     double-weight the ring and count twice toward the quorum — two
+     "copies" on one disk.  Noisy, because it is a config bug. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun m ->
+      if Hashtbl.mem seen m then begin
+        Printf.eprintf "router: ignoring duplicate member %s\n%!" m;
+        false
+      end
+      else begin
+        Hashtbl.replace seen m ();
+        true
+      end)
+    raw
 
 let reload_members t ~tick =
   match t.members_file with
@@ -428,6 +639,10 @@ let poller t =
     incr tick;
     if Atomic.exchange t.reload false then reload_members t ~tick:!tick;
     List.iter (probe t ~tick:!tick) (Membership.due t.membership ~now:!tick);
+    if
+      t.config.repair_interval_ticks > 0
+      && !tick mod t.config.repair_interval_ticks = 0
+    then repair_round t ~tick:!tick;
     Thread.delay t.config.probe_interval_s
   done
 
@@ -467,14 +682,16 @@ let handle_conn t oc line =
   | `Stop -> `Stop
   | `Continue -> if delivered then `Continue else `Close
 
-let run ?on_ready ?metrics_out ?members_file ?(config = default_config)
-    ~members listen =
+let run ?on_ready ?metrics_out ?members_file ?hints_path
+    ?(config = default_config) ~members listen =
   (match validate_members members with
   | Ok () -> ()
   | Error e -> failwith ("router: " ^ e));
   if config.quorum < 1 then failwith "router: quorum must be >= 1";
   if config.replicas < config.quorum then
     failwith "router: replicas must be >= quorum";
+  if config.hint_capacity < 1 then
+    failwith "router: hint capacity must be >= 1";
   let ls = Lineserver.create listen in
   let t =
     {
@@ -485,9 +702,11 @@ let run ?on_ready ?metrics_out ?members_file ?(config = default_config)
       ring_lock = Mutex.create ();
       front = Lru.create ~capacity:(max 1 config.front_capacity);
       front_lock = Mutex.create ();
+      hints = Hints.create ~capacity:config.hint_capacity ?path:hints_path ();
       ls;
       members_file;
       reload = Atomic.make false;
+      repair_cursor = 0;
     }
   in
   let previous_hup =
@@ -503,4 +722,5 @@ let run ?on_ready ?metrics_out ?members_file ?(config = default_config)
   (match previous_hup with
   | Some h -> ( try Sys.set_signal Sys.sighup h with Invalid_argument _ | Sys_error _ -> ())
   | None -> ());
+  Hints.close t.hints;
   Option.iter (dump_metrics t) metrics_out

@@ -5,6 +5,10 @@ type config = {
   drop_p : float;
   truncate_p : float;
   corrupt_store_p : float;
+  partition_p : float;
+  partition_ms : int;
+  slow_p : float;
+  slow_ms : int;
 }
 
 let disabled =
@@ -15,10 +19,15 @@ let disabled =
     drop_p = 0.;
     truncate_p = 0.;
     corrupt_store_p = 0.;
+    partition_p = 0.;
+    partition_ms = 1000;
+    slow_p = 0.;
+    slow_ms = 1000;
   }
 
 let is_enabled c =
-  c.delay_p > 0. || c.drop_p > 0. || c.truncate_p > 0. || c.corrupt_store_p > 0.
+  c.delay_p > 0. || c.drop_p > 0. || c.truncate_p > 0.
+  || c.corrupt_store_p > 0. || c.partition_p > 0. || c.slow_p > 0.
 
 let parse_field c key value =
   let prob name f =
@@ -42,6 +51,21 @@ let parse_field c key value =
   | "truncate_p" -> prob "truncate_p" (fun truncate_p -> { c with truncate_p })
   | "corrupt_store_p" ->
     prob "corrupt_store_p" (fun corrupt_store_p -> { c with corrupt_store_p })
+  | "partition_p" -> prob "partition_p" (fun partition_p -> { c with partition_p })
+  | "partition_ms" -> (
+    match int_of_string_opt value with
+    | Some n when n >= 0 -> Ok { c with partition_ms = n }
+    | _ ->
+      Error
+        (Printf.sprintf "partition_ms must be a non-negative integer, got %S"
+           value))
+  | "slow_p" -> prob "slow_p" (fun slow_p -> { c with slow_p })
+  | "slow_ms" -> (
+    match int_of_string_opt value with
+    | Some n when n >= 0 -> Ok { c with slow_ms = n }
+    | _ ->
+      Error
+        (Printf.sprintf "slow_ms must be a non-negative integer, got %S" value))
   | _ -> Error (Printf.sprintf "unknown chaos key %S" key)
 
 let parse spec =
@@ -85,7 +109,15 @@ let unit_float ~seed ~counter =
   (* 53 uniform mantissa bits -> [0, 1). *)
   Int64.to_float (Int64.shift_right_logical bits 11) *. (1. /. 9007199254740992.)
 
-type t = { cfg : config; counter : int Atomic.t }
+type t = {
+  cfg : config;
+  counter : int Atomic.t;
+  (* Partition window: once opened, every connection in the next
+     [partition_ms] is refused — a whole-node network event, not an
+     independent per-request coin flip.  Guarded by [window_lock]. *)
+  window_lock : Mutex.t;
+  mutable partition_until : float;
+}
 
 let config t = t.cfg
 
@@ -114,6 +146,40 @@ let response_action t =
     in
     { delay_ms; transport }
 
+(* Per-connection decision, taken on accept.  [`Refuse] hangs up before
+   reading anything — to the client it is exactly a partitioned or dead
+   peer: fast connection loss, no response, so the router classifies it
+   as a transport failure and fails over.  A positive [partition_p] draw
+   opens a [partition_ms] window during which *every* connection is
+   refused.  [`Stall n] holds the accepted connection for [n] ms before
+   serving — the slow-peer fault that exercises client read timeouts. *)
+let connection_action t =
+  if not (is_enabled t.cfg) then `Proceed
+  else begin
+    let now = Unix.gettimeofday () in
+    let partitioned =
+      t.cfg.partition_p > 0.
+      && begin
+           Mutex.lock t.window_lock;
+           let inside = now < t.partition_until in
+           let inside =
+             if inside then true
+             else if draw t < t.cfg.partition_p then begin
+               t.partition_until <-
+                 now +. (float_of_int t.cfg.partition_ms /. 1000.);
+               true
+             end
+             else false
+           in
+           Mutex.unlock t.window_lock;
+           inside
+         end
+    in
+    if partitioned then `Refuse
+    else if t.cfg.slow_p > 0. && draw t < t.cfg.slow_p then `Stall t.cfg.slow_ms
+    else `Proceed
+  end
+
 (* Store corruption: overwrite a byte mid-line so the entry fails its
    checksum (or JSON parse) on replay — exactly the damage a torn or
    bit-flipped write leaves behind. *)
@@ -127,7 +193,14 @@ let corrupt_line t line =
   end
 
 let create cfg =
-  let t = { cfg; counter = Atomic.make 0 } in
+  let t =
+    {
+      cfg;
+      counter = Atomic.make 0;
+      window_lock = Mutex.create ();
+      partition_until = 0.;
+    }
+  in
   if cfg.corrupt_store_p > 0. then
     Bi_cache.Store.set_write_fault (Some (corrupt_line t));
   t

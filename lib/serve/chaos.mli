@@ -20,6 +20,15 @@ type config = {
   drop_p : float;  (** Probability the connection is dropped unanswered. *)
   truncate_p : float;  (** Probability the response line is cut short. *)
   corrupt_store_p : float;  (** Probability an appended store line is mangled. *)
+  partition_p : float;
+      (** Probability an accepted connection opens a partition window:
+          for the next [partition_ms], every connection is refused
+          (hang-up before reading) — the whole-node partition fault. *)
+  partition_ms : int;  (** Partition window length (default 1000). *)
+  slow_p : float;
+      (** Probability an accepted connection is stalled [slow_ms]
+          before being served — the slow-peer fault. *)
+  slow_ms : int;  (** Stall length (default 1000). *)
 }
 
 val disabled : config
@@ -67,3 +76,13 @@ val response_action : t -> action
 
 val faulty : action -> bool
 (** True when the action differs from {!deliver}. *)
+
+val connection_action : t -> [ `Proceed | `Refuse | `Stall of int ]
+(** Per-connection decision, taken on accept.  [`Refuse] closes the
+    connection before reading anything — to the peer, exactly a
+    partitioned node (fast transport failure, no response); a positive
+    [partition_p] draw opens a [partition_ms] window during which every
+    connection is refused.  [`Stall ms] sleeps before serving.  The
+    window state is shared across threads; decisions still come from
+    the deterministic stream (window *expiry* is wall-clock, so
+    partition timing is only as reproducible as the clock). *)

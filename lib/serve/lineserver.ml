@@ -97,7 +97,7 @@ let initiate_shutdown t =
     Mutex.unlock t.lock
   end
 
-let serve_conn t ~handler conn_id fd =
+let serve_conn t ~on_accept ~handler conn_id fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let finally () =
@@ -108,20 +108,29 @@ let serve_conn t ~handler conn_id fd =
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally (fun () ->
-      let rec loop () =
-        match input_line ic with
-        | exception End_of_file -> ()
-        | exception Sys_error _ -> ()
-        (* SO_RCVTIMEO expiring surfaces as [Sys_blocked_io]. *)
-        | exception Sys_blocked_io -> t.on_idle_close ()
-        | line when String.trim line = "" -> loop ()
-        | line -> (
-          match handler oc line with
-          | `Close -> ()
-          | `Stop -> initiate_shutdown t
-          | `Continue -> if not (Atomic.get t.stop) then loop ())
-      in
-      loop ())
+      (* The per-connection fault decision (chaos partitions/stalls):
+         [`Refuse] hangs up before reading anything — to the peer this
+         is a partitioned node, a fast transport failure. *)
+      match on_accept () with
+      | `Refuse -> ()
+      | (`Proceed | `Stall _) as a ->
+        (match a with
+        | `Stall ms when ms > 0 -> Thread.delay (float_of_int ms /. 1000.)
+        | _ -> ());
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | exception Sys_error _ -> ()
+          (* SO_RCVTIMEO expiring surfaces as [Sys_blocked_io]. *)
+          | exception Sys_blocked_io -> t.on_idle_close ()
+          | line when String.trim line = "" -> loop ()
+          | line -> (
+            match handler oc line with
+            | `Close -> ()
+            | `Stop -> initiate_shutdown t
+            | `Continue -> if not (Atomic.get t.stop) then loop ())
+        in
+        loop ())
 
 (* Join connection threads that have announced their exit; called from
    the accept loop so the thread table stays bounded by the number of
@@ -143,7 +152,7 @@ let reap t =
   Mutex.unlock t.lock;
   List.iter Thread.join ths
 
-let run ?(on_ready = fun () -> ()) ~handler t =
+let run ?(on_ready = fun () -> ()) ?(on_accept = fun () -> `Proceed) ~handler t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let stop_on_signal = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
   let previous_int = Sys.signal Sys.sigint stop_on_signal in
@@ -169,7 +178,9 @@ let run ?(on_ready = fun () -> ()) ~handler t =
           t.next_conn <- conn_id + 1;
           Hashtbl.replace t.conns conn_id fd;
           let th =
-            Thread.create (fun () -> serve_conn t ~handler conn_id fd) ()
+            Thread.create
+              (fun () -> serve_conn t ~on_accept ~handler conn_id fd)
+              ()
           in
           Hashtbl.replace t.threads conn_id th;
           Mutex.unlock t.lock;

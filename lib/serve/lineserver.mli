@@ -39,6 +39,7 @@ val initiate_shutdown : t -> unit
 
 val run :
   ?on_ready:(unit -> unit) ->
+  ?on_accept:(unit -> [ `Proceed | `Refuse | `Stall of int ]) ->
   handler:(out_channel -> string -> [ `Continue | `Close | `Stop ]) ->
   t ->
   unit
@@ -51,4 +52,7 @@ val run :
     on the given channel and returns [`Continue] to keep the
     connection, [`Close] to drop it, or [`Stop] to shut the whole
     server down.  Blank lines are skipped; read errors and idle
-    timeouts close the connection. *)
+    timeouts close the connection.  [on_accept] runs once per
+    connection on its own thread before any read: [`Refuse] hangs up
+    immediately (the chaos partition fault — the peer sees a dead
+    node), [`Stall ms] sleeps before serving (the slow-peer fault). *)

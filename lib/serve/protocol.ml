@@ -11,10 +11,16 @@ type query =
       concept : Concept.t;
     }
   | Construction of { name : string; k : int; mode : Mode.t; concept : Concept.t }
-  | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
+  | Put of { fingerprint : string; value : put_value }
+  | Digest of { bucket : int option }
+  | Pull of { keys : string list }
   | Stats
   | Health
   | Shutdown
+
+and put_value =
+  | Put_analysis of Bi_ncs.Bayesian_ncs.analysis
+  | Put_payload of Sink.json
 
 type request = { query : query; deadline_ms : int option }
 
@@ -101,14 +107,56 @@ let parse_request line =
         match Sink.member "analysis" j with
         | None -> Error "put: missing \"analysis\""
         | Some body -> (
-          match Codec.analysis_of_json body with
-          | Ok analysis -> with_deadline (Put { fingerprint; analysis })
-          | Error e -> Error (Printf.sprintf "put: %s" e)))
+          (* An absent ["kind"] is an analysis — the only kind pre-repair
+             routers ever sent — so old replication traffic parses
+             exactly as before.  ["payload"] stores the body verbatim
+             (certified/correlated tiers); anything else is rejected. *)
+          match Sink.member "kind" j with
+          | None | Some (Sink.Str "analysis") -> (
+            match Codec.analysis_of_json body with
+            | Ok analysis ->
+              with_deadline (Put { fingerprint; value = Put_analysis analysis })
+            | Error e -> Error (Printf.sprintf "put: %s" e))
+          | Some (Sink.Str "payload") ->
+            with_deadline (Put { fingerprint; value = Put_payload body })
+          | Some v ->
+            Error
+              (Printf.sprintf
+                 "put: kind must be \"analysis\" or \"payload\", got %s"
+                 (Sink.to_string v))))
       | Some v ->
         Error
           (Printf.sprintf "put: fingerprint must be a string, got %s"
              (Sink.to_string v))
       | None -> Error "put: missing \"fingerprint\"")
+    | Some (Sink.Str "digest") -> (
+      match Sink.member "bucket" j with
+      | None -> with_deadline (Digest { bucket = None })
+      | Some (Sink.Int b) when b >= 0 && b < Bi_cache.Store.buckets ->
+        with_deadline (Digest { bucket = Some b })
+      | Some v ->
+        Error
+          (Printf.sprintf "digest: bucket must be an integer in [0, %d), got %s"
+             Bi_cache.Store.buckets (Sink.to_string v)))
+    | Some (Sink.Str "pull") -> (
+      match Sink.member "keys" j with
+      | Some (Sink.List keys) when keys <> [] && List.length keys <= 4096 ->
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | Sink.Str k :: rest when k <> "" -> collect (k :: acc) rest
+          | v :: _ ->
+            Error
+              (Printf.sprintf "pull: keys must be non-empty strings, got %s"
+                 (Sink.to_string v))
+        in
+        Result.bind (collect [] keys) (fun keys ->
+            with_deadline (Pull { keys }))
+      | Some (Sink.List []) -> Error "pull: keys must be non-empty"
+      | Some (Sink.List _) -> Error "pull: at most 4096 keys per request"
+      | Some v ->
+        Error
+          (Printf.sprintf "pull: keys must be a list, got %s" (Sink.to_string v))
+      | None -> Error "pull: missing \"keys\"")
     | Some (Sink.Str "stats") -> with_deadline Stats
     | Some (Sink.Str "health") -> with_deadline Health
     | Some (Sink.Str "shutdown") -> with_deadline Shutdown
@@ -150,12 +198,28 @@ let construction_request ?deadline_ms ?(mode = Mode.default)
     @ concept_field concept
     @ deadline_field deadline_ms)
 
-let put_request ~fingerprint analysis =
+let put_request ?(kind = "analysis") ~fingerprint body =
+  (* The ["kind"] field is emitted only for non-analysis payloads, so
+     analysis replication stays byte-identical to pre-repair traffic. *)
+  let kind_field =
+    if kind = "analysis" then [] else [ ("kind", Sink.Str kind) ]
+  in
+  Sink.Obj
+    ([ ("op", Sink.Str "put"); ("fingerprint", Str fingerprint) ]
+    @ kind_field
+    @ [ ("analysis", body) ])
+
+let digest_request ?bucket () =
+  let bucket_field =
+    match bucket with None -> [] | Some b -> [ ("bucket", Sink.Int b) ]
+  in
+  Sink.Obj (("op", Sink.Str "digest") :: bucket_field)
+
+let pull_request keys =
   Sink.Obj
     [
-      ("op", Sink.Str "put");
-      ("fingerprint", Str fingerprint);
-      ("analysis", analysis);
+      ("op", Sink.Str "pull");
+      ("keys", Sink.List (List.map (fun k -> Sink.Str k) keys));
     ]
 
 let stats_request = Sink.Obj [ ("op", Str "stats") ]
@@ -206,6 +270,84 @@ let ok_health ~shard ~inflight ~cache =
 let ok_stored ~fingerprint =
   Sink.Obj
     [ ("ok", Bool true); ("stored", Bool true); ("fingerprint", Str fingerprint) ]
+
+let ok_digest ~shard ~rollup =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("shard", Str shard);
+      ("digest",
+       List (List.map (fun (b, d) -> Sink.List [ Int b; Str d ]) rollup));
+    ]
+
+let ok_bucket ~shard ~bucket ~keys =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("shard", Str shard);
+      ("bucket", Int bucket);
+      ("keys",
+       List (List.map (fun (k, c) -> Sink.List [ Str k; Str c ]) keys));
+    ]
+
+let entry_to_json (e : Bi_cache.Store.entry) =
+  Sink.Obj
+    [
+      ("key", Sink.Str e.Bi_cache.Store.key);
+      ("kind", Sink.Str e.Bi_cache.Store.kind);
+      ("body", e.Bi_cache.Store.body);
+    ]
+
+let ok_pulled ~shard ~entries ~missing =
+  Sink.Obj
+    [
+      ("ok", Bool true);
+      ("shard", Str shard);
+      ("entries", List (List.map entry_to_json entries));
+      ("missing", List (List.map (fun k -> Sink.Str k) missing));
+    ]
+
+(* Client-side decoders for the repair verbs (router repair loop, fsck).
+   Total: any malformed shape is an [Error], never an exception. *)
+
+let rollup_of j =
+  match Sink.member "digest" j with
+  | Some (Sink.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Sink.List [ Sink.Int b; Sink.Str d ] :: rest -> go ((b, d) :: acc) rest
+      | _ -> Error "digest: malformed rollup item"
+    in
+    go [] items
+  | _ -> Error "digest: missing rollup"
+
+let bucket_keys_of j =
+  match Sink.member "keys" j with
+  | Some (Sink.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Sink.List [ Sink.Str k; Sink.Str c ] :: rest -> go ((k, c) :: acc) rest
+      | _ -> Error "digest: malformed bucket item"
+    in
+    go [] items
+  | _ -> Error "digest: missing bucket keys"
+
+let entries_of j =
+  match Sink.member "entries" j with
+  | Some (Sink.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match
+          (Sink.member "key" item, Sink.member "kind" item,
+           Sink.member "body" item)
+        with
+        | Some (Sink.Str key), Some (Sink.Str kind), Some body ->
+          go ({ Bi_cache.Store.key; kind; body } :: acc) rest
+        | _ -> Error "pull: malformed entry")
+    in
+    go [] items
+  | _ -> Error "pull: missing entries"
 
 let shard_of j =
   match Sink.member "shard" j with Some (Sink.Str s) -> Some s | _ -> None

@@ -32,17 +32,34 @@ type query =
       mode : Bi_certify.Mode.t;
       concept : Bi_correlated.Concept.t;
     }
-  | Put of { fingerprint : string; analysis : Bi_ncs.Bayesian_ncs.analysis }
-      (** A cache write: store [analysis] under [fingerprint] without
+  | Put of { fingerprint : string; value : put_value }
+      (** A cache write: store [value] under [fingerprint] without
           computing anything.  The router uses it for quorum
-          replication and for warming shards after membership
-          changes. *)
+          replication, warming, hinted handoff and repair. *)
+  | Digest of { bucket : int option }
+      (** Cluster-internal consistency probe: [None] asks for the
+          per-bucket rollup of the resident entries, [Some b] for one
+          bucket's key→check map.  Never shed. *)
+  | Pull of { keys : string list }
+      (** Cluster-internal entry fetch by key (repair path); the
+          response carries the full store entries plus the keys not
+          resident.  At most 4096 keys per request.  Never shed. *)
   | Stats
   | Health
       (** Liveness + identity probe: answered with the shard id, the
           in-flight request depth and the cache statistics, never shed
           and never queued behind solver work. *)
   | Shutdown
+
+and put_value =
+  | Put_analysis of Bi_ncs.Bayesian_ncs.analysis
+      (** ["kind"] absent or ["analysis"] on the wire: the body is
+          decoded and validated as a full analysis — byte-identical
+          back-compat with pre-repair replication. *)
+  | Put_payload of Bi_engine.Sink.json
+      (** ["kind"]: ["payload"]: the body is stored verbatim (certified
+          / correlated tier results).  Pre-repair shards reject it with
+          a structured error, which repair treats as "skip". *)
 
 type request = {
   query : query;
@@ -85,11 +102,19 @@ val construction_request :
     pre-mode (and pre-correlated) requests. *)
 
 val put_request :
-  fingerprint:string -> Bi_engine.Sink.json -> Bi_engine.Sink.json
+  ?kind:string -> fingerprint:string -> Bi_engine.Sink.json -> Bi_engine.Sink.json
 (** [put_request ~fingerprint analysis_json] — the JSON argument is the
     already-encoded ["analysis"] value (as found in an [ok_analysis]
     response), so a router can replicate a shard's answer without
-    decoding it. *)
+    decoding it.  [?kind] defaults to ["analysis"] (no wire field, so
+    analysis puts stay byte-identical to pre-repair traffic); pass
+    ["payload"] to store the body verbatim. *)
+
+val digest_request : ?bucket:int -> unit -> Bi_engine.Sink.json
+(** Rollup request, or one bucket's key→check map with [?bucket]. *)
+
+val pull_request : string list -> Bi_engine.Sink.json
+(** Fetch store entries by key. *)
 
 val stats_request : Bi_engine.Sink.json
 val health_request : Bi_engine.Sink.json
@@ -136,6 +161,37 @@ val ok_health :
 
 val ok_stored : fingerprint:string -> Bi_engine.Sink.json
 (** Acknowledges a [put]: ["stored"]: [true]. *)
+
+val ok_digest :
+  shard:string -> rollup:(int * string) list -> Bi_engine.Sink.json
+(** Digest rollup response: ["digest"] is a list of [[bucket, md5]]
+    pairs for every non-empty bucket, in increasing bucket order. *)
+
+val ok_bucket :
+  shard:string -> bucket:int -> keys:(string * string) list ->
+  Bi_engine.Sink.json
+(** One bucket's key→check map: ["keys"] is a list of [[key, check]]
+    pairs sorted by key. *)
+
+val ok_pulled :
+  shard:string ->
+  entries:Bi_cache.Store.entry list ->
+  missing:string list ->
+  Bi_engine.Sink.json
+(** Pull response: the resident entries (key/kind/canonical body) and
+    the keys that were not resident. *)
+
+val rollup_of :
+  Bi_engine.Sink.json -> ((int * string) list, string) result
+(** Decode an {!ok_digest} response.  Total. *)
+
+val bucket_keys_of :
+  Bi_engine.Sink.json -> ((string * string) list, string) result
+(** Decode an {!ok_bucket} response.  Total. *)
+
+val entries_of :
+  Bi_engine.Sink.json -> (Bi_cache.Store.entry list, string) result
+(** Decode the entries of an {!ok_pulled} response.  Total. *)
 
 val shard_of : Bi_engine.Sink.json -> string option
 (** The ["shard"] field of a health response, when present. *)

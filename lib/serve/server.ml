@@ -297,10 +297,36 @@ let handle_query t ~budget ~chaos_delay_ms query =
   (* [put] and [health] are cluster-control verbs: like [stats] they are
      never shed and never queue behind solver work, so replication and
      liveness probing keep working on a saturated shard. *)
-  | Protocol.Put { fingerprint; analysis } ->
+  | Protocol.Put { fingerprint; value } ->
     chaos_sleep chaos_delay_ms;
-    Service.insert_analysis t.cache fingerprint analysis;
+    (match value with
+    | Protocol.Put_analysis analysis ->
+      Service.insert_analysis t.cache fingerprint analysis
+    | Protocol.Put_payload body ->
+      Service.insert t.cache fingerprint (Service.Payload body));
     (Protocol.ok_stored ~fingerprint, `Continue)
+  (* [digest] and [pull] are the repair-path control verbs: cheap reads
+     of the resident digest view, never shed, so anti-entropy and fsck
+     keep converging replicas even while the solvers are saturated. *)
+  | Protocol.Digest { bucket } ->
+    chaos_sleep chaos_delay_ms;
+    let shard =
+      Option.value (Service.stats t.cache).Service.shard ~default:"unnamed"
+    in
+    (match bucket with
+    | None ->
+      ( Protocol.ok_digest ~shard ~rollup:(Service.digest_rollup t.cache),
+        `Continue )
+    | Some b ->
+      ( Protocol.ok_bucket ~shard ~bucket:b ~keys:(Service.bucket_keys t.cache b),
+        `Continue ))
+  | Protocol.Pull { keys } ->
+    chaos_sleep chaos_delay_ms;
+    let shard =
+      Option.value (Service.stats t.cache).Service.shard ~default:"unnamed"
+    in
+    let entries, missing = Service.pull t.cache keys in
+    (Protocol.ok_pulled ~shard ~entries ~missing, `Continue)
   | Protocol.Health ->
     chaos_sleep chaos_delay_ms;
     let stats = Service.stats t.cache in
@@ -420,5 +446,15 @@ let run ?pool ?metrics_out ?on_ready ?(limits = default_limits) ?chaos ~cache
       queued = 0;
     }
   in
-  Lineserver.run ?on_ready ~handler:(handle_conn_line t) ls;
+  let on_accept () =
+    match chaos with
+    | None -> `Proceed
+    | Some c -> (
+      match Chaos.connection_action c with
+      | `Proceed -> `Proceed
+      | (`Refuse | `Stall _) as fault ->
+        Metrics.fault_injected t.metrics;
+        fault)
+  in
+  Lineserver.run ?on_ready ~on_accept ~handler:(handle_conn_line t) ls;
   Option.iter (dump_metrics t) metrics_out

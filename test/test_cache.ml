@@ -480,6 +480,118 @@ let test_service_lru_bounds_memory () =
     (Option.map (fun _ -> "present") (Service.find s "a"));
   Service.close s
 
+(* --- digest view ------------------------------------------------------- *)
+
+let test_store_digest_helpers () =
+  let b = Store.bucket_of_key "some-key" in
+  Alcotest.(check bool) "bucket in range" true (b >= 0 && b < Store.buckets);
+  Alcotest.(check int) "bucket deterministic" b (Store.bucket_of_key "some-key");
+  let pairs = [ ("k1", "c1"); ("k2", "c2"); ("k3", "c3") ] in
+  Alcotest.(check string) "bucket digest ignores pair order"
+    (Store.bucket_digest pairs)
+    (Store.bucket_digest (List.rev pairs));
+  Alcotest.(check bool) "bucket digest sees check changes" true
+    (Store.bucket_digest pairs
+    <> Store.bucket_digest [ ("k1", "cX"); ("k2", "c2"); ("k3", "c3") ])
+
+let test_service_digest_view () =
+  let s = Service.create ~capacity:8 () in
+  let keys = List.init 5 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iteri (fun i k -> Service.insert s k (Service.Payload (Sink.Int i))) keys;
+  let rollup = Service.digest_rollup s in
+  let buckets_of_keys =
+    List.sort_uniq compare (List.map Store.bucket_of_key keys)
+  in
+  Alcotest.(check (list int)) "rollup covers exactly the resident buckets"
+    buckets_of_keys (List.map fst rollup);
+  (* Every rollup digest is recomputable from its bucket's pairs. *)
+  List.iter
+    (fun (b, digest) ->
+      Alcotest.(check string) "bucket digest matches pairs" digest
+        (Store.bucket_digest (Service.bucket_keys s b)))
+    rollup;
+  (* Pull serves every advertised key; unknown keys surface as missing. *)
+  let entries, missing = Service.pull s ("nope" :: keys) in
+  Alcotest.(check (list string)) "missing reported" [ "nope" ] missing;
+  Alcotest.(check (list string)) "entries in request order" keys
+    (List.map (fun (e : Store.entry) -> e.Store.key) entries);
+  (* The advertised check is the md5 of the canonical body — what a
+     peer would verify after a pull. *)
+  List.iter
+    (fun (e : Store.entry) ->
+      let b = Store.bucket_of_key e.Store.key in
+      let check = List.assoc e.Store.key (Service.bucket_keys s b) in
+      Alcotest.(check string) "check is md5 of body"
+        (Store.check_of e.Store.body) check)
+    entries;
+  Service.close s
+
+let test_service_digest_tracks_eviction () =
+  let s = Service.create ~capacity:2 () in
+  List.iteri
+    (fun i k -> Service.insert s k (Service.Payload (Sink.Int i)))
+    [ "a"; "b"; "c" ];
+  (* "a" was evicted: the digest view must never advertise a key pull
+     cannot serve, or anti-entropy would chase phantom divergence. *)
+  let advertised =
+    List.concat_map
+      (fun (b, _) -> List.map fst (Service.bucket_keys s b))
+      (Service.digest_rollup s)
+  in
+  Alcotest.(check bool) "evicted key dropped from digests" false
+    (List.mem "a" advertised);
+  Alcotest.(check (list string)) "resident keys advertised" [ "b"; "c" ]
+    (List.sort compare advertised);
+  let entries, missing = Service.pull s [ "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "evicted key missing" [ "a" ] missing;
+  Alcotest.(check int) "resident keys pulled" 2 (List.length entries);
+  Service.close s
+
+let test_store_rej_sidecar_dedupe () =
+  let path = Filename.temp_file "bi_rej" ".jsonl" in
+  let append_lines lines =
+    let oc = open_out_gen [ Open_append ] 0o644 path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  let store = Store.open_append path in
+  Store.append store { Store.key = "a"; kind = "payload"; body = Sink.Int 1 };
+  Store.close store;
+  append_lines [ "garbage one"; "garbage two" ];
+  ignore (Store.compact path);
+  Alcotest.(check int) "sidecar holds both bad lines" 2 (Store.rej_lines path);
+  (* The same damage again: a second compaction must not append lines
+     the sidecar already quarantined. *)
+  append_lines [ "garbage one"; "garbage two" ];
+  ignore (Store.compact path);
+  Alcotest.(check int) "sidecar deduplicated" 2 (Store.rej_lines path);
+  append_lines [ "garbage three" ];
+  ignore (Store.compact path);
+  Alcotest.(check int) "fresh damage still appended" 3 (Store.rej_lines path);
+  Sys.remove path;
+  Sys.remove (Store.rej_path path)
+
+let test_service_rejected_stat () =
+  let path = Filename.temp_file "bi_rejstat" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "garbage line\n";
+  close_out oc;
+  let s = Service.create ~store_path:path () in
+  let st = Service.stats s in
+  Alcotest.(check int) "quarantined at open" 1 st.Service.quarantined;
+  Alcotest.(check int) "rejected surfaces sidecar size" 1 st.Service.rejected;
+  Service.close s;
+  (* A fresh service over the now-clean store: nothing new quarantined,
+     but [rejected] still reports the sidecar's accumulated size. *)
+  let s2 = Service.create ~store_path:path () in
+  let st2 = Service.stats s2 in
+  Alcotest.(check int) "no new quarantine" 0 st2.Service.quarantined;
+  Alcotest.(check int) "rejected persists across restarts" 1
+    st2.Service.rejected;
+  Service.close s2;
+  Sys.remove path;
+  Sys.remove (Store.rej_path path)
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -521,6 +633,18 @@ let () =
             test_store_missing_file;
           Alcotest.test_case "compact keeps last entry per key" `Quick
             test_store_compact;
+          Alcotest.test_case "rej sidecar deduplicates" `Quick
+            test_store_rej_sidecar_dedupe;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "bucket helpers" `Quick test_store_digest_helpers;
+          Alcotest.test_case "rollup, bucket keys and pull agree" `Quick
+            test_service_digest_view;
+          Alcotest.test_case "eviction keeps digests honest" `Quick
+            test_service_digest_tracks_eviction;
+          Alcotest.test_case "rejected stat surfaces the sidecar" `Quick
+            test_service_rejected_stat;
         ] );
       ( "service",
         [

@@ -7,6 +7,9 @@
 module Ring = Bi_router.Ring
 module Membership = Bi_router.Membership
 module Router = Bi_router.Router
+module Hints = Bi_router.Hints
+module Fsck = Bi_router.Fsck
+module Store = Bi_cache.Store
 module Protocol = Bi_serve.Protocol
 module Server = Bi_serve.Server
 module Client = Bi_serve.Client
@@ -170,12 +173,160 @@ let test_membership_reload () =
     (Membership.state m "c" = Some Membership.Suspect);
   Alcotest.(check bool) "b forgotten" true (Membership.state m "b" = None)
 
+(* parse_members warns on stderr for every duplicate it drops; the
+   dedupe tests provoke hundreds of them on purpose. *)
+let silencing_stderr f =
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stderr;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved)
+    f
+
 let test_parse_members () =
   Alcotest.(check (list string))
     "commas and whitespace"
     [ "/tmp/a.sock"; "127.0.0.1:7401"; "7402" ]
     (Router.parse_members "/tmp/a.sock, 127.0.0.1:7401\n7402");
-  Alcotest.(check (list string)) "empty" [] (Router.parse_members " \n ,, ")
+  Alcotest.(check (list string)) "empty" [] (Router.parse_members " \n ,, ");
+  (* Duplicates are dropped at parse time — first occurrence kept, order
+     preserved — so a doubled line in a members file cannot double-weight
+     the ring or let one shard count twice toward the quorum. *)
+  silencing_stderr (fun () ->
+      Alcotest.(check (list string))
+        "duplicates dropped, order kept" [ "a"; "b"; "c" ]
+        (Router.parse_members "a, b, a\nb c b"))
+
+let parse_members_dedupes =
+  QCheck2.Test.make ~name:"parse_members keeps first occurrences in order"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 0 12) gen_member)
+    (fun members ->
+      let dedupe xs =
+        List.rev
+          (List.fold_left
+             (fun acc x -> if List.mem x acc then acc else x :: acc)
+             [] xs)
+      in
+      silencing_stderr (fun () ->
+          Router.parse_members (String.concat "," members) = dedupe members))
+
+(* --- hinted handoff ---------------------------------------------------- *)
+
+let test_hints_log () =
+  let h = Hints.create ~capacity:2 () in
+  Alcotest.(check int) "empty" 0 (Hints.pending h);
+  ignore (Hints.record h ~member:"a" ~fingerprint:"k1" ~kind:"analysis" (Sink.Int 1));
+  ignore (Hints.record h ~member:"b" ~fingerprint:"k2" ~kind:"payload" (Sink.Int 2));
+  Alcotest.(check int) "two parked" 2 (Hints.pending h);
+  Alcotest.(check (list string)) "members, oldest hint first" [ "a"; "b" ]
+    (Hints.members h);
+  (* A newer write to the same (member, key) supersedes in place. *)
+  ignore (Hints.record h ~member:"a" ~fingerprint:"k1" ~kind:"analysis" (Sink.Int 3));
+  Alcotest.(check int) "superseded, not duplicated" 2 (Hints.pending h);
+  (* At capacity the oldest hint (a's) is evicted to make room. *)
+  let evicted =
+    Hints.record h ~member:"b" ~fingerprint:"k3" ~kind:"analysis" (Sink.Int 4)
+  in
+  Alcotest.(check int) "one evicted" 1 evicted;
+  Alcotest.(check int) "bounded" 2 (Hints.pending h);
+  Alcotest.(check int) "a's hint was the eviction victim" 0
+    (List.length (Hints.take h "a"));
+  (match Hints.take h "b" with
+  | [ h2; h3 ] ->
+    Alcotest.(check string) "oldest first" "k2" h2.Hints.fingerprint;
+    Alcotest.(check string) "kind kept" "payload" h2.Hints.kind;
+    Alcotest.(check string) "newest last" "k3" h3.Hints.fingerprint
+  | l -> Alcotest.failf "expected b's two hints, got %d" (List.length l));
+  Alcotest.(check int) "drained" 0 (Hints.pending h);
+  Alcotest.(check (list string)) "no members left" [] (Hints.members h);
+  Hints.close h
+
+let test_hints_durability () =
+  let path = Filename.temp_file "bi_hints" ".jsonl" in
+  let h = Hints.create ~path () in
+  ignore (Hints.record h ~member:"a" ~fingerprint:"k1" ~kind:"analysis" (Sink.Int 1));
+  ignore (Hints.record h ~member:"a" ~fingerprint:"k1" ~kind:"analysis" (Sink.Int 2));
+  ignore (Hints.record h ~member:"b" ~fingerprint:"k2" ~kind:"payload" (Sink.Str "x"));
+  ignore (Hints.take h "b");
+  Hints.close h;
+  (* A restarted router replays exactly the outstanding hints: the
+     delivered one is tombstoned, the superseding body wins. *)
+  let h = Hints.create ~path () in
+  Alcotest.(check int) "only the undelivered hint survives" 1 (Hints.pending h);
+  (match Hints.take h "a" with
+  | [ hint ] ->
+    Alcotest.(check string) "fingerprint" "k1" hint.Hints.fingerprint;
+    Alcotest.(check string) "superseding body wins" "2"
+      (Sink.to_string hint.Hints.body)
+  | l -> Alcotest.failf "expected one replayed hint, got %d" (List.length l));
+  Hints.close h;
+  Sys.remove path
+
+(* --- divergence rule (fsck / anti-entropy core) ------------------------ *)
+
+let test_fsck_divergences () =
+  let ring = Ring.create [ "s1"; "s2"; "s3" ] in
+  let owners = Ring.owners ring ~n:2 "k" in
+  let primary = List.nth owners 0 and secondary = List.nth owners 1 in
+  let other =
+    List.find (fun m -> not (List.mem m owners)) (Ring.members ring)
+  in
+  let tbl pairs =
+    let t = Hashtbl.create 4 in
+    List.iter (fun (k, v) -> Hashtbl.replace t k v) pairs;
+    t
+  in
+  let checked, divs =
+    Fsck.divergences ~ring ~replicas:2
+      [
+        (primary, tbl [ ("k", "c1") ]);
+        (secondary, tbl [ ("k", "c1") ]);
+        (other, tbl []);
+      ]
+  in
+  Alcotest.(check int) "keys checked" 1 checked;
+  Alcotest.(check int) "agreement is silent" 0 (List.length divs);
+  let _, divs =
+    Fsck.divergences ~ring ~replicas:2
+      [ (primary, tbl [ ("k", "c1") ]); (secondary, tbl []); (other, tbl []) ]
+  in
+  (match divs with
+  | [ d ] ->
+    Alcotest.(check string) "authority is the first holder" primary
+      d.Fsck.authority;
+    Alcotest.(check (list string)) "missing owner reported" [ secondary ]
+      d.Fsck.missing;
+    Alcotest.(check int) "bucket" (Store.bucket_of_key "k") d.Fsck.bucket
+  | _ -> Alcotest.fail "expected one divergence for the missing replica");
+  (* Conflicting checks: the holder earliest in ring-owner order is the
+     authority — the deterministic LWW proxy repair converges onto. *)
+  let _, divs =
+    Fsck.divergences ~ring ~replicas:2
+      [
+        (primary, tbl [ ("k", "c1") ]);
+        (secondary, tbl [ ("k", "c2") ]);
+        (other, tbl []);
+      ]
+  in
+  (match divs with
+  | [ d ] -> Alcotest.(check string) "conflict authority" primary d.Fsck.authority
+  | _ -> Alcotest.fail "expected one divergence for the conflict");
+  (* A non-owner's stray copy (membership-change leftover) is ignored. *)
+  let _, divs =
+    Fsck.divergences ~ring ~replicas:2
+      [
+        (primary, tbl [ ("k", "c1") ]);
+        (secondary, tbl [ ("k", "c1") ]);
+        (other, tbl [ ("k", "zzz") ]);
+      ]
+  in
+  Alcotest.(check int) "stray non-owner copy ignored" 0 (List.length divs)
 
 (* --- end-to-end: router over two in-process shards --------------------- *)
 
@@ -406,6 +557,305 @@ let test_router_correlated () =
         (get_bool "stopping" bye);
       Client.close c)
 
+let get_int key j =
+  match Sink.member key j with Some (Sink.Int n) -> Some n | _ -> None
+
+let member_state stats m =
+  match Sink.member "members" stats with
+  | Some (Sink.Obj fields) -> (
+    match List.assoc_opt m fields with Some (Sink.Str s) -> Some s | _ -> None)
+  | _ -> None
+
+let counter stats key =
+  match Sink.member "router" stats with
+  | Some counters -> Option.value ~default:0 (get_int key counters)
+  | None -> 0
+
+let wait_until ?(deadline = 15.) ~what f =
+  let rec go left =
+    if f () then ()
+    else if left <= 0. then Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.1;
+      go (left -. 0.1)
+    end
+  in
+  go deadline
+
+(* A failover read answered from a replica's cache parks the answer for
+   every owner that failed (read-repair), and a fresh compute that
+   cannot replicate to an owner parks a hint too.  Probes run only at
+   startup here, so the dead primary stays nominally Up and is tried —
+   and fails — first, making the failover deterministic. *)
+let test_read_repair_parks_hints () =
+  let dir = Filename.temp_file "bi_rr" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_a, cache_a, th_a = start_shard ~dir ~name:"shard-a" in
+  let sock_b, cache_b, th_b = start_shard ~dir ~name:"shard-b" in
+  let members = [ sock_a; sock_b ] in
+  let router_sock = Filename.concat dir "router.sock" in
+  let config =
+    {
+      Router.default_config with
+      front_capacity = 1;
+      probe_interval_s = 30.;
+      shard_timeout_s = 5.;
+    }
+  in
+  let th_router =
+    with_ready_thread (fun ~on_ready ->
+        Router.run ~on_ready ~config ~members
+          (Bi_serve.Lineserver.Unix_socket router_sock))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_endpoint router_sock;
+      Thread.join th_router;
+      stop_endpoint sock_a;
+      stop_endpoint sock_b;
+      Thread.join th_a;
+      Thread.join th_b;
+      Service.close cache_a;
+      Service.close cache_b)
+    (fun () ->
+      let c = Client.connect_unix router_sock in
+      let req = Protocol.construction_request ~name:"gworst-bliss" ~k:2 () in
+      let r = request_ok c req in
+      let bytes = analysis_bytes r in
+      let fp =
+        match Sink.member "fingerprint" r with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      let ring = Ring.create members in
+      let primary = Option.get (Ring.owner ring fp) in
+      stop_endpoint primary;
+      Thread.join (if primary = sock_a then th_a else th_b);
+      (* Fresh compute: replication to the dead owner parks a hint (and
+         evicts the k=2 entry from the 1-slot front cache). *)
+      ignore
+        (request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:3 ()));
+      (* The k=2 read now fails over to the replica's cache and parks
+         the answer for the dead primary. *)
+      let r' = request_ok c req in
+      Alcotest.(check (option bool)) "failover read from the replica's cache"
+        (Some true) (get_bool "cached" r');
+      Alcotest.(check string) "failover byte-identical" bytes
+        (analysis_bytes r');
+      let stats = request_ok c Protocol.stats_request in
+      Alcotest.(check bool) "both writes parked for the dead owner" true
+        (Option.value ~default:0 (get_int "hints" stats) >= 2);
+      Alcotest.(check bool) "read_repairs counted" true
+        (counter stats "read_repairs" >= 1);
+      Alcotest.(check bool) "hints_recorded counted" true
+        (counter stats "hints_recorded" >= 2);
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* Down→Up recovery drains the hint log into the restarted (empty)
+   shard before warming, and the anti-entropy loop converges the keys
+   no hint covered — all without recomputing anything. *)
+let test_recovery_drains_hints () =
+  let dir = Filename.temp_file "bi_drain" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_a, cache_a, th_a = start_shard ~dir ~name:"shard-a" in
+  let sock_b, cache_b, th_b = start_shard ~dir ~name:"shard-b" in
+  let members = [ sock_a; sock_b ] in
+  let router_sock = Filename.concat dir "router.sock" in
+  let config =
+    {
+      Router.default_config with
+      front_capacity = 1;
+      probe_interval_s = 0.05;
+      shard_timeout_s = 5.;
+    }
+  in
+  let th_router =
+    with_ready_thread (fun ~on_ready ->
+        Router.run ~on_ready ~config ~members
+          (Bi_serve.Lineserver.Unix_socket router_sock))
+  in
+  (* The primary is killed and restarted mid-test; track its live
+     handles so the teardown joins the final incarnation. *)
+  let prim_cache = ref None and prim_thread = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_endpoint router_sock;
+      Thread.join th_router;
+      stop_endpoint sock_a;
+      stop_endpoint sock_b;
+      Thread.join th_a;
+      Thread.join th_b;
+      Option.iter Thread.join !prim_thread;
+      Service.close cache_a;
+      Service.close cache_b;
+      Option.iter Service.close !prim_cache)
+    (fun () ->
+      let c = Client.connect_unix router_sock in
+      let req2 = Protocol.construction_request ~name:"gworst-bliss" ~k:2 () in
+      let r2 = request_ok c req2 in
+      let bytes2 = analysis_bytes r2 in
+      let fp2 =
+        match Sink.member "fingerprint" r2 with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      let ring = Ring.create members in
+      let primary = Option.get (Ring.owner ring fp2) in
+      stop_endpoint primary;
+      Thread.join (if primary = sock_a then th_a else th_b);
+      wait_until ~what:"prober marking the primary down" (fun () ->
+          member_state (request_ok c Protocol.stats_request) primary
+          = Some "down");
+      (* A compute while an owner is Down parks a hint instead of a
+         copy; the client still gets its answer. *)
+      let req3 = Protocol.construction_request ~name:"gworst-bliss" ~k:3 () in
+      let r3 = request_ok c req3 in
+      let bytes3 = analysis_bytes r3 in
+      let fp3 =
+        match Sink.member "fingerprint" r3 with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      Alcotest.(check bool) "hint parked while the owner is down" true
+        (Option.value ~default:0
+           (get_int "hints" (request_ok c Protocol.stats_request))
+        >= 1);
+      (* Restart the primary, empty: no store, no cache. *)
+      let name = Filename.chop_suffix (Filename.basename primary) ".sock" in
+      let _, cache', th' = start_shard ~dir ~name in
+      prim_cache := Some cache';
+      prim_thread := Some th';
+      (* Recovery must deliver the parked write.  Poll with [pull] —
+         it never computes, so it cannot mask an undelivered hint. *)
+      let holds fp expected_bytes =
+        match
+          let d = Client.connect_unix primary in
+          Fun.protect
+            ~finally:(fun () -> Client.close d)
+            (fun () -> Client.request d (Protocol.pull_request [ fp ]))
+        with
+        | Ok resp when Protocol.is_ok resp -> (
+          match Protocol.entries_of resp with
+          | Ok [ e ] -> Sink.to_string e.Store.body = expected_bytes
+          | _ -> false)
+        | _ -> false
+      in
+      wait_until ~what:"hint drain delivering the missed write" (fun () ->
+          holds fp3 bytes3);
+      wait_until ~what:"the hint log to empty" (fun () ->
+          Option.value ~default:(-1)
+            (get_int "hints" (request_ok c Protocol.stats_request))
+          = 0);
+      Alcotest.(check bool) "repairs counted" true
+        (counter (request_ok c Protocol.stats_request) "repairs" >= 1);
+      (* The pre-crash key had no hint (it was written while both owners
+         were up) and was lost with the primary's memory: only the
+         anti-entropy loop can bring it back. *)
+      wait_until ~what:"anti-entropy converging the lost key" (fun () ->
+          holds fp2 bytes2);
+      (* And the converged copies serve: cached, byte-identical. *)
+      let d = Client.connect_unix primary in
+      List.iter
+        (fun (req, bytes) ->
+          let r = request_ok d req in
+          Alcotest.(check (option bool)) "restarted primary answers cached"
+            (Some true) (get_bool "cached" r);
+          Alcotest.(check string) "restarted primary byte-identical" bytes
+            (analysis_bytes r))
+        [ (req2, bytes2); (req3, bytes3) ];
+      Client.close d;
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* SIGHUP members-file reloads racing the prober, the anti-entropy
+   loop, and live traffic: answers stay byte-identical through every
+   flip, nothing deadlocks, and the final membership matches the file. *)
+let test_sighup_reload_race () =
+  let dir = Filename.temp_file "bi_hup" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_a, cache_a, th_a = start_shard ~dir ~name:"shard-a" in
+  let sock_b, cache_b, th_b = start_shard ~dir ~name:"shard-b" in
+  let members_file = Filename.concat dir "members" in
+  let write_members members =
+    let tmp = members_file ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (String.concat "\n" members);
+    close_out oc;
+    Sys.rename tmp members_file
+  in
+  write_members [ sock_a ];
+  let router_sock = Filename.concat dir "router.sock" in
+  let config =
+    {
+      Router.default_config with
+      replicas = 2;
+      quorum = 1;
+      front_capacity = 1;
+      probe_interval_s = 0.02;
+      repair_interval_ticks = 1;
+      shard_timeout_s = 5.;
+    }
+  in
+  let th_router =
+    with_ready_thread (fun ~on_ready ->
+        Router.run ~on_ready ~members_file ~config ~members:[ sock_a ]
+          (Bi_serve.Lineserver.Unix_socket router_sock))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_endpoint router_sock;
+      Thread.join th_router;
+      stop_endpoint sock_a;
+      stop_endpoint sock_b;
+      Thread.join th_a;
+      Thread.join th_b;
+      Service.close cache_a;
+      Service.close cache_b)
+    (fun () ->
+      let c = Client.connect_unix router_sock in
+      let req2 = Protocol.construction_request ~name:"gworst-bliss" ~k:2 () in
+      let req3 = Protocol.construction_request ~name:"gworst-bliss" ~k:3 () in
+      let bytes2 = analysis_bytes (request_ok c req2) in
+      let bytes3 = analysis_bytes (request_ok c req3) in
+      let hup () = Unix.kill (Unix.getpid ()) Sys.sighup in
+      silencing_stderr (fun () ->
+          (* Flip the membership under load.  The 1-slot front cache and
+             the alternating keys force every read through the routing
+             path mid-reload; determinism makes the answers
+             byte-identical whichever member serves them. *)
+          for i = 1 to 12 do
+            write_members
+              (if i mod 2 = 0 then [ sock_a ] else [ sock_a; sock_b ]);
+            hup ();
+            let req, bytes = if i mod 2 = 0 then (req2, bytes2) else (req3, bytes3) in
+            Alcotest.(check string)
+              (Printf.sprintf "answer %d byte-identical under reload" i)
+              bytes
+              (analysis_bytes (request_ok c req));
+            Thread.delay 0.03
+          done;
+          (* Settle on both members: the newcomer must be probed up and
+             the membership must reflect exactly the file. *)
+          write_members [ sock_a; sock_b ];
+          hup ();
+          wait_until ~what:"reloaded member probed up" (fun () ->
+              member_state (request_ok c Protocol.stats_request) sock_b
+              = Some "up"));
+      let stats = request_ok c Protocol.stats_request in
+      (match Sink.member "members" stats with
+      | Some (Sink.Obj fields) ->
+        Alcotest.(check (list string))
+          "membership matches the file"
+          (List.sort compare [ sock_a; sock_b ])
+          (List.sort compare (List.map fst fields))
+      | _ -> Alcotest.fail "members missing from stats");
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
 let () =
   Alcotest.run "bi_router"
     [
@@ -428,6 +878,15 @@ let () =
           Alcotest.test_case "reload preserves survivors" `Quick
             test_membership_reload;
           Alcotest.test_case "member list parsing" `Quick test_parse_members;
+          QCheck_alcotest.to_alcotest parse_members_dedupes;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "hint log record/supersede/evict/take" `Quick
+            test_hints_log;
+          Alcotest.test_case "hint log survives restart" `Quick
+            test_hints_durability;
+          Alcotest.test_case "divergence rule" `Quick test_fsck_divergences;
         ] );
       ( "router",
         [
@@ -435,5 +894,11 @@ let () =
             test_router_end_to_end;
           Alcotest.test_case "correlated concept through the router" `Quick
             test_router_correlated;
+          Alcotest.test_case "read-repair parks hints on failover" `Quick
+            test_read_repair_parks_hints;
+          Alcotest.test_case "recovery drains hints and anti-entropy heals"
+            `Quick test_recovery_drains_hints;
+          Alcotest.test_case "SIGHUP reload races probes and repair" `Quick
+            test_sighup_reload_race;
         ] );
     ]

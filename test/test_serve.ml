@@ -16,6 +16,8 @@ module Metrics = Bi_serve.Metrics
 module Server = Bi_serve.Server
 module Client = Bi_serve.Client
 module Chaos = Bi_serve.Chaos
+module Lineserver = Bi_serve.Lineserver
+module Store = Bi_cache.Store
 
 (* --- protocol --------------------------------------------------------- *)
 
@@ -898,6 +900,222 @@ let test_bind_listener_safety () =
   Thread.join server;
   Service.close cache
 
+(* --- digest / pull verbs ---------------------------------------------- *)
+
+let test_parse_digest_pull () =
+  (match Protocol.parse_request {|{"op":"digest"}|} with
+  | Ok { Protocol.query = Protocol.Digest { bucket = None }; _ } -> ()
+  | _ -> Alcotest.fail "digest rollup form");
+  (match Protocol.parse_request {|{"op":"digest","bucket":7}|} with
+  | Ok { Protocol.query = Protocol.Digest { bucket = Some 7 }; _ } -> ()
+  | _ -> Alcotest.fail "digest bucket form");
+  (match Protocol.parse_request {|{"op":"pull","keys":["a","b"]}|} with
+  | Ok { Protocol.query = Protocol.Pull { keys = [ "a"; "b" ] }; _ } -> ()
+  | _ -> Alcotest.fail "pull form");
+  (* A payload put stores the body verbatim; the kind must be known. *)
+  (match
+     Protocol.parse_request
+       {|{"op":"put","fingerprint":"f","kind":"payload","analysis":{"x":1}}|}
+   with
+  | Ok
+      {
+        Protocol.query =
+          Protocol.Put { fingerprint = "f"; value = Protocol.Put_payload _ };
+        _;
+      } ->
+    ()
+  | _ -> Alcotest.fail "payload put form");
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" bad)
+    [
+      {|{"op":"digest","bucket":-1}|};
+      (Printf.sprintf {|{"op":"digest","bucket":%d}|} Store.buckets);
+      {|{"op":"digest","bucket":"low"}|};
+      {|{"op":"pull"}|};
+      {|{"op":"pull","keys":[]}|};
+      {|{"op":"pull","keys":[7]}|};
+      {|{"op":"pull","keys":[""]}|};
+      {|{"op":"pull","keys":"a"}|};
+      {|{"op":"put","fingerprint":"f","kind":"mystery","analysis":{}}|};
+    ];
+  (* The builders emit what the parser accepts, and an analysis put
+     carries no "kind" field at all — byte-compatible with pre-repair
+     routers. *)
+  let put_line =
+    Sink.to_string (Protocol.put_request ~fingerprint:"f" (Sink.Obj []))
+  in
+  Alcotest.(check bool) "analysis put omits kind" false
+    (let rec mem_sub i =
+       i + 6 <= String.length put_line
+       && (String.sub put_line i 6 = {|"kind"|} || mem_sub (i + 1))
+     in
+     mem_sub 0);
+  match
+    Protocol.parse_request
+      (Sink.to_string (Protocol.pull_request [ "k1"; "k2" ]))
+  with
+  | Ok { Protocol.query = Protocol.Pull { keys = [ "k1"; "k2" ] }; _ } -> ()
+  | _ -> Alcotest.fail "pull builder round-trip"
+
+let test_digest_pull_end_to_end () =
+  with_server ~shard:"shard-d" (fun ~socket ~metrics_out:_ ->
+      let c = Client.connect_unix socket in
+      (* Seed the shard: one computed analysis, one pushed payload. *)
+      let r =
+        request_ok c (Protocol.construction_request ~name:"gworst-bliss" ~k:2 ())
+      in
+      let fp =
+        match Sink.member "fingerprint" r with
+        | Some (Sink.Str s) -> s
+        | _ -> Alcotest.fail "fingerprint missing"
+      in
+      let payload = Sink.Obj [ ("answer", Sink.Int 42) ] in
+      ignore
+        (request_ok c
+           (Protocol.put_request ~kind:"payload" ~fingerprint:"payload-key"
+              payload));
+      (* Rollup: every resident key's bucket appears, each digest
+         recomputable from that bucket's (key, check) pairs. *)
+      let rollup =
+        match
+          Protocol.rollup_of (request_ok c (Protocol.digest_request ()))
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      let buckets = List.map fst rollup in
+      Alcotest.(check bool) "analysis bucket advertised" true
+        (List.mem (Store.bucket_of_key fp) buckets);
+      Alcotest.(check bool) "payload bucket advertised" true
+        (List.mem (Store.bucket_of_key "payload-key") buckets);
+      List.iter
+        (fun (b, digest) ->
+          let pairs =
+            match
+              Protocol.bucket_keys_of
+                (request_ok c (Protocol.digest_request ~bucket:b ()))
+            with
+            | Ok pairs -> pairs
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check string) "bucket digest matches pairs" digest
+            (Store.bucket_digest pairs))
+        rollup;
+      (* Pull: the payload comes back verbatim, unknown keys as missing. *)
+      let missing_of resp =
+        match Sink.member "missing" resp with
+        | Some (Sink.List l) ->
+          List.filter_map (function Sink.Str s -> Some s | _ -> None) l
+        | _ -> []
+      in
+      let pulled = request_ok c (Protocol.pull_request [ "payload-key"; "ghost" ]) in
+      Alcotest.(check (list string)) "ghost missing" [ "ghost" ]
+        (missing_of pulled);
+      (match Protocol.entries_of pulled with
+      | Error e -> Alcotest.fail e
+      | Ok [ e ] ->
+        Alcotest.(check string) "key" "payload-key" e.Store.key;
+        Alcotest.(check string) "kind" "payload" e.Store.kind;
+        Alcotest.(check string) "body verbatim" (Sink.to_string payload)
+          (Sink.to_string e.Store.body)
+      | Ok _ -> Alcotest.fail "expected exactly the payload entry");
+      (* The pulled analysis entry re-puts cleanly: the repair loop's
+         pull -> put cycle is lossless. *)
+      (match
+         Protocol.entries_of (request_ok c (Protocol.pull_request [ fp ]))
+       with
+      | Error e -> Alcotest.fail e
+      | Ok [ e ] ->
+        let stored =
+          request_ok c
+            (Protocol.put_request ~kind:e.Store.kind ~fingerprint:e.Store.key
+               e.Store.body)
+        in
+        Alcotest.(check (option bool)) "re-put accepted" (Some true)
+          (get_bool "stored" stored)
+      | Ok _ -> Alcotest.fail "expected exactly the analysis entry");
+      ignore (request_ok c Protocol.shutdown_request);
+      Client.close c)
+
+(* --- partition and slow-peer chaos ------------------------------------ *)
+
+let test_connection_action () =
+  (* One positive draw opens a window during which every connection is
+     refused — a whole-node partition, not per-request noise. *)
+  let t =
+    Chaos.create
+      { Chaos.disabled with seed = 1; partition_p = 1.0; partition_ms = 10_000 }
+  in
+  Alcotest.(check bool) "first connection refused" true
+    (Chaos.connection_action t = `Refuse);
+  Alcotest.(check bool) "window refuses the next connection too" true
+    (Chaos.connection_action t = `Refuse);
+  let t = Chaos.create { Chaos.disabled with seed = 1; slow_p = 1.0; slow_ms = 7 } in
+  (match Chaos.connection_action t with
+  | `Stall 7 -> ()
+  | _ -> Alcotest.fail "expected a 7 ms stall");
+  let t = Chaos.create Chaos.disabled in
+  Alcotest.(check bool) "disabled proceeds" true
+    (Chaos.connection_action t = `Proceed);
+  (* The spec grammar covers the new fields. *)
+  (match Chaos.parse "partition_p=0.5,partition_ms=250,slow_p=0.1,slow_ms=40" with
+  | Ok cfg ->
+    Alcotest.(check (float 1e-9)) "partition_p" 0.5 cfg.Chaos.partition_p;
+    Alcotest.(check int) "partition_ms" 250 cfg.Chaos.partition_ms;
+    Alcotest.(check (float 1e-9)) "slow_p" 0.1 cfg.Chaos.slow_p;
+    Alcotest.(check int) "slow_ms" 40 cfg.Chaos.slow_ms;
+    Alcotest.(check bool) "enabled" true (Chaos.is_enabled cfg)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Chaos.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" bad)
+    [ "partition_p=2"; "partition_ms=-1"; "slow_p=x"; "slow_ms=0.5" ]
+
+let test_lineserver_refuse_and_stall () =
+  let dir = Filename.temp_file "bi_refuse" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "bi.sock" in
+  let refuse = ref true in
+  let ls = Lineserver.create (Lineserver.Unix_socket socket) in
+  let th =
+    Thread.create
+      (fun () ->
+        Lineserver.run
+          ~on_accept:(fun () -> if !refuse then `Refuse else `Stall 50)
+          ~handler:(fun oc _line ->
+            output_string oc "{\"ok\":true}\n";
+            flush oc;
+            `Continue)
+          ls)
+      ()
+  in
+  (* Refused: the connection dies before any byte is served — to the
+     client a partitioned node, a fast transport failure. *)
+  let c = Client.connect_unix socket in
+  (match Client.request c Protocol.stats_request with
+  | Error (Client.Io _) -> ()
+  | Ok _ -> Alcotest.fail "refused connection still answered"
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Client.failure_to_string f));
+  Client.close c;
+  (* Stalled: served late but served. *)
+  refuse := false;
+  let c = Client.connect_unix socket in
+  let t0 = Unix.gettimeofday () in
+  (match Client.request c Protocol.stats_request with
+  | Ok resp -> Alcotest.(check bool) "served" true (Protocol.is_ok resp)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  Alcotest.(check bool) "stall delayed the response" true
+    (Unix.gettimeofday () -. t0 >= 0.045);
+  Client.close c;
+  Lineserver.initiate_shutdown ls;
+  Thread.join th
+
 let () =
   Alcotest.run "bi_serve"
     [
@@ -913,6 +1131,10 @@ let () =
           Alcotest.test_case "hostile inputs" `Quick test_parse_hostile_inputs;
           Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "chaos spec parsing" `Quick test_chaos_parse;
+          Alcotest.test_case "digest and pull parsing" `Quick
+            test_parse_digest_pull;
+          Alcotest.test_case "partition and slow-peer actions" `Quick
+            test_connection_action;
           QCheck_alcotest.to_alcotest backoff_within_bounds;
           QCheck_alcotest.to_alcotest backoff_hint_floor;
           QCheck_alcotest.to_alcotest backoff_seed_distinct;
@@ -936,5 +1158,9 @@ let () =
             test_idle_timeout_and_reconnect;
           Alcotest.test_case "listener refuses live socket" `Quick
             test_bind_listener_safety;
+          Alcotest.test_case "digest and pull verbs end to end" `Quick
+            test_digest_pull_end_to_end;
+          Alcotest.test_case "refused and stalled connections" `Quick
+            test_lineserver_refuse_and_stall;
         ] );
     ]
